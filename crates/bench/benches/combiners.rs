@@ -1,0 +1,76 @@
+//! Criterion benches for answer combination: MajorityVote vs the
+//! QualityAdjust EM at celebrity-join scale, plus the EM-iteration
+//! ablation (the paper fixes 5 iterations; how much does each cost?).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qurk_combine::em::{LabelObservation, QualityAdjust, QualityAdjustConfig};
+use qurk_combine::majority_vote_bool;
+use std::hint::black_box;
+
+/// Synthetic join vote corpus: `pairs` pairs × `votes` votes each from
+/// a pool of 150 workers with deterministic pseudo-noise.
+fn corpus(pairs: usize, votes: usize) -> Vec<LabelObservation> {
+    let mut obs = Vec::with_capacity(pairs * votes);
+    for p in 0..pairs {
+        let truth = p % 30 == 0;
+        for v in 0..votes {
+            let worker = (p * 7 + v * 31) % 150;
+            // ~15% error, worker 0-14 are spammers answering yes.
+            let label = if worker < 15 {
+                true
+            } else {
+                let noise = (p * 2654435761 + v * 40503) % 100 < 15;
+                truth ^ noise
+            };
+            obs.push(LabelObservation {
+                worker,
+                item: p,
+                label: usize::from(label),
+            });
+        }
+    }
+    obs
+}
+
+fn bench_combiners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("combiners");
+    for &pairs in &[100usize, 900, 4000] {
+        let obs = corpus(pairs, 10);
+        // Majority vote over the same corpus.
+        g.bench_with_input(BenchmarkId::new("majority_vote", pairs), &obs, |b, obs| {
+            b.iter(|| {
+                let mut by_item: Vec<Vec<bool>> = vec![Vec::new(); pairs];
+                for o in obs {
+                    by_item[o.item].push(o.label == 1);
+                }
+                let decisions: Vec<bool> = by_item.iter().map(|v| majority_vote_bool(v)).collect();
+                black_box(decisions)
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("quality_adjust_5it", pairs),
+            &obs,
+            |b, obs| {
+                let qa = QualityAdjust::new(QualityAdjustConfig::paper_join());
+                b.iter(|| black_box(qa.run(obs)))
+            },
+        );
+    }
+    g.finish();
+
+    // Ablation: EM iteration count (paper uses 5).
+    let mut g = c.benchmark_group("qa_iterations");
+    let obs = corpus(900, 10);
+    for &iters in &[1usize, 3, 5, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            let mut cfg = QualityAdjustConfig::paper_join();
+            cfg.iterations = iters;
+            let qa = QualityAdjust::new(cfg);
+            b.iter(|| black_box(qa.run(&obs)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_combiners);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the marketplace event loop: end-to-end
+//! simulated throughput of filter workloads and join workloads
+//! (assignments processed per wall-clock second drive every experiment
+//! in the harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qurk_crowd::question::{HitKind, Question};
+use qurk_crowd::truth::PredicateTruth;
+use qurk_crowd::{CrowdConfig, GroundTruth, HitSpec, Marketplace};
+use std::hint::black_box;
+
+fn filter_world(n: usize) -> (CrowdConfig, GroundTruth) {
+    let mut gt = GroundTruth::new();
+    let items = gt.new_items(n);
+    for (i, &it) in items.iter().enumerate() {
+        gt.set_predicate(
+            it,
+            "p",
+            PredicateTruth {
+                value: i % 2 == 0,
+                error_rate: 0.05,
+            },
+        );
+    }
+    (CrowdConfig::default(), gt)
+}
+
+fn bench_marketplace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_loop");
+    g.sample_size(20);
+    for &n in &[100usize, 500] {
+        g.bench_with_input(BenchmarkId::new("filter_batch5", n), &n, |b, &n| {
+            b.iter(|| {
+                let (cfg, gt) = filter_world(n);
+                let mut m = Marketplace::new(&cfg, gt.clone());
+                let items: Vec<_> = (0..n as u64).map(qurk_crowd::ItemId).collect();
+                let specs: Vec<HitSpec> = items
+                    .chunks(5)
+                    .map(|chunk| {
+                        HitSpec::new(
+                            chunk
+                                .iter()
+                                .map(|&it| Question::Filter {
+                                    item: it,
+                                    predicate: "p".into(),
+                                })
+                                .collect(),
+                            HitKind::Filter,
+                        )
+                    })
+                    .collect();
+                m.post_group(specs);
+                black_box(m.run_to_completion());
+                black_box(m.drain_new_assignments().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_marketplace);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the statistical metrics: Kendall τ-b (the
+//! O(n²) pair scan) and Fleiss κ at Table 4 scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qurk_metrics::kappa::{fleiss_kappa, modified_fleiss_kappa};
+use qurk_metrics::{kendall_tau_b, linear_regression};
+use std::hint::black_box;
+
+fn vectors(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let ys: Vec<f64> = (0..n)
+        .map(|i| (i as f64) + ((i * 2654435761) % 17) as f64)
+        .collect();
+    (xs, ys)
+}
+
+fn counts(subjects: usize, k: usize) -> Vec<Vec<u32>> {
+    (0..subjects)
+        .map(|s| {
+            let mut row = vec![0u32; k];
+            for v in 0..5 {
+                row[(s * 3 + v) % k] += 1;
+            }
+            row
+        })
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kendall_tau_b");
+    for &n in &[27usize, 40, 200] {
+        let (xs, ys) = vectors(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(kendall_tau_b(&xs, &ys).unwrap()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("fleiss_kappa");
+    for &subjects in &[60usize, 780] {
+        let m = counts(subjects, 4);
+        g.bench_with_input(BenchmarkId::new("standard", subjects), &m, |b, m| {
+            b.iter(|| black_box(fleiss_kappa(m).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("modified", subjects), &m, |b, m| {
+            b.iter(|| black_box(modified_fleiss_kappa(m).unwrap()))
+        });
+    }
+    g.finish();
+
+    c.bench_function("ols_regression_200", |b| {
+        let (xs, ys) = vectors(200);
+        b.iter(|| black_box(linear_regression(&xs, &ys).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the sort machinery: the greedy pair-cover
+//! generator (§4.1.1's batch generation), head-to-head scoring, and
+//! cycle detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qurk::ops::sort::{CompareSort, PairTally};
+use std::hint::black_box;
+
+fn tally(n: usize) -> PairTally {
+    let mut t = PairTally::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // 4:1 majority for the true order with a few inversions.
+            let invert = (i * 2654435761 + j * 40503) % 13 == 0;
+            let (w, l) = if invert { (j, i) } else { (i, j) };
+            for _ in 0..4 {
+                t.record_pair(w, l);
+            }
+            t.record_pair(l, w);
+        }
+    }
+    t
+}
+
+fn bench_sort_algos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_groups");
+    for &(n, s) in &[(40usize, 5usize), (40, 10), (100, 5)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_s{s}")),
+            &(n, s),
+            |b, &(n, s)| b.iter(|| black_box(CompareSort::plan_groups(n, s, 42))),
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("head_to_head");
+    for &n in &[27usize, 40, 100] {
+        let t = tally(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(t.head_to_head_scores()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("cycle_detection");
+    for &n in &[27usize, 100] {
+        let t = tally(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(t.has_cycles()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort_algos);
+criterion_main!(benches);

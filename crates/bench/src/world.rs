@@ -1,0 +1,117 @@
+//! Shared experiment worlds: dataset + marketplace builders.
+
+use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
+use qurk_data::animals::{animals_dataset, AnimalsDataset};
+use qurk_data::celebrity::{celebrity_dataset, CelebrityConfig, CelebrityDataset};
+use qurk_data::movie::{movie_dataset, MovieConfig, MovieDataset};
+use qurk_data::squares::{squares_dataset, SquaresDataset};
+
+/// The paper runs each join experiment twice ("Trial #1 and #2", one
+/// morning and one evening) with 5 assignments each and aggregates to
+/// 10 votes per pair. `TrialSpec` captures that protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialSpec {
+    pub seed: u64,
+    /// Virtual start hour (9.0 = morning, 19.0 = evening).
+    pub start_hour: f64,
+    pub assignments: u32,
+}
+
+impl TrialSpec {
+    pub fn morning(seed: u64) -> Self {
+        TrialSpec {
+            seed,
+            start_hour: 9.0,
+            assignments: 5,
+        }
+    }
+
+    pub fn evening(seed: u64) -> Self {
+        TrialSpec {
+            seed,
+            start_hour: 19.0,
+            assignments: 5,
+        }
+    }
+
+    pub fn crowd_config(&self) -> CrowdConfig {
+        let mut cfg = CrowdConfig::default()
+            .with_seed(self.seed)
+            .with_assignments(self.assignments);
+        cfg.sim.start_hour = self.start_hour;
+        cfg
+    }
+}
+
+/// Celebrity-join world: `n` celebrities, two tables, fixed dataset
+/// seed (the *dataset* is identical across trials; only the crowd
+/// varies).
+pub fn celebrity_world(n: usize, trial: TrialSpec) -> (Marketplace, CelebrityDataset) {
+    let mut truth = GroundTruth::new();
+    let ds = celebrity_dataset(
+        &mut truth,
+        &CelebrityConfig::default()
+            .with_celebrities(n)
+            .with_seed(0xDA7A),
+    );
+    (Marketplace::new(&trial.crowd_config(), truth), ds)
+}
+
+/// Squares world of `n` squares.
+pub fn squares_world(n: usize, trial: TrialSpec) -> (Marketplace, SquaresDataset) {
+    let mut truth = GroundTruth::new();
+    let ds = squares_dataset(&mut truth, n);
+    (Marketplace::new(&trial.crowd_config(), truth), ds)
+}
+
+/// Animals world (27 fixed items).
+pub fn animals_world(trial: TrialSpec) -> (Marketplace, AnimalsDataset) {
+    let mut truth = GroundTruth::new();
+    let ds = animals_dataset(&mut truth);
+    (Marketplace::new(&trial.crowd_config(), truth), ds)
+}
+
+/// Movie world (211 scenes, 5 actors).
+pub fn movie_world(trial: TrialSpec) -> (Marketplace, MovieDataset) {
+    let mut truth = GroundTruth::new();
+    let ds = movie_dataset(&mut truth, &MovieConfig::default());
+    (Marketplace::new(&trial.crowd_config(), truth), ds)
+}
+
+/// Is (celeb_idx, photo_idx) a true match in the celebrity world?
+pub fn is_true_match(ds: &CelebrityDataset, celeb_idx: usize, photo_idx: usize) -> bool {
+    ds.photo_owner[photo_idx] == celeb_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worlds_build() {
+        let (m, ds) = celebrity_world(5, TrialSpec::morning(1));
+        assert_eq!(ds.len(), 5);
+        assert_eq!(m.hits_posted(), 0);
+        let (_, sq) = squares_world(10, TrialSpec::morning(1));
+        assert_eq!(sq.len(), 10);
+        let (_, an) = animals_world(TrialSpec::evening(2));
+        assert_eq!(an.len(), 27);
+        let (_, mv) = movie_world(TrialSpec::morning(3));
+        assert_eq!(mv.scenes.len(), 211);
+    }
+
+    #[test]
+    fn dataset_is_stable_across_trials() {
+        let (_, a) = celebrity_world(10, TrialSpec::morning(1));
+        let (_, b) = celebrity_world(10, TrialSpec::evening(99));
+        assert_eq!(a.photo_owner, b.photo_owner);
+    }
+
+    #[test]
+    fn true_match_uses_owner() {
+        let (_, ds) = celebrity_world(4, TrialSpec::morning(1));
+        for j in 0..4 {
+            assert!(is_true_match(&ds, ds.photo_owner[j], j));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # qurk-combine
+//!
+//! Answer-combination strategies for crowd-powered query operators
+//! (reproduction of *Human-powered Sorts and Joins*, Marcus et al.,
+//! VLDB 2011, §2.1 and §3.3).
+//!
+//! Qurk sends every HIT to several workers (5 by default) and must fuse
+//! their responses into one answer. Two combiners are provided:
+//!
+//! * [`vote::majority_vote`] — the baseline
+//!   `MajorityVote` combiner: most popular answer wins.
+//! * [`em::QualityAdjust`] — the paper's `QualityAdjust`
+//!   combiner, the EM algorithm of Ipeirotis, Provost & Wang (HCOMP
+//!   2010) building on Dawid & Skene (1979): it jointly estimates each
+//!   worker's confusion matrix (capturing *bias*, e.g. a worker who
+//!   systematically answers "No") and each item's label posterior, and
+//!   scores workers by the expected cost of their answers so spammers
+//!   can be identified. The paper runs 5 EM iterations and penalizes
+//!   false negatives twice as heavily as false positives; both knobs are
+//!   exposed here.
+//!
+//! Generative (free-text) answers are normalized before combination
+//! (§2.2) by a [`normalize::Normalizer`] such as
+//! [`normalize::LowercaseSingleSpace`].
+
+pub mod em;
+pub mod normalize;
+pub mod vote;
+
+pub use em::{LabelObservation, QualityAdjust, QualityAdjustConfig, QualityAdjustOutput};
+pub use normalize::{normalize_lowercase_single_space, Normalizer};
+pub use vote::{majority_vote, majority_vote_bool, mean_rating, weighted_vote, VoteOutcome};

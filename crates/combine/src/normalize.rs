@@ -1,0 +1,150 @@
+//! Response normalizers for generative tasks.
+//!
+//! §2.2: "We also introduce a `Normalizer`, which takes the text input
+//! from workers and normalizes it by lower-casing and single-spacing it,
+//! which makes the combiner more effective at aggregating responses."
+
+/// A text normalizer applied to worker responses before combination.
+pub trait Normalizer: Send + Sync {
+    /// Normalize one raw worker response.
+    fn normalize(&self, raw: &str) -> String;
+
+    /// Name used when compiling the task definition back to DSL text.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's `LowercaseSingleSpace`: trim, lowercase, collapse any
+/// whitespace run to a single ASCII space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowercaseSingleSpace;
+
+impl Normalizer for LowercaseSingleSpace {
+    fn normalize(&self, raw: &str) -> String {
+        normalize_lowercase_single_space(raw)
+    }
+
+    fn name(&self) -> &'static str {
+        "LowercaseSingleSpace"
+    }
+}
+
+/// Identity normalizer for constrained-input responses (e.g. radio
+/// buttons) that need no cleanup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Identity;
+
+impl Normalizer for Identity {
+    fn normalize(&self, raw: &str) -> String {
+        raw.to_owned()
+    }
+
+    fn name(&self) -> &'static str {
+        "Identity"
+    }
+}
+
+/// Free-function form of [`LowercaseSingleSpace`].
+pub fn normalize_lowercase_single_space(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut pending_space = false;
+    for ch in raw.trim().chars() {
+        if ch.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.extend(ch.to_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_single_spaces() {
+        assert_eq!(
+            normalize_lowercase_single_space("  Humpback   WHALE \t"),
+            "humpback whale"
+        );
+    }
+
+    #[test]
+    fn collapses_newlines_and_tabs() {
+        assert_eq!(
+            normalize_lowercase_single_space("Great\nWhite\t\tShark"),
+            "great white shark"
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert_eq!(normalize_lowercase_single_space(""), "");
+        assert_eq!(normalize_lowercase_single_space("   \n\t "), "");
+    }
+
+    #[test]
+    fn already_normal_is_unchanged() {
+        assert_eq!(normalize_lowercase_single_space("ant"), "ant");
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(
+            normalize_lowercase_single_space("ÉLÉPHANT  DE MER"),
+            "éléphant de mer"
+        );
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let n: &dyn Normalizer = &LowercaseSingleSpace;
+        assert_eq!(n.normalize("A  B"), "a b");
+        assert_eq!(n.name(), "LowercaseSingleSpace");
+        let id: &dyn Normalizer = &Identity;
+        assert_eq!(id.normalize("A  B"), "A  B");
+    }
+
+    #[test]
+    fn normalization_makes_votes_agree() {
+        // The motivating §2.2 scenario: raw answers disagree, normalized
+        // answers form a clean majority.
+        let raw = ["Humpback Whale", "humpback   whale", " HUMPBACK WHALE"];
+        let normalized: Vec<String> = raw
+            .iter()
+            .map(|r| normalize_lowercase_single_space(r))
+            .collect();
+        let outcome = crate::vote::majority_vote(&normalized);
+        assert_eq!(outcome.winner.as_deref(), Some("humpback whale"));
+        assert_eq!(outcome.winner_votes, 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Normalization is idempotent.
+        #[test]
+        fn idempotent(s in ".{0,64}") {
+            let once = normalize_lowercase_single_space(&s);
+            let twice = normalize_lowercase_single_space(&once);
+            prop_assert_eq!(once, twice);
+        }
+
+        /// Output never contains uppercase ASCII or doubled spaces.
+        #[test]
+        fn output_canonical(s in ".{0,64}") {
+            let out = normalize_lowercase_single_space(&s);
+            prop_assert!(!out.contains("  "));
+            prop_assert!(!out.chars().any(|c| c.is_ascii_uppercase()));
+            prop_assert!(!out.starts_with(' ') && !out.ends_with(' '));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Majority voting and simple aggregation.
+//!
+//! `MajorityVote` is Qurk's default `Combiner` (§2.1): the most popular
+//! answer wins. For join pairs the paper phrases it as "we identify a
+//! join pair if the number of positive votes outweighs the negative
+//! votes" — i.e. strict majority of Yes over No, ties resolving to No
+//! ([`majority_vote_bool`]). Ratings are combined by taking the mean of
+//! the scores (§4.1.2, [`mean_rating`]).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Outcome of a categorical vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteOutcome<T> {
+    /// The winning answer, if any vote was cast.
+    pub winner: Option<T>,
+    /// Number of votes the winner received.
+    pub winner_votes: usize,
+    /// Total votes cast.
+    pub total_votes: usize,
+    /// Whether the top count was shared by more than one answer
+    /// (the winner is then the smallest such answer by `Ord` if
+    /// available, otherwise arbitrary-but-deterministic insertion order).
+    pub tied: bool,
+}
+
+impl<T> VoteOutcome<T> {
+    /// Fraction of votes won by the winner (0 when no votes).
+    pub fn confidence(&self) -> f64 {
+        if self.total_votes == 0 {
+            0.0
+        } else {
+            self.winner_votes as f64 / self.total_votes as f64
+        }
+    }
+}
+
+/// Plurality vote over categorical answers.
+///
+/// Deterministic: among tied answers the one that *first reached* the
+/// top count wins, which makes the combiner independent of HashMap
+/// iteration order.
+pub fn majority_vote<T: Eq + Hash + Clone>(votes: &[T]) -> VoteOutcome<T> {
+    let mut counts: HashMap<&T, usize> = HashMap::with_capacity(votes.len());
+    let mut winner: Option<&T> = None;
+    let mut winner_votes = 0usize;
+    let mut tied = false;
+    for v in votes {
+        let c = counts.entry(v).or_insert(0);
+        *c += 1;
+        match (*c).cmp(&winner_votes) {
+            std::cmp::Ordering::Greater => {
+                winner_votes = *c;
+                tied = false;
+                if winner != Some(v) {
+                    winner = Some(v);
+                }
+            }
+            std::cmp::Ordering::Equal => {
+                if winner != Some(v) {
+                    tied = true;
+                }
+            }
+            std::cmp::Ordering::Less => {}
+        }
+    }
+    VoteOutcome {
+        winner: winner.cloned(),
+        winner_votes,
+        total_votes: votes.len(),
+        tied,
+    }
+}
+
+/// Binary majority vote with the paper's join semantics: the pair joins
+/// iff positive votes strictly outnumber negative votes.
+pub fn majority_vote_bool(votes: &[bool]) -> bool {
+    let yes = votes.iter().filter(|&&v| v).count();
+    yes * 2 > votes.len()
+}
+
+/// Weighted plurality vote. Weights typically come from worker quality
+/// estimates (e.g. `1 − spammer_score`). Ties break toward the answer
+/// that first attained the maximum.
+pub fn weighted_vote<T: Eq + Hash + Clone>(votes: &[(T, f64)]) -> Option<T> {
+    let mut totals: HashMap<&T, f64> = HashMap::with_capacity(votes.len());
+    let mut best: Option<&T> = None;
+    let mut best_w = f64::NEG_INFINITY;
+    for (v, w) in votes {
+        let t = totals.entry(v).or_insert(0.0);
+        *t += w;
+        if *t > best_w {
+            best_w = *t;
+            best = Some(v);
+        }
+    }
+    best.cloned()
+}
+
+/// Mean of numeric ratings; `None` when empty. §4.1.2: "compute the mean
+/// of all ratings for each item, and sort the dataset using these means."
+pub fn mean_rating(ratings: &[f64]) -> Option<f64> {
+    if ratings.is_empty() {
+        None
+    } else {
+        Some(ratings.iter().sum::<f64>() / ratings.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_majority() {
+        let o = majority_vote(&["yes", "no", "yes", "yes", "no"]);
+        assert_eq!(o.winner, Some("yes"));
+        assert_eq!(o.winner_votes, 3);
+        assert_eq!(o.total_votes, 5);
+        assert!(!o.tied);
+        assert!((o.confidence() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_votes() {
+        let o = majority_vote::<&str>(&[]);
+        assert_eq!(o.winner, None);
+        assert_eq!(o.confidence(), 0.0);
+    }
+
+    #[test]
+    fn tie_detected_and_first_leader_wins() {
+        let o = majority_vote(&["a", "b"]);
+        assert!(o.tied);
+        assert_eq!(o.winner, Some("a"));
+        // Order matters for the deterministic tie-break:
+        let o = majority_vote(&["b", "a"]);
+        assert_eq!(o.winner, Some("b"));
+    }
+
+    #[test]
+    fn tie_resolved_by_later_votes() {
+        let o = majority_vote(&["a", "b", "b"]);
+        assert!(!o.tied);
+        assert_eq!(o.winner, Some("b"));
+    }
+
+    #[test]
+    fn bool_vote_requires_strict_majority() {
+        assert!(majority_vote_bool(&[true, true, false]));
+        assert!(!majority_vote_bool(&[true, false])); // tie -> No
+        assert!(!majority_vote_bool(&[false, false, true]));
+        assert!(!majority_vote_bool(&[]));
+    }
+
+    #[test]
+    fn weighted_vote_uses_weights() {
+        let w = weighted_vote(&[("yes", 0.4), ("no", 0.9), ("yes", 0.4)]);
+        assert_eq!(w, Some("no")); // 0.9 > 0.8
+        let w = weighted_vote(&[("yes", 0.5), ("no", 0.9), ("yes", 0.5)]);
+        assert_eq!(w, Some("yes")); // 1.0 > 0.9
+    }
+
+    #[test]
+    fn weighted_vote_empty() {
+        assert_eq!(weighted_vote::<&str>(&[]), None);
+    }
+
+    #[test]
+    fn mean_rating_basic() {
+        assert_eq!(mean_rating(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean_rating(&[]), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The winner's count is the max count, and confidence is in (0,1].
+        #[test]
+        fn winner_has_max_count(votes in prop::collection::vec(0u8..5, 1..64)) {
+            let o = majority_vote(&votes);
+            let w = o.winner.unwrap();
+            let max = (0u8..5).map(|c| votes.iter().filter(|&&v| v == c).count()).max().unwrap();
+            prop_assert_eq!(o.winner_votes, max);
+            prop_assert_eq!(o.winner_votes, votes.iter().filter(|&&v| v == w).count());
+            prop_assert!(o.confidence() > 0.0 && o.confidence() <= 1.0);
+        }
+
+        /// Permuting votes never changes the winning *count* and only
+        /// changes the winner when there was a tie.
+        #[test]
+        fn permutation_stability(votes in prop::collection::vec(0u8..4, 1..32)) {
+            let a = majority_vote(&votes);
+            let mut rev = votes.clone();
+            rev.reverse();
+            let b = majority_vote(&rev);
+            prop_assert_eq!(a.winner_votes, b.winner_votes);
+            if !a.tied {
+                prop_assert_eq!(a.winner, b.winner);
+            }
+        }
+
+        /// Bool majority matches the categorical combiner's semantics on
+        /// strict majorities.
+        #[test]
+        fn bool_and_categorical_agree(votes in prop::collection::vec(any::<bool>(), 1..32)) {
+            let yes = votes.iter().filter(|&&v| v).count();
+            let no = votes.len() - yes;
+            if yes != no {
+                let o = majority_vote(&votes);
+                prop_assert_eq!(o.winner, Some(yes > no));
+                prop_assert_eq!(majority_vote_bool(&votes), yes > no);
+            }
+        }
+    }
+}

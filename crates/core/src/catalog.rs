@@ -1,0 +1,111 @@
+//! The catalog: registered tables and task templates.
+
+use std::collections::HashMap;
+
+use crate::error::{QurkError, Result};
+use crate::lang::parser::parse_tasks;
+use crate::relation::Relation;
+use crate::task::TaskDef;
+
+/// Named tables + named tasks, the context a query runs against.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Relation>,
+    tasks: HashMap<String, TaskDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register_table(&mut self, name: &str, relation: Relation) {
+        self.tables.insert(name.to_owned(), relation);
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Relation> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QurkError::UnknownTable(name.to_owned()))
+    }
+
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Register a validated task.
+    pub fn register_task(&mut self, task: TaskDef) {
+        self.tasks.insert(task.name.clone(), task);
+    }
+
+    /// Parse a TASK DSL document and register every definition.
+    pub fn define_tasks(&mut self, src: &str) -> Result<usize> {
+        let asts = parse_tasks(src)?;
+        let n = asts.len();
+        for ast in &asts {
+            self.register_task(TaskDef::from_ast(ast)?);
+        }
+        Ok(n)
+    }
+
+    pub fn task(&self, name: &str) -> Result<&TaskDef> {
+        self.tasks
+            .get(name)
+            .ok_or_else(|| QurkError::UnknownTask(name.to_owned()))
+    }
+
+    pub fn task_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tasks.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Schema, ValueType};
+
+    #[test]
+    fn tables_roundtrip() {
+        let mut c = Catalog::new();
+        let r = Relation::new(Schema::new(&[("x", ValueType::Int)]));
+        c.register_table("t", r.clone());
+        assert_eq!(c.table("t").unwrap(), &r);
+        assert!(matches!(
+            c.table("missing"),
+            Err(QurkError::UnknownTable(_))
+        ));
+        assert_eq!(c.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn tasks_from_dsl() {
+        let mut c = Catalog::new();
+        let n = c
+            .define_tasks(
+                r#"TASK isFemale(field) TYPE Filter:
+                    Prompt: "%s?", tuple[field]
+                   TASK samePerson(a, b) TYPE EquiJoin:
+                    Combiner: QualityAdjust
+                "#,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(c.task("isFemale").is_ok());
+        assert!(c.task("samePerson").is_ok());
+        assert!(matches!(c.task("nope"), Err(QurkError::UnknownTask(_))));
+        assert_eq!(c.task_names(), vec!["isFemale", "samePerson"]);
+    }
+
+    #[test]
+    fn invalid_task_dsl_is_rejected() {
+        let mut c = Catalog::new();
+        assert!(c
+            .define_tasks("TASK broken(x) TYPE Filter:\n YesText: \"Y\"")
+            .is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the query engine.
+
+use std::fmt;
+
+/// Errors surfaced by parsing, planning, or executing a Qurk query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QurkError {
+    /// Lexing/parsing failure with position information.
+    Parse {
+        message: String,
+        line: usize,
+        column: usize,
+    },
+    /// Reference to an unknown table.
+    UnknownTable(String),
+    /// Reference to an unknown task/UDF.
+    UnknownTask(String),
+    /// Reference to an unknown column.
+    UnknownColumn(String),
+    /// A task was used in a position its type does not support
+    /// (e.g. a Filter task in ORDER BY).
+    TaskTypeMismatch {
+        task: String,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// Schema violation when constructing relations.
+    Schema(String),
+    /// The crowd did not complete the work (e.g. batch too large).
+    CrowdIncomplete { outstanding: u32 },
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for QurkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QurkError::Parse {
+                message,
+                line,
+                column,
+            } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+            QurkError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            QurkError::UnknownTask(t) => write!(f, "unknown task: {t}"),
+            QurkError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            QurkError::TaskTypeMismatch {
+                task,
+                expected,
+                found,
+            } => {
+                write!(f, "task {task} has type {found}, expected {expected}")
+            }
+            QurkError::Schema(m) => write!(f, "schema error: {m}"),
+            QurkError::CrowdIncomplete { outstanding } => {
+                write!(
+                    f,
+                    "crowd work incomplete: {outstanding} assignments outstanding"
+                )
+            }
+            QurkError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for QurkError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QurkError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = QurkError::Parse {
+            message: "bad token".into(),
+            line: 2,
+            column: 7,
+        };
+        assert_eq!(e.to_string(), "parse error at 2:7: bad token");
+        assert_eq!(
+            QurkError::UnknownTable("t".into()).to_string(),
+            "unknown table: t"
+        );
+        let e = QurkError::TaskTypeMismatch {
+            task: "f".into(),
+            expected: "Rank",
+            found: "Filter",
+        };
+        assert!(e.to_string().contains("expected Rank"));
+    }
+}

@@ -1,0 +1,1400 @@
+//! The executor: runs logical plans against the crowd marketplace.
+
+use std::collections::HashMap;
+
+use qurk_crowd::{ItemId, Marketplace};
+
+use crate::catalog::Catalog;
+use crate::error::{QurkError, Result};
+use crate::hit::cache::TaskCache;
+use crate::lang::ast::{
+    CmpOp, Expr, Literal, OrderExpr, PossiblyClause, Predicate, SelectItem, UdfCall,
+};
+use crate::lang::parser::parse_query;
+use crate::ops::filter::FilterOp;
+use crate::ops::generative::GenerativeOp;
+use crate::ops::join::feature_filter::{FeatureFilter, FeatureFilterConfig, FeatureSpec};
+use crate::ops::join::JoinOp;
+use crate::ops::sort::{CompareSort, HybridSort, RateSort};
+use crate::plan::{plan_query, LogicalPlan};
+use crate::relation::Relation;
+use crate::schema::ValueType;
+use crate::task::TaskType;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Which sort implementation ORDER BY uses (§4.1).
+#[derive(Debug, Clone)]
+pub enum SortMode {
+    Compare(CompareSort),
+    Rate(RateSort),
+    /// Hybrid with a fixed comparison budget (§4.1.3: "the user can
+    /// control the resulting accuracy and cost by specifying the
+    /// number of iterations").
+    Hybrid(HybridSort, usize),
+}
+
+impl Default for SortMode {
+    fn default() -> Self {
+        SortMode::Compare(CompareSort::default())
+    }
+}
+
+/// Executor-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    pub filter: FilterOp,
+    pub join: JoinOp,
+    pub feature_filter: FeatureFilterConfig,
+    pub sort: SortMode,
+    /// §2.6 *combining*: evaluate conjunctive WHERE filters in one HIT
+    /// per tuple instead of serially. Footnote 2: this does more
+    /// "work" (tuples the first filter would discard still reach the
+    /// second) but cuts the total HIT count whenever the first filter
+    /// passes anything.
+    pub combine_conjunct_filters: bool,
+}
+
+/// Per-query execution report.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    pub relation: Relation,
+    /// HITs posted while executing this query.
+    pub hits_posted: usize,
+    /// Dollars spent on this query (assignments × price).
+    pub cost_dollars: f64,
+    /// EXPLAIN text of the executed plan.
+    pub explain: String,
+}
+
+/// Runs queries for one catalog against one marketplace.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    market: &'a mut Marketplace,
+    pub config: ExecConfig,
+    pub cache: TaskCache,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(catalog: &'a Catalog, market: &'a mut Marketplace) -> Self {
+        Executor {
+            catalog,
+            market,
+            config: ExecConfig::default(),
+            cache: TaskCache::new(),
+        }
+    }
+
+    pub fn with_config(mut self, config: ExecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Parse, plan and execute a query.
+    pub fn query(&mut self, sql: &str) -> Result<Relation> {
+        Ok(self.query_report(sql)?.relation)
+    }
+
+    /// [`Self::query`] plus cost accounting and the plan explanation.
+    pub fn query_report(&mut self, sql: &str) -> Result<QueryReport> {
+        let parsed = parse_query(sql)?;
+        let plan = plan_query(&parsed, self.catalog)?;
+        let hits_before = self.market.hits_posted();
+        let spend_before = self.market.ledger.total();
+        let relation = self.run_plan(&plan)?;
+        Ok(QueryReport {
+            relation,
+            hits_posted: self.market.hits_posted() - hits_before,
+            cost_dollars: self.market.ledger.total() - spend_before,
+            explain: plan.explain(),
+        })
+    }
+
+    /// Execute a logical plan.
+    pub fn run_plan(&mut self, plan: &LogicalPlan) -> Result<Relation> {
+        match plan {
+            LogicalPlan::Scan { table, alias } => {
+                Ok(self.catalog.table(table)?.clone().qualified(alias))
+            }
+            LogicalPlan::MachineFilter { input, predicates } => {
+                let rel = self.run_plan(input)?;
+                self.machine_filter(rel, predicates)
+            }
+            LogicalPlan::CrowdFilter { input, conjuncts } => {
+                let mut rel = self.run_plan(input)?;
+                if self.config.combine_conjunct_filters && conjuncts.len() > 1 {
+                    rel = self.crowd_filter_combined(rel, conjuncts)?;
+                } else {
+                    // §2.5: conjuncts issue serially by default.
+                    for call in conjuncts {
+                        rel = self.crowd_filter(rel, call)?;
+                    }
+                }
+                Ok(rel)
+            }
+            LogicalPlan::CrowdFilterOr { input, groups } => {
+                let rel = self.run_plan(input)?;
+                self.crowd_filter_or(rel, groups)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                clause,
+            } => {
+                let l = self.run_plan(left)?;
+                let r = self.run_plan(right)?;
+                self.crowd_join(l, r, clause)
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                let rel = self.run_plan(input)?;
+                self.order_by(rel, keys)
+            }
+            LogicalPlan::Limit { input, n } => {
+                // §2.3: "For MAX/MIN, we use an interface that extracts
+                // the best element from a batch at a time" — LIMIT 1
+                // over a single crowd sort key runs the tournament
+                // extraction instead of a full O(N²) sort.
+                if *n == 1 {
+                    if let LogicalPlan::OrderBy {
+                        input: sort_input,
+                        keys,
+                    } = input.as_ref()
+                    {
+                        if let [OrderExpr {
+                            expr: Expr::Udf(call),
+                            desc,
+                        }] = keys.as_slice()
+                        {
+                            let rel = self.run_plan(sort_input)?;
+                            return self.extract_extreme(rel, call, *desc);
+                        }
+                    }
+                }
+                let rel = self.run_plan(input)?;
+                let mut out = Relation::new(rel.schema().clone());
+                for row in rel.rows().iter().take(*n) {
+                    out.push_unchecked(row.clone());
+                }
+                Ok(out)
+            }
+            LogicalPlan::Project { input, items } => {
+                let rel = self.run_plan(input)?;
+                self.project(rel, items)
+            }
+        }
+    }
+
+    // ---------------- helpers ----------------
+
+    fn eval_expr(&self, rel: &Relation, row: &Tuple, e: &Expr) -> Result<Value> {
+        match e {
+            Expr::Column(name) => row
+                .field(rel.schema(), name)
+                .cloned()
+                .ok_or_else(|| QurkError::UnknownColumn(name.clone())),
+            Expr::Literal(Literal::Number(n)) => {
+                if n.fract() == 0.0 {
+                    Ok(Value::Int(*n as i64))
+                } else {
+                    Ok(Value::Float(*n))
+                }
+            }
+            Expr::Literal(Literal::Str(s)) => Ok(Value::text(s.clone())),
+            Expr::Udf(_) => Err(QurkError::Other(
+                "UDF calls cannot be evaluated by machine".into(),
+            )),
+        }
+    }
+
+    fn machine_filter(&self, rel: Relation, predicates: &[Predicate]) -> Result<Relation> {
+        let mut out = Relation::new(rel.schema().clone());
+        'rows: for row in rel.rows() {
+            for p in predicates {
+                let Predicate::Compare { left, op, right } = p else {
+                    return Err(QurkError::Other(
+                        "machine filter received a crowd predicate".into(),
+                    ));
+                };
+                let l = self.eval_expr(&rel, row, left)?;
+                let r = self.eval_expr(&rel, row, right)?;
+                match l.sql_cmp(&r) {
+                    Some(ord) if op.eval(ord) => {}
+                    _ => continue 'rows, // false or NULL
+                }
+            }
+            out.push_unchecked(row.clone());
+        }
+        Ok(out)
+    }
+
+    /// Resolve a UDF argument to an Item-typed column index.
+    fn resolve_item_col(&self, rel: &Relation, e: &Expr) -> Result<usize> {
+        let Expr::Column(name) = e else {
+            return Err(QurkError::Other(format!(
+                "crowd UDF argument must be a column, got {e:?}"
+            )));
+        };
+        if let Some(i) = rel.schema().resolve(name) {
+            if rel.schema().fields()[i].ty == ValueType::Item {
+                return Ok(i);
+            }
+        }
+        // Whole-tuple reference (`isFemale(c)`): the single Item column
+        // under that alias.
+        let prefix = format!("{name}.");
+        let candidates: Vec<usize> = rel
+            .schema()
+            .fields()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.ty == ValueType::Item && f.name.starts_with(&prefix))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.len() == 1 {
+            Ok(candidates[0])
+        } else {
+            Err(QurkError::UnknownColumn(name.clone()))
+        }
+    }
+
+    fn crowd_filter(&mut self, rel: Relation, call: &UdfCall) -> Result<Relation> {
+        let task = self.catalog.task(&call.name)?;
+        if task.ty != TaskType::Filter {
+            return Err(QurkError::TaskTypeMismatch {
+                task: call.name.clone(),
+                expected: "Filter",
+                found: task.ty.name(),
+            });
+        }
+        let arg = call
+            .args
+            .first()
+            .ok_or_else(|| QurkError::Other(format!("filter {} needs an argument", call.name)))?;
+        let col = self.resolve_item_col(&rel, arg)?;
+        // Rows with NULL items cannot be asked about and fail the
+        // filter.
+        let mut items = Vec::new();
+        let mut item_rows = Vec::new();
+        for (ri, row) in rel.rows().iter().enumerate() {
+            if let Some(item) = row[col].as_item() {
+                items.push(item);
+                item_rows.push(ri);
+            }
+        }
+        let op = FilterOp {
+            combiner: task.combiner,
+            ..self.config.filter.clone()
+        };
+        let mask = op.run(self.market, &mut self.cache, task.oracle_key(), &items)?;
+        let mut out = Relation::new(rel.schema().clone());
+        for (k, &ri) in item_rows.iter().enumerate() {
+            if mask[k] {
+                out.push_unchecked(rel.rows()[ri].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// §2.6 combining: all conjunct filters of a tuple in one HIT.
+    fn crowd_filter_combined(&mut self, rel: Relation, conjuncts: &[UdfCall]) -> Result<Relation> {
+        // Resolve every task and argument column up front; all
+        // conjuncts must address the same Item column set per row.
+        let mut predicates: Vec<&str> = Vec::with_capacity(conjuncts.len());
+        let mut cols: Vec<usize> = Vec::with_capacity(conjuncts.len());
+        for call in conjuncts {
+            let task = self.catalog.task(&call.name)?;
+            if task.ty != TaskType::Filter {
+                return Err(QurkError::TaskTypeMismatch {
+                    task: call.name.clone(),
+                    expected: "Filter",
+                    found: task.ty.name(),
+                });
+            }
+            let arg = call.args.first().ok_or_else(|| {
+                QurkError::Other(format!("filter {} needs an argument", call.name))
+            })?;
+            cols.push(self.resolve_item_col(&rel, arg)?);
+            predicates.push(task.oracle_key());
+        }
+        // Combining requires one shared item per tuple (the paper
+        // combines tasks over "the same tuple"); fall back to the
+        // first column's item.
+        let col = cols[0];
+        let mut items = Vec::new();
+        let mut item_rows = Vec::new();
+        for (ri, row) in rel.rows().iter().enumerate() {
+            if let Some(item) = row[col].as_item() {
+                items.push(item);
+                item_rows.push(ri);
+            }
+        }
+        let op = FilterOp {
+            ..self.config.filter.clone()
+        };
+        let masks = op.run_combined(self.market, &mut self.cache, &predicates, &items)?;
+        let mut out = Relation::new(rel.schema().clone());
+        for (k, &ri) in item_rows.iter().enumerate() {
+            if masks[k].iter().all(|&b| b) {
+                out.push_unchecked(rel.rows()[ri].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn crowd_filter_or(&mut self, rel: Relation, groups: &[Vec<Predicate>]) -> Result<Relation> {
+        // §2.5: disjuncts are issued in parallel; each group's verdict
+        // is the AND of its predicates, a row passes if any group does.
+        let mut keep = vec![false; rel.len()];
+        for group in groups {
+            let mut group_mask = vec![true; rel.len()];
+            for p in group {
+                match p {
+                    Predicate::Compare { left, op, right } => {
+                        for (ri, row) in rel.rows().iter().enumerate() {
+                            if group_mask[ri] {
+                                let l = self.eval_expr(&rel, row, left)?;
+                                let r = self.eval_expr(&rel, row, right)?;
+                                group_mask[ri] = matches!(
+                                    l.sql_cmp(&r),
+                                    Some(ord) if op.eval(ord)
+                                );
+                            }
+                        }
+                    }
+                    Predicate::Udf(call) => {
+                        let task = self.catalog.task(&call.name)?;
+                        let arg = call.args.first().ok_or_else(|| {
+                            QurkError::Other(format!("filter {} needs an argument", call.name))
+                        })?;
+                        let col = self.resolve_item_col(&rel, arg)?;
+                        let mut items = Vec::new();
+                        let mut rows = Vec::new();
+                        for (ri, row) in rel.rows().iter().enumerate() {
+                            if group_mask[ri] {
+                                match row[col].as_item() {
+                                    Some(it) => {
+                                        items.push(it);
+                                        rows.push(ri);
+                                    }
+                                    None => group_mask[ri] = false,
+                                }
+                            }
+                        }
+                        let op = FilterOp {
+                            combiner: task.combiner,
+                            ..self.config.filter.clone()
+                        };
+                        let mask =
+                            op.run(self.market, &mut self.cache, task.oracle_key(), &items)?;
+                        for (k, &ri) in rows.iter().enumerate() {
+                            group_mask[ri] = mask[k];
+                        }
+                    }
+                }
+            }
+            for (ri, &g) in group_mask.iter().enumerate() {
+                keep[ri] = keep[ri] || g;
+            }
+        }
+        let mut out = Relation::new(rel.schema().clone());
+        for (ri, row) in rel.rows().iter().enumerate() {
+            if keep[ri] {
+                out.push_unchecked(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn crowd_join(
+        &mut self,
+        left: Relation,
+        right: Relation,
+        clause: &crate::lang::ast::JoinClause,
+    ) -> Result<Relation> {
+        let join_task = self.catalog.task(&clause.on.name)?;
+        if join_task.ty != TaskType::EquiJoin {
+            return Err(QurkError::TaskTypeMismatch {
+                task: clause.on.name.clone(),
+                expected: "EquiJoin",
+                found: join_task.ty.name(),
+            });
+        }
+        if clause.on.args.len() != 2 {
+            return Err(QurkError::Other(format!(
+                "join predicate {} needs two arguments",
+                clause.on.name
+            )));
+        }
+        // Which argument refers to which side?
+        let (lcol, rcol) = match (
+            self.resolve_item_col(&left, &clause.on.args[0]),
+            self.resolve_item_col(&right, &clause.on.args[1]),
+        ) {
+            (Ok(l), Ok(r)) => (l, r),
+            _ => {
+                // Swapped argument order.
+                let l = self.resolve_item_col(&left, &clause.on.args[1])?;
+                let r = self.resolve_item_col(&right, &clause.on.args[0])?;
+                (l, r)
+            }
+        };
+
+        // Literal POSSIBLY clauses prefilter one side (the §5 movie
+        // query's numInScene); equality clauses drive pairwise feature
+        // filtering.
+        let mut left_rel = left;
+        let mut right_rel = right;
+        let mut eq_specs: Vec<FeatureSpec> = Vec::new();
+        for p in &clause.possibly {
+            match p {
+                PossiblyClause::FeatureLit { call, op, value } => {
+                    let (is_left, moved) = {
+                        let arg = call.args.first().ok_or_else(|| {
+                            QurkError::Other("feature call needs an argument".into())
+                        })?;
+                        if let Ok(col) = self.resolve_item_col(&left_rel, arg) {
+                            (
+                                true,
+                                self.prefilter_literal(&left_rel, col, call, *op, value)?,
+                            )
+                        } else {
+                            let col = self.resolve_item_col(&right_rel, arg)?;
+                            (
+                                false,
+                                self.prefilter_literal(&right_rel, col, call, *op, value)?,
+                            )
+                        }
+                    };
+                    if is_left {
+                        left_rel = moved;
+                    } else {
+                        right_rel = moved;
+                    }
+                }
+                PossiblyClause::FeatureEq {
+                    left: lc,
+                    right: rc,
+                } => {
+                    let task = self.catalog.task(&lc.name)?;
+                    if rc.name != lc.name {
+                        return Err(QurkError::Other(format!(
+                            "POSSIBLY compares different features: {} vs {}",
+                            lc.name, rc.name
+                        )));
+                    }
+                    let (opts, _) = task.feature_options().ok_or_else(|| {
+                        QurkError::Other(format!(
+                            "feature task {} must have a Radio response",
+                            lc.name
+                        ))
+                    })?;
+                    eq_specs.push(FeatureSpec {
+                        name: task.oracle_key().to_owned(),
+                        num_options: opts.len(),
+                    });
+                }
+            }
+        }
+
+        let collect_items = |rel: &Relation, col: usize| -> Vec<ItemId> {
+            rel.rows()
+                .iter()
+                .map(|row| row[col].as_item().unwrap_or(ItemId(u64::MAX)))
+                .collect()
+        };
+        let left_items = collect_items(&left_rel, lcol);
+        let right_items = collect_items(&right_rel, rcol);
+
+        let candidates = if eq_specs.is_empty() {
+            None
+        } else {
+            let ff = FeatureFilter::new(self.config.feature_filter.clone());
+            let outcome = ff.run(self.market, &eq_specs, &left_items, &right_items)?;
+            Some(outcome.candidates)
+        };
+
+        let op = JoinOp {
+            combiner: join_task.combiner,
+            ..self.config.join.clone()
+        };
+        let outcome = op.run(self.market, &left_items, &right_items, candidates.as_ref())?;
+
+        let schema = left_rel.schema().join(right_rel.schema());
+        let mut out = Relation::new(schema);
+        for &(i, j) in &outcome.matches {
+            out.push_unchecked(left_rel.rows()[i].concat(&right_rel.rows()[j]));
+        }
+        Ok(out)
+    }
+
+    fn prefilter_literal(
+        &mut self,
+        rel: &Relation,
+        col: usize,
+        call: &UdfCall,
+        op: CmpOp,
+        value: &Literal,
+    ) -> Result<Relation> {
+        let task = self.catalog.task(&call.name)?;
+        let (opts, _) = task.feature_options().ok_or_else(|| {
+            QurkError::Other(format!("feature task {} must be categorical", call.name))
+        })?;
+        let items: Vec<ItemId> = rel.rows().iter().filter_map(|r| r[col].as_item()).collect();
+        let gen = GenerativeOp {
+            batch_size: self.config.feature_filter.batch_size,
+            combined_interface: false,
+            assignments: self.config.feature_filter.assignments,
+            limit_secs: self.config.feature_filter.limit_secs,
+        };
+        let outcome = gen.run(self.market, task, &items)?;
+        let want = match value {
+            Literal::Str(s) => s.clone(),
+            Literal::Number(n) => {
+                if n.fract() == 0.0 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+        };
+        let mut out = Relation::new(rel.schema().clone());
+        let mut k = 0usize;
+        for row in rel.rows() {
+            if row[col].as_item().is_none() {
+                continue;
+            }
+            let extracted = outcome.rows[k].get("value").cloned().unwrap_or(Value::Null);
+            k += 1;
+            let pass = match (&extracted, op) {
+                (Value::Null, _) => true, // UNKNOWN matches anything
+                (Value::Text(t), CmpOp::Eq) => *t == want,
+                (Value::Text(t), CmpOp::Ne) => *t != want,
+                (Value::Text(t), _) => {
+                    // Ordered comparison over the option order.
+                    let ti = opts.iter().position(|o| o == t);
+                    let wi = opts.iter().position(|o| *o == want);
+                    match (ti, wi) {
+                        (Some(a), Some(b)) => op.eval(a.cmp(&b)),
+                        _ => false,
+                    }
+                }
+                _ => false,
+            };
+            if pass {
+                out.push_unchecked(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// MAX/MIN aggregate: tournament extraction of the single best
+    /// (DESC) or worst (ASC) row by a Rank task (§2.3).
+    fn extract_extreme(&mut self, rel: Relation, call: &UdfCall, desc: bool) -> Result<Relation> {
+        let task = self.catalog.task(&call.name)?;
+        if task.ty != TaskType::Rank {
+            return Err(QurkError::TaskTypeMismatch {
+                task: call.name.clone(),
+                expected: "Rank",
+                found: task.ty.name(),
+            });
+        }
+        let mut out = Relation::new(rel.schema().clone());
+        if rel.is_empty() {
+            return Ok(out);
+        }
+        let arg = call.args.first().ok_or_else(|| {
+            QurkError::Other(format!("rank task {} needs an argument", call.name))
+        })?;
+        let col = self.resolve_item_col(&rel, arg)?;
+        let items: Vec<ItemId> = rel.rows().iter().filter_map(|r| r[col].as_item()).collect();
+        if items.is_empty() {
+            return Ok(out);
+        }
+        // DESC LIMIT 1 = MAX ("most"); ASC LIMIT 1 = MIN ("least").
+        // Batches of 5, the paper's comparison group size.
+        let (best, _hits) =
+            crate::ops::sort::extract_best(self.market, &items, task.oracle_key(), 5, desc, None)?;
+        if let Some(row) = rel.rows().iter().find(|r| r[col].as_item() == Some(best)) {
+            out.push_unchecked(row.clone());
+        }
+        Ok(out)
+    }
+
+    fn order_by(&mut self, rel: Relation, keys: &[OrderExpr]) -> Result<Relation> {
+        // Split keys: machine columns first, then at most one Rank UDF.
+        let mut machine: Vec<(usize, bool)> = Vec::new();
+        let mut crowd: Option<(&UdfCall, bool)> = None;
+        for (ki, k) in keys.iter().enumerate() {
+            match &k.expr {
+                Expr::Column(name) => {
+                    if crowd.is_some() {
+                        return Err(QurkError::Other(
+                            "machine sort keys must precede the crowd key".into(),
+                        ));
+                    }
+                    let idx = rel
+                        .schema()
+                        .resolve(name)
+                        .ok_or_else(|| QurkError::UnknownColumn(name.clone()))?;
+                    machine.push((idx, k.desc));
+                }
+                Expr::Udf(call) => {
+                    if crowd.is_some() || ki != keys.len() - 1 {
+                        return Err(QurkError::Other(
+                            "only one crowd sort key is supported, and it must be last".into(),
+                        ));
+                    }
+                    crowd = Some((call, k.desc));
+                }
+                Expr::Literal(_) => {
+                    return Err(QurkError::Other("cannot order by a literal".into()))
+                }
+            }
+        }
+
+        // Machine sort (stable).
+        let mut order: Vec<usize> = (0..rel.len()).collect();
+        order.sort_by(|&a, &b| {
+            for &(col, desc) in &machine {
+                let va = &rel.rows()[a][col];
+                let vb = &rel.rows()[b][col];
+                let ord = va.sql_cmp(vb).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+
+        if let Some((call, desc)) = crowd {
+            let task = self.catalog.task(&call.name)?;
+            if task.ty != TaskType::Rank {
+                return Err(QurkError::TaskTypeMismatch {
+                    task: call.name.clone(),
+                    expected: "Rank",
+                    found: task.ty.name(),
+                });
+            }
+            let arg = call.args.first().ok_or_else(|| {
+                QurkError::Other(format!("rank task {} needs an argument", call.name))
+            })?;
+            let col = self.resolve_item_col(&rel, arg)?;
+            let dimension = task.oracle_key().to_owned();
+
+            // Group rows sharing the machine-key prefix, sort each
+            // group with the crowd (§5's per-actor scene ordering).
+            let mut grouped: Vec<Vec<usize>> = Vec::new();
+            for &ri in &order {
+                let same_group = grouped.last().is_some_and(|g: &Vec<usize>| {
+                    machine
+                        .iter()
+                        .all(|&(c, _)| rel.rows()[g[0]][c].sql_eq(&rel.rows()[ri][c]) == Some(true))
+                });
+                if same_group {
+                    grouped.last_mut().unwrap().push(ri);
+                } else {
+                    grouped.push(vec![ri]);
+                }
+            }
+            let mut final_order = Vec::with_capacity(rel.len());
+            for group in grouped {
+                let items: Vec<ItemId> = group
+                    .iter()
+                    .filter_map(|&ri| rel.rows()[ri][col].as_item())
+                    .collect();
+                if items.len() <= 1 {
+                    final_order.extend(group);
+                    continue;
+                }
+                let sorted_items = match &self.config.sort {
+                    SortMode::Compare(op) => op.run(self.market, &items, &dimension)?.order,
+                    SortMode::Rate(op) => op.run(self.market, &items, &dimension)?.order,
+                    SortMode::Hybrid(op, iterations) => {
+                        let out = op.run(self.market, &items, &dimension, *iterations)?;
+                        out.trajectory.last().cloned().unwrap_or(out.initial.order)
+                    }
+                };
+                // Sort outcome is best-first ("Most" first); SQL ASC
+                // means least-first.
+                let item_rank: HashMap<ItemId, usize> = sorted_items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &it)| (it, i))
+                    .collect();
+                let mut group_sorted = group.clone();
+                group_sorted.sort_by_key(|&ri| {
+                    rel.rows()[ri][col]
+                        .as_item()
+                        .and_then(|it| item_rank.get(&it).copied())
+                        .unwrap_or(usize::MAX)
+                });
+                if !desc {
+                    group_sorted.reverse();
+                }
+                final_order.extend(group_sorted);
+            }
+            order = final_order;
+        }
+
+        let mut out = Relation::new(rel.schema().clone());
+        for ri in order {
+            out.push_unchecked(rel.rows()[ri].clone());
+        }
+        Ok(out)
+    }
+
+    fn project(&mut self, rel: Relation, items: &[SelectItem]) -> Result<Relation> {
+        // Fast path: SELECT *.
+        if items.len() == 1 && matches!(items[0], SelectItem::Star) {
+            return Ok(rel);
+        }
+        let mut schema = crate::schema::Schema::default();
+        // Each output column: either a copy of an input column or a
+        // generative field.
+        enum Col {
+            Copy(usize),
+            Gen { values: Vec<Value> },
+        }
+        let mut cols: Vec<Col> = Vec::new();
+        // Cache generative runs per (task, arg) to avoid re-asking for
+        // each selected field (the Fields mechanism answers them all at
+        // once, §2.2).
+        let mut gen_cache: HashMap<String, Vec<crate::ops::generative::GenRow>> = HashMap::new();
+
+        for item in items {
+            match item {
+                SelectItem::Star => {
+                    for (i, f) in rel.schema().fields().iter().enumerate() {
+                        schema.push_field(&f.name, f.ty);
+                        cols.push(Col::Copy(i));
+                    }
+                }
+                SelectItem::Column(name) => {
+                    let idx = rel
+                        .schema()
+                        .resolve(name)
+                        .ok_or_else(|| QurkError::UnknownColumn(name.clone()))?;
+                    let f = &rel.schema().fields()[idx];
+                    let out_name = if schema.index_of(name).is_none() {
+                        name.clone()
+                    } else {
+                        format!("{name}#{}", cols.len())
+                    };
+                    schema.push_field(&out_name, f.ty);
+                    cols.push(Col::Copy(idx));
+                }
+                SelectItem::Udf { call, field } => {
+                    let task = self.catalog.task(&call.name)?;
+                    if task.ty != TaskType::Generative {
+                        return Err(QurkError::TaskTypeMismatch {
+                            task: call.name.clone(),
+                            expected: "Generative",
+                            found: task.ty.name(),
+                        });
+                    }
+                    let key = format!("{call:?}");
+                    if !gen_cache.contains_key(&key) {
+                        let arg = call.args.first().ok_or_else(|| {
+                            QurkError::Other(format!("task {} needs an argument", call.name))
+                        })?;
+                        let col = self.resolve_item_col(&rel, arg)?;
+                        let items_vec: Vec<ItemId> = rel
+                            .rows()
+                            .iter()
+                            .map(|r| r[col].as_item().unwrap_or(ItemId(u64::MAX)))
+                            .collect();
+                        let gen = GenerativeOp::default();
+                        let out = gen.run(self.market, task, &items_vec)?;
+                        gen_cache.insert(key.clone(), out.rows);
+                    }
+                    let rows = &gen_cache[&key];
+                    let fname = field.clone().unwrap_or_else(|| "value".to_owned());
+                    let out_name = match field {
+                        Some(f) => format!("{}.{f}", call.name),
+                        None => call.name.clone(),
+                    };
+                    let values: Vec<Value> = rows
+                        .iter()
+                        .map(|r| r.get(&fname).cloned().unwrap_or(Value::Null))
+                        .collect();
+                    schema.push_field(&out_name, ValueType::Text);
+                    cols.push(Col::Gen { values });
+                }
+            }
+        }
+
+        let mut out = Relation::new(schema);
+        for (ri, row) in rel.rows().iter().enumerate() {
+            let values: Vec<Value> = cols
+                .iter()
+                .map(|c| match c {
+                    Col::Copy(i) => row[*i].clone(),
+                    Col::Gen { values } => values.get(ri).cloned().unwrap_or(Value::Null),
+                })
+                .collect();
+            out.push_unchecked(Tuple::new(values));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use qurk_crowd::truth::{DimensionParams, PredicateTruth};
+    use qurk_crowd::{CrowdConfig, EntityId, GroundTruth};
+
+    /// A toy world: table `people` with items that have an `isTall`
+    /// predicate, a `height` dimension, and entities for joining.
+    fn setup() -> (Catalog, Marketplace) {
+        let mut gt = GroundTruth::new();
+        gt.define_dimension("height", DimensionParams::crisp(0.02));
+        let items = gt.new_items(10);
+        let photos = gt.new_items(10);
+        for (i, &it) in items.iter().enumerate() {
+            gt.set_predicate(
+                it,
+                "isTall",
+                PredicateTruth {
+                    value: i >= 5,
+                    error_rate: 0.03,
+                },
+            );
+            gt.set_score(it, "height", i as f64);
+            gt.set_entity(it, EntityId(i as u64));
+            gt.set_entity(photos[i], EntityId(i as u64));
+        }
+        let market = Marketplace::new(&CrowdConfig::default(), gt);
+
+        let mut catalog = Catalog::new();
+        let mut rel = Relation::new(Schema::new(&[
+            ("id", ValueType::Int),
+            ("name", ValueType::Text),
+            ("img", ValueType::Item),
+        ]));
+        let mut prel = Relation::new(Schema::new(&[
+            ("pid", ValueType::Int),
+            ("img", ValueType::Item),
+        ]));
+        for (i, &it) in items.iter().enumerate() {
+            rel.push(vec![
+                Value::Int(i as i64),
+                Value::text(format!("p{i}")),
+                Value::Item(it),
+            ])
+            .unwrap();
+            prel.push(vec![Value::Int(i as i64), Value::Item(photos[i])])
+                .unwrap();
+        }
+        catalog.register_table("people", rel);
+        catalog.register_table("photos", prel);
+        catalog
+            .define_tasks(
+                r#"TASK isTall(field) TYPE Filter:
+                    Prompt: "<img src='%s'> Tall?", tuple[field]
+                   TASK samePerson(a, b) TYPE EquiJoin:
+                    LeftNormal: "<img src='%s'>", tuple1[a]
+                    RightNormal: "<img src='%s'>", tuple2[b]
+                    Combiner: QualityAdjust
+                   TASK byHeight(field) TYPE Rank:
+                    SingularName: "person"
+                    PluralName: "people"
+                    OrderDimensionName: "height"
+                    LeastName: "shortest"
+                    MostName: "tallest"
+                    Html: "<img src='%s'>", tuple[field]
+                "#,
+            )
+            .unwrap();
+        (catalog, market)
+    }
+
+    #[test]
+    fn filter_query_end_to_end() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex
+            .query("SELECT p.name FROM people AS p WHERE isTall(p.img)")
+            .unwrap();
+        assert_eq!(rel.schema().fields()[0].name, "p.name");
+        let names: Vec<&str> = rel.rows().iter().map(|r| r[0].as_text().unwrap()).collect();
+        // Mostly the tall half.
+        let tall = names
+            .iter()
+            .filter(|n| n[1..].parse::<usize>().unwrap() >= 5)
+            .count();
+        assert!(tall >= names.len() - 1, "names={names:?}");
+        assert!(names.len() >= 4);
+    }
+
+    #[test]
+    fn machine_predicate_costs_no_hits() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let report = ex
+            .query_report("SELECT p.name FROM people AS p WHERE p.id < 3")
+            .unwrap();
+        assert_eq!(report.relation.len(), 3);
+        assert_eq!(report.hits_posted, 0);
+        assert_eq!(report.cost_dollars, 0.0);
+    }
+
+    #[test]
+    fn machine_filter_runs_before_crowd_filter() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let report = ex
+            .query_report("SELECT p.name FROM people AS p WHERE isTall(p.img) AND p.id >= 8")
+            .unwrap();
+        // Only 2 rows survive the machine filter, so the crowd sees at
+        // most one HIT (batch 5).
+        assert_eq!(report.hits_posted, 1);
+        assert!(report.relation.len() <= 2);
+    }
+
+    #[test]
+    fn join_query_end_to_end() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex
+            .query(
+                "SELECT p.name, ph.pid FROM people p JOIN photos ph \
+                 ON samePerson(p.img, ph.img)",
+            )
+            .unwrap();
+        // Most of the 10 true matches, few errors.
+        assert!(rel.len() >= 8, "matches={}", rel.len());
+        let correct = rel
+            .rows()
+            .iter()
+            .filter(|r| {
+                r[0].as_text().unwrap()[1..].parse::<i64>().unwrap() == r[1].as_int().unwrap()
+            })
+            .count();
+        assert!(correct >= rel.len() - 1);
+    }
+
+    #[test]
+    fn order_by_crowd_rank() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex
+            .query("SELECT p.id FROM people p ORDER BY byHeight(p.img) DESC")
+            .unwrap();
+        let ids: Vec<i64> = rel.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        // DESC: tallest first.
+        let tau =
+            qurk_metrics::tau_between_orders(&ids, &(0..10).rev().collect::<Vec<i64>>()).unwrap();
+        assert!(tau > 0.9, "tau={tau}, ids={ids:?}");
+    }
+
+    #[test]
+    fn order_by_asc_reverses() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex
+            .query("SELECT p.id FROM people p ORDER BY byHeight(p.img) LIMIT 3")
+            .unwrap();
+        // ASC: shortest first; limit applies after sort.
+        assert_eq!(rel.len(), 3);
+        let ids: Vec<i64> = rel.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert!(ids.iter().all(|&i| i <= 4), "ids={ids:?}");
+    }
+
+    #[test]
+    fn order_by_machine_column() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex
+            .query("SELECT p.id FROM people p ORDER BY p.id DESC LIMIT 2")
+            .unwrap();
+        let ids: Vec<i64> = rel.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![9, 8]);
+    }
+
+    #[test]
+    fn select_star() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex.query("SELECT * FROM people LIMIT 1").unwrap();
+        assert_eq!(rel.schema().len(), 3);
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        assert!(matches!(
+            ex.query("SELECT nope FROM people"),
+            Err(QurkError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn report_accounts_costs() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let report = ex
+            .query_report("SELECT p.name FROM people AS p WHERE isTall(p.img)")
+            .unwrap();
+        // 10 items / batch 5 = 2 HITs x 5 assignments x $0.015.
+        assert_eq!(report.hits_posted, 2);
+        assert!((report.cost_dollars - 2.0 * 5.0 * 0.015).abs() < 1e-9);
+        assert!(report.explain.contains("CrowdFilter"));
+    }
+
+    #[test]
+    fn or_groups_execute() {
+        let (catalog, mut market) = setup();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex
+            .query("SELECT p.id FROM people p WHERE isTall(p.img) OR p.id < 2")
+            .unwrap();
+        let ids: Vec<i64> = rel.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert!(ids.contains(&0) && ids.contains(&1), "ids={ids:?}");
+        assert!(ids.iter().filter(|&&i| i >= 5).count() >= 4);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::schema::Schema;
+    use qurk_crowd::truth::PredicateTruth;
+    use qurk_crowd::{CrowdConfig, GroundTruth};
+
+    fn empty_world() -> (Catalog, Marketplace) {
+        let gt = GroundTruth::new();
+        let market = Marketplace::new(&CrowdConfig::default(), gt);
+        let mut catalog = Catalog::new();
+        catalog.register_table(
+            "t",
+            Relation::new(Schema::new(&[
+                ("id", ValueType::Int),
+                ("img", ValueType::Item),
+            ])),
+        );
+        catalog
+            .define_tasks(
+                r#"TASK p(field) TYPE Filter:
+                    Prompt: "%s?", tuple[field]
+                   TASK j(a, b) TYPE EquiJoin:
+                    Combiner: MajorityVote
+                   TASK r(field) TYPE Rank:
+                    OrderDimensionName: "d"
+                "#,
+            )
+            .unwrap();
+        (catalog, market)
+    }
+
+    #[test]
+    fn empty_table_flows_through_every_operator() {
+        let (catalog, mut market) = empty_world();
+        let mut ex = Executor::new(&catalog, &mut market);
+        for sql in [
+            "SELECT id FROM t",
+            "SELECT id FROM t WHERE p(t.img)",
+            "SELECT id FROM t WHERE id < 5 AND p(t.img)",
+            "SELECT t.id FROM t JOIN t AS u ON j(t.img, u.img)",
+            "SELECT id FROM t ORDER BY r(t.img) LIMIT 3",
+            "SELECT * FROM t LIMIT 0",
+        ] {
+            let rel = ex.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            assert_eq!(rel.len(), 0, "{sql}");
+        }
+        assert_eq!(market.hits_posted(), 0, "empty inputs must not post HITs");
+    }
+
+    #[test]
+    fn null_items_fail_crowd_filters() {
+        let mut gt = GroundTruth::new();
+        let item = gt.new_item();
+        gt.set_predicate(
+            item,
+            "p",
+            PredicateTruth {
+                value: true,
+                error_rate: 0.02,
+            },
+        );
+        let mut catalog = Catalog::new();
+        let mut rel = Relation::new(Schema::new(&[
+            ("id", ValueType::Int),
+            ("img", ValueType::Item),
+        ]));
+        rel.push(vec![Value::Int(0), Value::Item(item)]).unwrap();
+        rel.push(vec![Value::Int(1), Value::Null]).unwrap();
+        catalog.register_table("t", rel);
+        catalog
+            .define_tasks("TASK p(field) TYPE Filter:\n Prompt: \"%s?\", tuple[field]")
+            .unwrap();
+        let mut market = Marketplace::new(&CrowdConfig::default(), gt);
+        let mut ex = Executor::new(&catalog, &mut market);
+        let out = ex.query("SELECT id FROM t WHERE p(t.img)").unwrap();
+        let ids: Vec<i64> = out.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert!(!ids.contains(&1), "NULL-item row must not pass: {ids:?}");
+    }
+
+    #[test]
+    fn limit_zero_and_oversized_limit() {
+        let (catalog, mut market) = empty_world();
+        let mut ex = Executor::new(&catalog, &mut market);
+        assert_eq!(ex.query("SELECT id FROM t LIMIT 0").unwrap().len(), 0);
+        assert_eq!(ex.query("SELECT id FROM t LIMIT 999").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn self_join_uses_aliases() {
+        // Regression: both sides of a self-join resolve their own
+        // qualified columns.
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        let b = gt.new_item();
+        gt.set_entity(a, qurk_crowd::EntityId(1));
+        gt.set_entity(b, qurk_crowd::EntityId(1));
+        let mut catalog = Catalog::new();
+        let mut rel = Relation::new(Schema::new(&[
+            ("id", ValueType::Int),
+            ("img", ValueType::Item),
+        ]));
+        rel.push(vec![Value::Int(0), Value::Item(a)]).unwrap();
+        rel.push(vec![Value::Int(1), Value::Item(b)]).unwrap();
+        catalog.register_table("t", rel);
+        catalog
+            .define_tasks("TASK j(a, b) TYPE EquiJoin:\n Combiner: MajorityVote")
+            .unwrap();
+        let mut market = Marketplace::new(&CrowdConfig::default(), gt);
+        let mut ex = Executor::new(&catalog, &mut market);
+        let out = ex
+            .query("SELECT x.id, y.id FROM t AS x JOIN t AS y ON j(x.img, y.img)")
+            .unwrap();
+        // Items a and b depict the same entity: all 4 crossings match.
+        assert!(out.len() >= 3, "self-join found {} pairs", out.len());
+    }
+}
+
+#[cfg(test)]
+mod max_min_tests {
+    use super::*;
+    use crate::schema::Schema;
+    use qurk_crowd::truth::DimensionParams;
+    use qurk_crowd::{CrowdConfig, GroundTruth};
+
+    fn world(n: usize) -> (Catalog, Marketplace) {
+        let mut gt = GroundTruth::new();
+        gt.define_dimension("d", DimensionParams::crisp(0.02));
+        let items = gt.new_items(n);
+        let mut rel = Relation::new(Schema::new(&[
+            ("id", ValueType::Int),
+            ("img", ValueType::Item),
+        ]));
+        for (i, &it) in items.iter().enumerate() {
+            gt.set_score(it, "d", i as f64);
+            rel.push(vec![Value::Int(i as i64), Value::Item(it)])
+                .unwrap();
+        }
+        let mut catalog = Catalog::new();
+        catalog.register_table("t", rel);
+        catalog
+            .define_tasks("TASK byD(field) TYPE Rank:\n OrderDimensionName: \"d\"")
+            .unwrap();
+        (catalog, Marketplace::new(&CrowdConfig::default(), gt))
+    }
+
+    #[test]
+    fn limit_one_desc_runs_max_extraction() {
+        let (catalog, mut market) = world(20);
+        let mut ex = Executor::new(&catalog, &mut market);
+        let report = ex
+            .query_report("SELECT id FROM t ORDER BY byD(t.img) DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(report.relation.len(), 1);
+        assert_eq!(report.relation.rows()[0][0], Value::Int(19));
+        // Tournament over 20 items in batches of 5: 4 + 1 = 5 HITs —
+        // far below the ~19-group full sort.
+        assert!(report.hits_posted <= 6, "hits={}", report.hits_posted);
+    }
+
+    #[test]
+    fn limit_one_asc_runs_min_extraction() {
+        let (catalog, mut market) = world(20);
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex
+            .query("SELECT id FROM t ORDER BY byD(t.img) LIMIT 1")
+            .unwrap();
+        assert_eq!(rel.rows()[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn limit_two_still_does_full_sort() {
+        let (catalog, mut market) = world(10);
+        let mut ex = Executor::new(&catalog, &mut market);
+        let report = ex
+            .query_report("SELECT id FROM t ORDER BY byD(t.img) DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(report.relation.len(), 2);
+        let ids: Vec<i64> = report
+            .relation
+            .rows()
+            .iter()
+            .map(|r| r[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![9, 8]);
+    }
+
+    #[test]
+    fn limit_one_on_empty_is_empty() {
+        let (catalog, mut market) = world(20);
+        let mut ex = Executor::new(&catalog, &mut market);
+        let rel = ex
+            .query("SELECT id FROM t WHERE id < 0 ORDER BY byD(t.img) LIMIT 1")
+            .unwrap();
+        assert!(rel.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod ban_tests {
+    use super::*;
+    use crate::ops::join::{identify_spammers, JoinOp};
+    use crate::schema::Schema;
+    use qurk_crowd::{CrowdConfig, EntityId, GroundTruth};
+
+    /// §6: QA spam scores identify bad workers; banning them improves a
+    /// *subsequent* run on the same marketplace.
+    #[test]
+    fn qa_identifies_spammers_and_bans_stick() {
+        let mut gt = GroundTruth::new();
+        let left = gt.new_items(12);
+        let right = gt.new_items(12);
+        for i in 0..12 {
+            gt.set_entity(left[i], EntityId(i as u64));
+            gt.set_entity(right[i], EntityId(i as u64));
+        }
+        let mut cfg = CrowdConfig::default().with_seed(99);
+        cfg.workers.spammer_fraction = 0.25;
+        let mut market = Marketplace::new(&cfg, gt);
+        let op = JoinOp::default();
+        let out = op.run(&mut market, &left, &right, None).unwrap();
+        let spammers = identify_spammers(&out.pair_votes, 0.9);
+        assert!(!spammers.is_empty(), "should flag some spam workers");
+        // Flagged workers are predominantly actual spammers.
+        let truly_spam = spammers
+            .iter()
+            .filter(|w| {
+                matches!(
+                    market.pool().get(**w).archetype,
+                    qurk_crowd::WorkerArchetype::Spammer(_)
+                )
+            })
+            .count();
+        assert!(
+            truly_spam * 3 >= spammers.len() * 2,
+            "{truly_spam}/{} flagged are real spammers",
+            spammers.len()
+        );
+        market.ban_workers(spammers.iter().copied());
+        assert_eq!(market.banned_count(), spammers.len());
+
+        // Second run: banned workers contribute no votes.
+        let out2 = op.run(&mut market, &left, &right, None).unwrap();
+        let banned: std::collections::HashSet<_> = spammers.into_iter().collect();
+        for votes in out2.pair_votes.values() {
+            for (w, _) in votes {
+                assert!(!banned.contains(w), "banned worker {w:?} still answering");
+            }
+        }
+        let _ = Schema::default();
+    }
+}
+
+#[cfg(test)]
+mod combining_tests {
+    use super::*;
+    use crate::schema::Schema;
+    use qurk_crowd::truth::PredicateTruth;
+    use qurk_crowd::{CrowdConfig, GroundTruth};
+
+    fn world() -> (Catalog, Marketplace) {
+        let mut gt = GroundTruth::new();
+        let items = gt.new_items(20);
+        let mut rel = Relation::new(Schema::new(&[
+            ("id", ValueType::Int),
+            ("img", ValueType::Item),
+        ]));
+        for (i, &it) in items.iter().enumerate() {
+            gt.set_predicate(
+                it,
+                "a",
+                PredicateTruth {
+                    value: i % 2 == 0,
+                    error_rate: 0.03,
+                },
+            );
+            gt.set_predicate(
+                it,
+                "b",
+                PredicateTruth {
+                    value: i % 3 == 0,
+                    error_rate: 0.03,
+                },
+            );
+            rel.push(vec![Value::Int(i as i64), Value::Item(it)])
+                .unwrap();
+        }
+        let mut catalog = Catalog::new();
+        catalog.register_table("t", rel);
+        catalog
+            .define_tasks(
+                "TASK a(field) TYPE Filter:\n Prompt: \"%s?\", tuple[field]\n\
+                 TASK b(field) TYPE Filter:\n Prompt: \"%s?\", tuple[field]",
+            )
+            .unwrap();
+        (catalog, Marketplace::new(&CrowdConfig::default(), gt))
+    }
+
+    /// §2.6 footnote 2: combining asks more questions (the second
+    /// filter sees tuples the first would have discarded) but posts
+    /// fewer HITs; serial execution posts more HITs but asks less.
+    #[test]
+    fn combining_cuts_hits_at_equal_answers() {
+        let (catalog, mut market) = world();
+        let mut ex = Executor::new(&catalog, &mut market);
+        let serial = ex
+            .query_report("SELECT id FROM t WHERE a(t.img) AND b(t.img)")
+            .unwrap();
+        let (catalog, mut market) = world();
+        let mut ex = Executor::new(&catalog, &mut market);
+        ex.config.combine_conjunct_filters = true;
+        let combined = ex
+            .query_report("SELECT id FROM t WHERE a(t.img) AND b(t.img)")
+            .unwrap();
+        // Serial: 4 HITs for `a` + ~2 for survivors of `a`.
+        // Combined: 4 HITs carrying both questions.
+        assert!(
+            combined.hits_posted < serial.hits_posted,
+            "combined={} serial={}",
+            combined.hits_posted,
+            serial.hits_posted
+        );
+        // Same survivors (ids divisible by 6, modulo crowd noise).
+        let ids = |r: &Relation| -> Vec<i64> {
+            r.rows().iter().map(|t| t[0].as_int().unwrap()).collect()
+        };
+        let mut s = ids(&serial.relation);
+        let mut c = ids(&combined.relation);
+        s.sort_unstable();
+        c.sort_unstable();
+        for want in [0i64, 6, 12, 18] {
+            assert!(c.contains(&want), "combined missing {want}: {c:?}");
+        }
+        assert!(
+            s.len().abs_diff(c.len()) <= 1,
+            "serial {s:?} combined {c:?}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! The Task Cache (Figure 1).
+//!
+//! "These tasks are sent to the Task Manager … which first checks to
+//! see if the HIT is cached and if not generates HTML for the HIT and
+//! dispatches it to the crowd. As answers come back, they are cached."
+//!
+//! The cache key is the question's full content; the value is the
+//! *combined* answer for that question, so re-running a query (or a
+//! later operator re-asking the same question) costs zero HITs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use qurk_crowd::question::Question;
+use qurk_crowd::Answer;
+
+/// Content-addressed combined-answer cache.
+#[derive(Debug, Default, Clone)]
+pub struct TaskCache {
+    entries: HashMap<u64, Answer>,
+    hits: u64,
+    misses: u64,
+}
+
+fn key_of(q: &Question) -> u64 {
+    // Question doesn't implement Hash (contains f64-free variants but
+    // also Vec fields); the debug form is stable, content-complete and
+    // cheap at our scale.
+    let mut h = DefaultHasher::new();
+    format!("{q:?}").hash(&mut h);
+    h.finish()
+}
+
+impl TaskCache {
+    pub fn new() -> Self {
+        TaskCache::default()
+    }
+
+    /// Look up a combined answer. Tracks hit/miss statistics.
+    pub fn get(&mut self, q: &Question) -> Option<Answer> {
+        match self.entries.get(&key_of(q)) {
+            Some(a) => {
+                self.hits += 1;
+                Some(a.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a combined answer.
+    pub fn put(&mut self, q: &Question, answer: Answer) {
+        self.entries.insert(key_of(q), answer);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurk_crowd::ItemId;
+
+    fn q(i: u64) -> Question {
+        Question::Filter {
+            item: ItemId(i),
+            predicate: "p".into(),
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = TaskCache::new();
+        assert_eq!(c.get(&q(1)), None);
+        c.put(&q(1), Answer::Bool(true));
+        assert_eq!(c.get(&q(1)), Some(Answer::Bool(true)));
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn distinct_questions_distinct_entries() {
+        let mut c = TaskCache::new();
+        c.put(&q(1), Answer::Bool(true));
+        c.put(&q(2), Answer::Bool(false));
+        assert_eq!(c.get(&q(2)), Some(Answer::Bool(false)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn same_item_different_predicate_is_different() {
+        let mut c = TaskCache::new();
+        c.put(&q(1), Answer::Bool(true));
+        let other = Question::Filter {
+            item: ItemId(1),
+            predicate: "different".into(),
+        };
+        assert_eq!(c.get(&other), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = TaskCache::new();
+        c.put(&q(1), Answer::Bool(true));
+        c.get(&q(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 0));
+    }
+}

@@ -1,0 +1,16 @@
+//! HIT generation machinery (§2.5–§2.6).
+//!
+//! * [`compiler`] — renders task templates plus tuples into the HTML
+//!   forms Qurk posted to MTurk (Figure 2 / Figure 5 interfaces).
+//! * [`batch`] — the two batching transformations: *merging* (one HIT,
+//!   many tuples) and *combining* (one HIT, many tasks per tuple).
+//! * [`cache`] — the Task Cache of Figure 1: identical questions are
+//!   answered once and reused.
+
+pub mod batch;
+pub mod cache;
+pub mod compiler;
+
+pub use batch::{combine_questions, merge_into_hits};
+pub use cache::TaskCache;
+pub use compiler::HitCompiler;

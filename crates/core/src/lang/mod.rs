@@ -1,0 +1,20 @@
+//! The Qurk query language (§2.1–§2.4).
+//!
+//! Two sub-languages share one lexer:
+//!
+//! * a SQL dialect — `SELECT … FROM … [JOIN … ON udf(...) [AND POSSIBLY
+//!   f(a) = f(b)]…] [WHERE …] [ORDER BY udf(...)] [LIMIT n]`;
+//! * the `TASK` template DSL — `TASK name(params) TYPE Filter: …`
+//!   blocks that declare how a UDF is rendered as a HIT and how worker
+//!   responses are combined.
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    CmpOp, Expr, JoinClause, OrderExpr, Predicate, PropValue, Query, ResponseOption, ResponseSpec,
+    SelectItem, TableRef, TaskDefAst, Template, TupleVar, UdfCall,
+};
+pub use parser::{parse_query, parse_tasks};
+pub use token::{Lexer, Token, TokenKind};

@@ -1,0 +1,789 @@
+//! Recursive-descent parser for queries and TASK definitions.
+
+use crate::error::{QurkError, Result};
+use crate::lang::ast::*;
+use crate::lang::token::{Lexer, Token, TokenKind};
+
+/// Parse a single query.
+pub fn parse_query(src: &str) -> Result<Query> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse zero or more TASK definitions from one document.
+pub fn parse_tasks(src: &str) -> Result<Vec<TaskDefAst>> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        out.push(p.task_def()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Token {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> QurkError {
+        let t = self.peek();
+        QurkError::Parse {
+            message: message.into(),
+            line: t.line,
+            column: t.column,
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("unexpected trailing token {:?}", self.peek().kind)))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().kind.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {kw}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {kind:?}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error_here(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error_here(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    // ---------------- queries ----------------
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        while self.peek().kind.is_kw("JOIN") {
+            joins.push(self.join_clause()?);
+        }
+        let where_groups = if self.eat_kw("WHERE") {
+            self.where_groups()?
+        } else {
+            Vec::new()
+        };
+        let mut order_by = Vec::new();
+        if self.peek().kind.is_kw("ORDER") {
+            self.bump();
+            self.expect_kw("BY")?;
+            loop {
+                order_by.push(self.order_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.peek().kind {
+                TokenKind::Number(n) if n >= 0.0 && n.fract() == 0.0 => {
+                    self.bump();
+                    Some(n as usize)
+                }
+                _ => return Err(self.error_here("LIMIT expects a non-negative integer")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            joins,
+            where_groups,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut out = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                out.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                match expr {
+                    Expr::Column(c) => out.push(SelectItem::Column(c)),
+                    Expr::Udf(call) => {
+                        let field = if self.eat(&TokenKind::Dot) {
+                            Some(self.ident()?)
+                        } else {
+                            None
+                        };
+                        out.push(SelectItem::Udf { call, field });
+                    }
+                    Expr::Literal(_) => {
+                        return Err(self.error_here("literals not supported in SELECT"))
+                    }
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if matches!(self.peek().kind, TokenKind::Ident(_))
+            && !KEYWORDS.iter().any(|k| self.peek().kind.is_kw(k))
+        {
+            // `FROM celeb c` implicit alias
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn join_clause(&mut self) -> Result<JoinClause> {
+        self.expect_kw("JOIN")?;
+        let right = self.table_ref()?;
+        self.expect_kw("ON")?;
+        let on = self.udf_call()?;
+        let mut possibly = Vec::new();
+        // `AND POSSIBLY ...` clauses; plain `AND` without POSSIBLY is
+        // not supported in ON (the paper's joins carry one predicate).
+        while self.peek().kind.is_kw("AND") && self.peek_ahead(1).kind.is_kw("POSSIBLY") {
+            self.bump(); // AND
+            self.bump(); // POSSIBLY
+            possibly.push(self.possibly_clause()?);
+        }
+        Ok(JoinClause {
+            right,
+            on,
+            possibly,
+        })
+    }
+
+    fn possibly_clause(&mut self) -> Result<PossiblyClause> {
+        let call = self.udf_call()?;
+        let op = self.cmp_op()?;
+        // Right side: udf call, literal, or column-ish token.
+        match self.expr()? {
+            Expr::Udf(right) => {
+                if op != CmpOp::Eq {
+                    return Err(self.error_here("feature pairs must be compared with ="));
+                }
+                Ok(PossiblyClause::FeatureEq { left: call, right })
+            }
+            Expr::Literal(value) => Ok(PossiblyClause::FeatureLit { call, op, value }),
+            Expr::Column(_) => Err(self.error_here("POSSIBLY compares features, not columns")),
+        }
+    }
+
+    fn where_groups(&mut self) -> Result<Vec<Vec<Predicate>>> {
+        let mut groups = vec![Vec::new()];
+        loop {
+            let p = self.predicate()?;
+            groups.last_mut().unwrap().push(p);
+            if self.eat_kw("AND") {
+                continue;
+            }
+            if self.eat_kw("OR") {
+                groups.push(Vec::new());
+                continue;
+            }
+            return Ok(groups);
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let left = self.expr()?;
+        // Comparison?
+        if let Ok(op) = self.try_cmp_op() {
+            let right = self.expr()?;
+            return Ok(Predicate::Compare { left, op, right });
+        }
+        match left {
+            Expr::Udf(call) => Ok(Predicate::Udf(call)),
+            _ => Err(self.error_here("expected UDF call or comparison in WHERE")),
+        }
+    }
+
+    fn try_cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(self.error_here("not a comparison")),
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        self.try_cmp_op().map_err(|_| {
+            self.error_here(format!("expected comparison, found {:?}", self.peek().kind))
+        })
+    }
+
+    fn order_expr(&mut self) -> Result<OrderExpr> {
+        let expr = self.expr()?;
+        let desc = if self.eat_kw("DESC") {
+            true
+        } else {
+            let _ = self.eat_kw("ASC");
+            false
+        };
+        Ok(OrderExpr { expr, desc })
+    }
+
+    /// column, literal, or UDF call; columns may be dotted (`c.img`).
+    fn expr(&mut self) -> Result<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Number(n)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Ident(_) => {
+                let first = self.ident()?;
+                if self.peek().kind == TokenKind::LParen {
+                    let call = self.udf_call_named(first)?;
+                    return Ok(Expr::Udf(call));
+                }
+                let mut name = first;
+                while self.peek().kind == TokenKind::Dot
+                    && matches!(self.peek_ahead(1).kind, TokenKind::Ident(_))
+                {
+                    self.bump();
+                    name.push('.');
+                    name.push_str(&self.ident()?);
+                }
+                Ok(Expr::Column(name))
+            }
+            other => Err(self.error_here(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn udf_call(&mut self) -> Result<UdfCall> {
+        let name = self.ident()?;
+        self.udf_call_named(name)
+    }
+
+    fn udf_call_named(&mut self, name: String) -> Result<UdfCall> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(UdfCall { name, args })
+    }
+
+    // ---------------- TASK DSL ----------------
+
+    fn task_def(&mut self) -> Result<TaskDefAst> {
+        self.expect_kw("TASK")?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect_kw("TYPE")?;
+        let task_type = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let props = self.props_until_task_or_eof()?;
+        Ok(TaskDefAst {
+            name,
+            params,
+            task_type,
+            props,
+        })
+    }
+
+    fn props_until_task_or_eof(&mut self) -> Result<Vec<(String, PropValue)>> {
+        let mut props = Vec::new();
+        while !self.at_eof() && !self.peek().kind.is_kw("TASK") {
+            let name = self.ident()?;
+            self.expect(TokenKind::Colon)?;
+            props.push((name, self.prop_value()?));
+        }
+        Ok(props)
+    }
+
+    fn prop_value(&mut self) -> Result<PropValue> {
+        match self.peek().kind.clone() {
+            TokenKind::Str(_) => self.template().map(PropValue::Template),
+            TokenKind::Number(n) => {
+                self.bump();
+                Ok(PropValue::Number(n))
+            }
+            TokenKind::LBrace => self.fields_block(),
+            TokenKind::Ident(id)
+                if id.eq_ignore_ascii_case("Text") || id.eq_ignore_ascii_case("Radio") =>
+            {
+                self.response_spec().map(PropValue::Response)
+            }
+            TokenKind::Ident(_) => Ok(PropValue::Ident(self.ident()?)),
+            other => Err(self.error_here(format!("bad property value {other:?}"))),
+        }
+    }
+
+    fn template(&mut self) -> Result<Template> {
+        let format = self.string()?;
+        let mut substitutions = Vec::new();
+        // `, tuple[field]` / `, tuple1[f1]` sequence.
+        while self.peek().kind == TokenKind::Comma
+            && matches!(&self.peek_ahead(1).kind, TokenKind::Ident(s)
+                if s.eq_ignore_ascii_case("tuple")
+                    || s.eq_ignore_ascii_case("tuple1")
+                    || s.eq_ignore_ascii_case("tuple2"))
+        {
+            self.bump(); // comma
+            let var = match self.ident()?.to_ascii_lowercase().as_str() {
+                "tuple" => TupleVar::Tuple,
+                "tuple1" => TupleVar::Tuple1,
+                "tuple2" => TupleVar::Tuple2,
+                other => return Err(self.error_here(format!("bad tuple variable {other}"))),
+            };
+            self.expect(TokenKind::LBracket)?;
+            let field = self.ident()?;
+            self.expect(TokenKind::RBracket)?;
+            substitutions.push((var, field));
+        }
+        Ok(Template {
+            format,
+            substitutions,
+        })
+    }
+
+    fn response_spec(&mut self) -> Result<ResponseSpec> {
+        let kind = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let label = self.string()?;
+        let spec = if kind.eq_ignore_ascii_case("Text") {
+            ResponseSpec::Text { label }
+        } else {
+            self.expect(TokenKind::Comma)?;
+            self.expect(TokenKind::LBracket)?;
+            let mut options = Vec::new();
+            loop {
+                match self.peek().kind.clone() {
+                    TokenKind::Str(s) => {
+                        self.bump();
+                        options.push(ResponseOption::Value(s));
+                    }
+                    TokenKind::Ident(s) if s == "UNKNOWN" => {
+                        self.bump();
+                        options.push(ResponseOption::Unknown);
+                    }
+                    other => return Err(self.error_here(format!("bad radio option {other:?}"))),
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RBracket)?;
+            ResponseSpec::Radio { label, options }
+        };
+        self.expect(TokenKind::RParen)?;
+        Ok(spec)
+    }
+
+    fn fields_block(&mut self) -> Result<PropValue> {
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        loop {
+            let name = self.ident()?;
+            self.expect(TokenKind::Colon)?;
+            self.expect(TokenKind::LBrace)?;
+            let mut props = Vec::new();
+            while self.peek().kind != TokenKind::RBrace {
+                let pname = self.ident()?;
+                self.expect(TokenKind::Colon)?;
+                props.push((pname, self.prop_value()?));
+                let _ = self.eat(&TokenKind::Comma);
+            }
+            self.expect(TokenKind::RBrace)?;
+            fields.push((name, props));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(PropValue::Fields(fields))
+    }
+}
+
+const KEYWORDS: [&str; 12] = [
+    "SELECT", "FROM", "JOIN", "ON", "WHERE", "ORDER", "BY", "LIMIT", "AND", "OR", "AS", "POSSIBLY",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_filter_query() {
+        let q = parse_query("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Column("c.name".into())]);
+        assert_eq!(q.from.table, "celeb");
+        assert_eq!(q.from.binding(), "c");
+        assert_eq!(q.where_groups.len(), 1);
+        assert!(matches!(&q.where_groups[0][0], Predicate::Udf(c) if c.name == "isFemale"));
+    }
+
+    #[test]
+    fn parses_join_with_possibly() {
+        let q = parse_query(
+            "SELECT c.name FROM celeb c JOIN photos p ON samePerson(c.img, p.img) \
+             AND POSSIBLY gender(c.img) = gender(p.img) \
+             AND POSSIBLY hairColor(c.img) = hairColor(p.img)",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        let j = &q.joins[0];
+        assert_eq!(j.on.name, "samePerson");
+        assert_eq!(j.on.args.len(), 2);
+        assert_eq!(j.possibly.len(), 2);
+        assert!(matches!(
+            &j.possibly[0],
+            PossiblyClause::FeatureEq { left, right }
+                if left.name == "gender" && right.name == "gender"
+        ));
+    }
+
+    #[test]
+    fn parses_possibly_with_literal() {
+        let q = parse_query(
+            "SELECT name FROM actors JOIN scenes ON inScene(actors.img, scenes.img) \
+             AND POSSIBLY numInScene(scenes.img) = 1 \
+             ORDER BY name, quality(scenes.img)",
+        )
+        .unwrap();
+        let j = &q.joins[0];
+        assert!(matches!(
+            &j.possibly[0],
+            PossiblyClause::FeatureLit { call, op: CmpOp::Eq, value: Literal::Number(n) }
+                if call.name == "numInScene" && *n == 1.0
+        ));
+        assert_eq!(q.order_by.len(), 2);
+        assert!(matches!(&q.order_by[1].expr, Expr::Udf(c) if c.name == "quality"));
+    }
+
+    #[test]
+    fn parses_order_by_and_limit() {
+        let q = parse_query("SELECT label FROM squares ORDER BY squareSorter(img) DESC LIMIT 5")
+            .unwrap();
+        assert!(q.order_by[0].desc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_generative_field_select() {
+        let q = parse_query(
+            "SELECT id, animalInfo(img).common, animalInfo(img).species FROM animals AS a",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert!(matches!(
+            &q.select[1],
+            SelectItem::Udf { call, field: Some(f) } if call.name == "animalInfo" && f == "common"
+        ));
+    }
+
+    #[test]
+    fn parses_or_groups() {
+        let q = parse_query("SELECT * FROM t WHERE a(x) AND b(x) OR c(x)").unwrap();
+        assert_eq!(q.where_groups.len(), 2);
+        assert_eq!(q.where_groups[0].len(), 2);
+        assert_eq!(q.where_groups[1].len(), 1);
+    }
+
+    #[test]
+    fn parses_machine_comparison() {
+        let q = parse_query("SELECT * FROM t WHERE id < 100 AND isOk(img)").unwrap();
+        assert!(matches!(
+            &q.where_groups[0][0],
+            Predicate::Compare { op: CmpOp::Lt, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("SELECT * FROM t WHERE a(x) garbage???").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_limit() {
+        assert!(parse_query("SELECT * FROM t LIMIT 2.5").is_err());
+    }
+
+    #[test]
+    fn parses_filter_task() {
+        let tasks = parse_tasks(
+            r#"TASK isFemale(field) TYPE Filter:
+                Prompt: "<img src='%s'> Is this a woman?", tuple[field]
+                YesText: "Yes"
+                NoText: "No"
+                Combiner: MajorityVote
+            "#,
+        )
+        .unwrap();
+        assert_eq!(tasks.len(), 1);
+        let t = &tasks[0];
+        assert_eq!(t.name, "isFemale");
+        assert_eq!(t.params, vec!["field"]);
+        assert_eq!(t.task_type, "Filter");
+        assert!(matches!(
+            t.prop("Prompt"),
+            Some(PropValue::Template(tpl)) if tpl.substitutions.len() == 1
+        ));
+        assert!(matches!(
+            t.prop("Combiner"),
+            Some(PropValue::Ident(c)) if c == "MajorityVote"
+        ));
+    }
+
+    #[test]
+    fn parses_generative_task_with_fields() {
+        let tasks = parse_tasks(
+            r#"TASK animalInfo(field) TYPE Generative:
+                Prompt: "<img src='%s'> What is this animal?", tuple[field]
+                Fields: {
+                    common: { Response: Text("Common name"),
+                              Combiner: MajorityVote,
+                              Normalizer: LowercaseSingleSpace },
+                    species: { Response: Text("Species"),
+                               Combiner: MajorityVote,
+                               Normalizer: LowercaseSingleSpace }
+                }
+            "#,
+        )
+        .unwrap();
+        let t = &tasks[0];
+        let Some(PropValue::Fields(fields)) = t.prop("Fields") else {
+            panic!("missing Fields");
+        };
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].0, "common");
+    }
+
+    #[test]
+    fn parses_radio_response_with_unknown() {
+        let tasks = parse_tasks(
+            r#"TASK gender(field) TYPE Generative:
+                Prompt: "<img src='%s'> What is this person's gender?", tuple[field]
+                Response: Radio("Gender", ["Male", "Female", UNKNOWN])
+                Combiner: MajorityVote
+            "#,
+        )
+        .unwrap();
+        let Some(PropValue::Response(ResponseSpec::Radio { options, .. })) =
+            tasks[0].prop("Response")
+        else {
+            panic!("missing radio");
+        };
+        assert_eq!(options.len(), 3);
+        assert_eq!(options[2], ResponseOption::Unknown);
+    }
+
+    #[test]
+    fn parses_equijoin_task() {
+        let tasks = parse_tasks(
+            r#"TASK samePerson(f1, f2) TYPE EquiJoin:
+                SingularName: "celebrity"
+                PluralName: "celebrities"
+                LeftPreview: "<img src='%s' class=smImg>", tuple1[f1]
+                LeftNormal: "<img src='%s' class=lgImg>", tuple1[f1]
+                RightPreview: "<img src='%s' class=smImg>", tuple2[f2]
+                RightNormal: "<img src='%s' class=lgImg>", tuple2[f2]
+                Combiner: QualityAdjust
+            "#,
+        )
+        .unwrap();
+        let t = &tasks[0];
+        assert_eq!(t.task_type, "EquiJoin");
+        assert_eq!(t.params, vec!["f1", "f2"]);
+        let Some(PropValue::Template(tpl)) = t.prop("RightNormal") else {
+            panic!();
+        };
+        assert_eq!(tpl.substitutions[0].0, TupleVar::Tuple2);
+    }
+
+    #[test]
+    fn parses_rank_task() {
+        let tasks = parse_tasks(
+            r#"TASK squareSorter(field) TYPE Rank:
+                SingularName: "square"
+                PluralName: "squares"
+                OrderDimensionName: "area"
+                LeastName: "smallest"
+                MostName: "largest"
+                Html: "<img src='%s' class=lgImg>", tuple[field]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(tasks[0].task_type, "Rank");
+        assert!(matches!(
+            tasks[0].prop("OrderDimensionName"),
+            Some(PropValue::Template(t)) if t.format == "area"
+        ));
+    }
+
+    #[test]
+    fn parses_multiple_tasks() {
+        let tasks = parse_tasks(
+            r#"TASK a(x) TYPE Filter:
+                Prompt: "%s?", tuple[x]
+               TASK b(y) TYPE Filter:
+                Prompt: "%s?", tuple[y]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[1].name, "b");
+    }
+
+    #[test]
+    fn empty_task_document() {
+        assert!(parse_tasks("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn implicit_alias_without_as() {
+        let q =
+            parse_query("SELECT c.name FROM celeb c JOIN photos p ON same(c.img, p.img)").unwrap();
+        assert_eq!(q.from.binding(), "c");
+        assert_eq!(q.joins[0].right.binding(), "p");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser never panics: any input yields Ok or a
+        /// positioned parse error.
+        #[test]
+        fn parser_total_on_arbitrary_input(s in ".{0,200}") {
+            let _ = parse_query(&s);
+            let _ = parse_tasks(&s);
+        }
+
+        /// Any input built from query-ish tokens also never panics and
+        /// never loops (bounded by the token stream).
+        #[test]
+        fn parser_total_on_tokenish_input(
+            words in prop::collection::vec(
+                prop::sample::select(vec![
+                    "SELECT", "FROM", "WHERE", "JOIN", "ON", "AND", "OR",
+                    "POSSIBLY", "ORDER", "BY", "LIMIT", "AS", "celeb", "c",
+                    "img", "f", "(", ")", ",", ".", "=", "<", "3", "\"x\"", "*",
+                ]),
+                0..24,
+            )
+        ) {
+            let s = words.join(" ");
+            let _ = parse_query(&s);
+        }
+
+        /// Valid single-filter queries round-trip their structure.
+        #[test]
+        fn simple_queries_parse(table in "[a-z]{1,8}", col in "[a-z]{1,8}") {
+            let q = parse_query(&format!("SELECT {col} FROM {table}")).unwrap();
+            prop_assert_eq!(q.from.table, table);
+            prop_assert_eq!(q.select.len(), 1);
+        }
+    }
+}

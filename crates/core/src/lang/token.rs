@@ -1,0 +1,397 @@
+//! Lexer shared by the query dialect and the TASK DSL.
+
+use crate::error::{QurkError, Result};
+
+/// Kinds of lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are matched case-insensitively
+    /// by the parser).
+    Ident(String),
+    /// Double-quoted string literal (supports `\"`, `\\`, `\n`, and a
+    /// trailing `\` line continuation as in the paper's listings).
+    Str(String),
+    /// Numeric literal.
+    Number(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+    Star,
+    Eq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+/// A token with source position (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+    pub column: usize,
+}
+
+/// Hand-rolled lexer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t.kind == TokenKind::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QurkError {
+        QurkError::Parse {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // -- line comments
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                // # line comments
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        self.skip_trivia();
+        let (line, column) = (self.line, self.column);
+        let mk = |kind| Token { kind, line, column };
+        let Some(c) = self.peek() else {
+            return Ok(mk(TokenKind::Eof));
+        };
+        let simple = |this: &mut Self, kind| {
+            this.bump();
+            Ok(mk(kind))
+        };
+        match c {
+            b'(' => simple(self, TokenKind::LParen),
+            b')' => simple(self, TokenKind::RParen),
+            b'[' => simple(self, TokenKind::LBracket),
+            b']' => simple(self, TokenKind::RBracket),
+            b'{' => simple(self, TokenKind::LBrace),
+            b'}' => simple(self, TokenKind::RBrace),
+            b',' => simple(self, TokenKind::Comma),
+            b':' => simple(self, TokenKind::Colon),
+            b'.' => simple(self, TokenKind::Dot),
+            b'*' => simple(self, TokenKind::Star),
+            b'=' => simple(self, TokenKind::Eq),
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Ok(mk(TokenKind::Le))
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Ok(mk(TokenKind::Ne))
+                    }
+                    _ => Ok(mk(TokenKind::Lt)),
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(mk(TokenKind::Ge))
+                } else {
+                    Ok(mk(TokenKind::Gt))
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(mk(TokenKind::Ne))
+                } else {
+                    Err(self.error("expected '=' after '!'"))
+                }
+            }
+            b'"' => self.string().map(|s| mk(TokenKind::Str(s))),
+            c if c.is_ascii_digit()
+                || (c == b'-' && self.peek2().is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                self.number().map(|n| mk(TokenKind::Number(n)))
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'%' => {
+                let ident = self.ident();
+                Ok(mk(TokenKind::Ident(ident)))
+            }
+            other => Err(self.error(format!("unexpected character {:?}", other as char))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    // The paper's listings use a trailing backslash as a
+                    // line continuation inside Prompt strings.
+                    Some(b'\n') => {}
+                    Some(c) => {
+                        out.push('\\');
+                        out.push(c as char);
+                    }
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map_err(|_| self.error(format!("bad number {text:?}")))
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b'%')
+        {
+            self.bump();
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_owned()
+    }
+}
+
+impl TokenKind {
+    /// Case-insensitive keyword check for `Ident` tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_query_shape() {
+        let ks = kinds("SELECT c.name FROM celeb AS c WHERE isFemale(c)");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert!(ks.contains(&TokenKind::LParen));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let ks = kinds(r#""a\"b" "x\\y" "n\nl""#);
+        assert_eq!(ks[0], TokenKind::Str("a\"b".into()));
+        assert_eq!(ks[1], TokenKind::Str("x\\y".into()));
+        assert_eq!(ks[2], TokenKind::Str("n\nl".into()));
+    }
+
+    #[test]
+    fn line_continuation_in_string() {
+        let src = "\"<table>\\\n<tr>\"";
+        assert_eq!(kinds(src)[0], TokenKind::Str("<table><tr>".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Number(42.0));
+        assert_eq!(kinds("3.25")[0], TokenKind::Number(3.25));
+        assert_eq!(kinds("-7")[0], TokenKind::Number(-7.0));
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("= < > <= >= != <>");
+        assert_eq!(
+            &ks[..7],
+            &[
+                TokenKind::Eq,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::Ne,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT -- hi\n# more\nname");
+        assert_eq!(ks.len(), 3); // SELECT, name, EOF
+    }
+
+    #[test]
+    fn percent_in_idents_for_format_specifiers() {
+        // The DSL's prompt substitution marker %s survives as part of
+        // strings; bare %s in templates is handled at template parse.
+        let ks = kinds("%s");
+        assert_eq!(ks[0], TokenKind::Ident("%s".into()));
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(Lexer::new("\"abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn errors_on_stray_character() {
+        assert!(Lexer::new("@").tokenize().is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let ks = kinds("select");
+        assert!(ks[0].is_kw("SELECT"));
+        assert!(!ks[0].is_kw("FROM"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The lexer never panics and always terminates with Eof on
+        /// success.
+        #[test]
+        fn lexer_total(s in ".{0,300}") {
+            if let Ok(tokens) = Lexer::new(&s).tokenize() {
+                prop_assert_eq!(&tokens.last().unwrap().kind, &TokenKind::Eof);
+            }
+        }
+
+        /// Lexing is insensitive to trailing whitespace.
+        #[test]
+        fn trailing_whitespace_irrelevant(s in "[a-zA-Z0-9 ,()=<>.]{0,80}") {
+            let a = Lexer::new(&s).tokenize();
+            let padded = format!("{s}  \n\t ");
+            let b = Lexer::new(&padded).tokenize();
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    let kx: Vec<_> = x.into_iter().map(|t| t.kind).collect();
+                    let ky: Vec<_> = y.into_iter().map(|t| t.kind).collect();
+                    prop_assert_eq!(kx, ky);
+                }
+                (Err(_), Err(_)) => {}
+                other => prop_assert!(false, "inconsistent: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! # qurk
+//!
+//! A Rust reproduction of **Qurk**, the declarative crowd-powered query
+//! engine of *Human-powered Sorts and Joins* (Marcus, Wu, Karger,
+//! Madden, Miller — VLDB 2011).
+//!
+//! Qurk runs SQL-style queries whose filter, join, sort and generative
+//! operators are executed by crowd workers. This crate implements the
+//! full pipeline against the simulated marketplace in `qurk-crowd`:
+//!
+//! ```text
+//!  query text ──lang::parser──▶ AST ──plan──▶ logical plan
+//!      │                                        │
+//!  TASK DSL ──catalog (task templates)──────────┤
+//!                                               ▼
+//!                                       exec::Executor
+//!                                               │
+//!                 ops::{filter, generative, join, sort}
+//!                                               │
+//!                 hit::{batch, compiler, cache} │
+//!                                               ▼
+//!                              qurk_crowd::Marketplace (HIT groups)
+//! ```
+//!
+//! ## The paper's contributions, mapped
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §2.1 query language + task templates | [`lang`], [`task`], [`catalog`] |
+//! | §2.5 HIT generation / plan rules | [`plan`], [`hit`] |
+//! | §3.1 SimpleJoin / NaiveBatch / SmartBatch | [`ops::join`] |
+//! | §3.2 POSSIBLY feature filtering + κ/selectivity/leave-one-out | [`ops::join::feature_filter`] |
+//! | §4.1 Compare / Rate / Hybrid sorts | [`ops::sort`] |
+//! | §2.1 MajorityVote / QualityAdjust | re-exported from `qurk-combine` |
+//! | §6 adaptive assignment & batch sizing (future work) | [`adaptive`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qurk::prelude::*;
+//!
+//! // Hidden ground truth + simulated crowd.
+//! let mut truth = qurk_crowd::GroundTruth::new();
+//! let items = truth.new_items(4);
+//! for (i, &it) in items.iter().enumerate() {
+//!     truth.set_predicate(
+//!         it,
+//!         "isFemale",
+//!         qurk_crowd::truth::PredicateTruth { value: i % 2 == 0, error_rate: 0.03 },
+//!     );
+//! }
+//! let mut market = qurk_crowd::Marketplace::new(&qurk_crowd::CrowdConfig::default(), truth);
+//!
+//! // A table whose `img` column references crowd-visible items.
+//! let mut celeb = Relation::new(Schema::new(&[
+//!     ("name", ValueType::Text),
+//!     ("img", ValueType::Item),
+//! ]));
+//! for (i, &it) in items.iter().enumerate() {
+//!     celeb.push(vec![Value::text(format!("celeb{i}")), Value::Item(it)]).unwrap();
+//! }
+//!
+//! // Register the table + a Filter task, then run a query.
+//! let mut catalog = Catalog::new();
+//! catalog.register_table("celeb", celeb);
+//! catalog
+//!     .define_tasks(
+//!         r#"TASK isFemale(field) TYPE Filter:
+//!             Prompt: "<img src='%s'> Is the person a woman?", tuple[field]
+//!             YesText: "Yes"
+//!             NoText: "No"
+//!             Combiner: MajorityVote
+//!         "#,
+//!     )
+//!     .unwrap();
+//! let result = Executor::new(&catalog, &mut market)
+//!     .query("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")
+//!     .unwrap();
+//! assert_eq!(result.len(), 2);
+//! ```
+
+pub mod adaptive;
+pub mod catalog;
+pub mod error;
+pub mod exec;
+pub mod hit;
+pub mod lang;
+pub mod ops;
+pub mod plan;
+pub mod relation;
+pub mod schema;
+pub mod task;
+pub mod tuple;
+pub mod value;
+
+/// Convenient re-exports for typical use.
+pub mod prelude {
+    pub use crate::catalog::Catalog;
+    pub use crate::error::QurkError;
+    pub use crate::exec::Executor;
+    pub use crate::relation::Relation;
+    pub use crate::schema::{Schema, ValueType};
+    pub use crate::value::Value;
+}
+
+pub use catalog::Catalog;
+pub use error::QurkError;
+pub use exec::Executor;
+pub use relation::Relation;
+pub use schema::{Schema, ValueType};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,74 @@
+//! Shared operator plumbing.
+
+use std::collections::HashMap;
+
+use qurk_crowd::market::{Assignment, HitGroupId, HitId, RunOutcome};
+use qurk_crowd::{Marketplace, WorkerId};
+
+use crate::error::{QurkError, Result};
+
+/// Default virtual-time budget for one operator round: the paper's
+/// jobs complete within hours; a week of virtual time means "the crowd
+/// abandoned this work" (oversized batches).
+pub const DEFAULT_ROUND_LIMIT_SECS: f64 = 7.0 * 24.0 * 3600.0;
+
+/// Run the marketplace until the posted group completes and gather its
+/// assignments grouped by HIT.
+pub fn run_and_collect(
+    market: &mut Marketplace,
+    group: HitGroupId,
+    limit_secs: f64,
+) -> Result<HashMap<HitId, Vec<Assignment>>> {
+    match market.run(limit_secs) {
+        RunOutcome::Completed => {}
+        RunOutcome::TimedOut => {
+            return Err(QurkError::CrowdIncomplete {
+                outstanding: market.group_outstanding(group),
+            })
+        }
+    }
+    let mut by_hit: HashMap<HitId, Vec<Assignment>> = HashMap::new();
+    for a in market.assignments(group) {
+        by_hit.entry(a.hit).or_default().push(a.clone());
+    }
+    Ok(by_hit)
+}
+
+/// Intern worker ids to dense indices (for the EM combiner).
+#[derive(Debug, Default)]
+pub struct WorkerInterner {
+    map: HashMap<WorkerId, usize>,
+}
+
+impl WorkerInterner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn intern(&mut self, w: WorkerId) -> usize {
+        let next = self.map.len();
+        *self.map.entry(w).or_insert(next)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_dense_and_stable() {
+        let mut i = WorkerInterner::new();
+        assert_eq!(i.intern(WorkerId(9)), 0);
+        assert_eq!(i.intern(WorkerId(4)), 1);
+        assert_eq!(i.intern(WorkerId(9)), 0);
+        assert_eq!(i.len(), 2);
+    }
+}

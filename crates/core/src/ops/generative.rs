@@ -1,0 +1,415 @@
+//! The generative operator (§2.2) and categorical feature extraction.
+//!
+//! Generative tasks collect unconstrained input (free text, normalized
+//! before combination) or constrained input (Radio responses, used by
+//! join feature filtering). Multi-field tasks ask every field of a
+//! tuple in one HIT; merging batches multiple tuples per HIT.
+
+use std::collections::HashMap;
+
+use qurk_combine::em::{LabelObservation, QualityAdjust, QualityAdjustConfig};
+use qurk_combine::majority_vote;
+use qurk_crowd::question::{HitKind, Question, UNKNOWN};
+use qurk_crowd::{ItemId, Marketplace};
+
+use crate::error::Result;
+use crate::hit::batch::combine_questions;
+use crate::lang::ast::ResponseSpec;
+use crate::ops::common::{run_and_collect, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
+use crate::task::{CombinerKind, TaskDef, TaskType};
+use crate::value::Value;
+
+/// Combined output for one tuple: field name → value. Categorical
+/// fields yield the option label (or NULL for UNKNOWN); text fields
+/// the normalized majority string.
+pub type GenRow = HashMap<String, Value>;
+
+/// Raw categorical votes per item, for κ computations:
+/// `votes[item_idx][field_idx]` = per-worker option indices (UNKNOWN
+/// mapped to the extra index `num_options`).
+pub type CategoricalVotes = Vec<Vec<Vec<usize>>>;
+
+/// Configuration for one generative execution.
+#[derive(Debug, Clone)]
+pub struct GenerativeOp {
+    /// Tuples per HIT.
+    pub batch_size: usize,
+    /// Ask all fields in one HIT (`FeatureCombined` framing) or one
+    /// field at a time (`FeatureSingle`). §3.3.4 compares the two.
+    pub combined_interface: bool,
+    pub assignments: Option<u32>,
+    pub limit_secs: f64,
+}
+
+impl Default for GenerativeOp {
+    fn default() -> Self {
+        GenerativeOp {
+            batch_size: 5,
+            combined_interface: true,
+            assignments: None,
+            limit_secs: DEFAULT_ROUND_LIMIT_SECS,
+        }
+    }
+}
+
+/// Result of a generative run.
+#[derive(Debug)]
+pub struct GenOutcome {
+    pub rows: Vec<GenRow>,
+    /// Categorical votes for agreement analysis (empty vecs for text
+    /// fields).
+    pub votes: CategoricalVotes,
+    pub hits_posted: usize,
+}
+
+impl GenerativeOp {
+    /// Run `task` (type Generative) over `items`.
+    #[allow(clippy::needless_range_loop)] // ii indexes parallel rows/votes/items arrays
+    pub fn run(
+        &self,
+        market: &mut Marketplace,
+        task: &TaskDef,
+        items: &[ItemId],
+    ) -> Result<GenOutcome> {
+        assert_eq!(task.ty, TaskType::Generative, "not a generative task");
+        if items.is_empty() {
+            return Ok(GenOutcome {
+                rows: Vec::new(),
+                votes: Vec::new(),
+                hits_posted: 0,
+            });
+        }
+        let kind = if self.combined_interface && task.fields.len() > 1 {
+            HitKind::FeatureCombined
+        } else {
+            HitKind::FeatureSingle
+        };
+
+        // Build one question stream per field.
+        let streams: Vec<Vec<Question>> = task
+            .fields
+            .iter()
+            .map(|f| {
+                items
+                    .iter()
+                    .map(|&item| match &f.response {
+                        ResponseSpec::Radio { .. } => {
+                            let (opts, _) = f.radio_options().expect("radio");
+                            Question::Feature {
+                                item,
+                                // Single-field tasks key the oracle by
+                                // task name; multi-field by field name.
+                                feature: if task.fields.len() == 1 {
+                                    task.name.clone()
+                                } else {
+                                    f.name.clone()
+                                },
+                                num_options: opts.len(),
+                            }
+                        }
+                        ResponseSpec::Text { .. } => Question::Generative {
+                            item,
+                            field: f.name.clone(),
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let specs = if self.combined_interface || streams.len() == 1 {
+            combine_questions(streams, self.batch_size, kind)
+        } else {
+            // Separate interfaces: one group of HITs per field,
+            // concatenated (posted together, §2.5 runs them in parallel).
+            let mut all = Vec::new();
+            for s in streams {
+                all.extend(combine_questions(vec![s], self.batch_size, kind));
+            }
+            all
+        };
+        let num_specs = specs.len();
+        let group = match self.assignments {
+            Some(n) => market.post_group_with_assignments(specs, n),
+            None => market.post_group(specs),
+        };
+        let by_hit = run_and_collect(market, group, self.limit_secs)?;
+
+        // Flattened question order -> (item_idx, field_idx).
+        let nf = task.fields.len();
+        let flat: Vec<(usize, usize)> = if self.combined_interface || nf == 1 {
+            (0..items.len())
+                .flat_map(|ii| (0..nf).map(move |fi| (ii, fi)))
+                .collect()
+        } else {
+            (0..nf)
+                .flat_map(|fi| (0..items.len()).map(move |ii| (ii, fi)))
+                .collect()
+        };
+
+        // Gather per-cell votes.
+        let mut text_votes: HashMap<(usize, usize), Vec<String>> = HashMap::new();
+        let mut cat_votes: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+        let mut interner = WorkerInterner::new();
+        let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
+        hit_ids.sort_unstable();
+        let mut qcursor = 0usize;
+        for hit_id in hit_ids {
+            let nq = market.hit(hit_id).questions.len();
+            for a in &by_hit[&hit_id] {
+                let w = interner.intern(a.worker);
+                for (qi, ans) in a.answers.iter().enumerate() {
+                    let cell = flat[qcursor + qi];
+                    match ans {
+                        qurk_crowd::Answer::Text(t) => {
+                            text_votes.entry(cell).or_default().push(t.clone())
+                        }
+                        qurk_crowd::Answer::Category(c) => {
+                            cat_votes.entry(cell).or_default().push((w, *c))
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            qcursor += nq;
+        }
+
+        // Combine.
+        let mut rows: Vec<GenRow> = vec![GenRow::new(); items.len()];
+        let mut votes: CategoricalVotes = vec![vec![Vec::new(); nf]; items.len()];
+        for (fi, f) in task.fields.iter().enumerate() {
+            match &f.response {
+                ResponseSpec::Text { .. } => {
+                    for ii in 0..items.len() {
+                        if let Some(vs) = text_votes.get(&(ii, fi)) {
+                            let normalized: Vec<String> =
+                                vs.iter().map(|s| f.normalizer.apply(s)).collect();
+                            let outcome = majority_vote(&normalized);
+                            rows[ii].insert(
+                                f.name.clone(),
+                                outcome.winner.map(Value::Text).unwrap_or(Value::Null),
+                            );
+                        }
+                    }
+                }
+                ResponseSpec::Radio { .. } => {
+                    let (opts, _) = f.radio_options().expect("radio");
+                    let k = opts.len();
+                    // Record raw votes (UNKNOWN -> index k).
+                    for ii in 0..items.len() {
+                        if let Some(vs) = cat_votes.get(&(ii, fi)) {
+                            votes[ii][fi] = vs
+                                .iter()
+                                .map(|&(_, c)| if c == UNKNOWN { k } else { c })
+                                .collect();
+                        }
+                    }
+                    match f.combiner {
+                        CombinerKind::MajorityVote => {
+                            for ii in 0..items.len() {
+                                if let Some(vs) = cat_votes.get(&(ii, fi)) {
+                                    let labels: Vec<usize> = vs
+                                        .iter()
+                                        .map(|&(_, c)| if c == UNKNOWN { k } else { c })
+                                        .collect();
+                                    let outcome = majority_vote(&labels);
+                                    let v = match outcome.winner {
+                                        Some(c) if c < k => Value::text(opts[c]),
+                                        _ => Value::Null, // UNKNOWN won
+                                    };
+                                    rows[ii].insert(f.name.clone(), v);
+                                }
+                            }
+                        }
+                        CombinerKind::QualityAdjust => {
+                            // EM over this field's votes across items;
+                            // UNKNOWN answers are excluded from EM (they
+                            // carry no label) and win only if they are
+                            // the outright majority.
+                            let mut obs = Vec::new();
+                            for ii in 0..items.len() {
+                                if let Some(vs) = cat_votes.get(&(ii, fi)) {
+                                    for &(w, c) in vs {
+                                        if c != UNKNOWN {
+                                            obs.push(LabelObservation {
+                                                worker: w,
+                                                item: ii,
+                                                label: c,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                            let qa = QualityAdjust::new(QualityAdjustConfig::categorical(k));
+                            let em = qa.run(&obs);
+                            for ii in 0..items.len() {
+                                if let Some(vs) = cat_votes.get(&(ii, fi)) {
+                                    let unknowns =
+                                        vs.iter().filter(|&&(_, c)| c == UNKNOWN).count();
+                                    let v = if unknowns * 2 > vs.len() {
+                                        Value::Null
+                                    } else if ii < em.decisions.len() {
+                                        Value::text(opts[em.decisions[ii]])
+                                    } else {
+                                        Value::Null
+                                    };
+                                    rows[ii].insert(f.name.clone(), v);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(GenOutcome {
+            rows,
+            votes,
+            hits_posted: num_specs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse_tasks;
+    use qurk_crowd::truth::TextTruth;
+    use qurk_crowd::{CrowdConfig, GroundTruth};
+
+    fn task(src: &str) -> TaskDef {
+        TaskDef::from_ast(&parse_tasks(src).unwrap()[0]).unwrap()
+    }
+
+    #[test]
+    fn text_fields_normalize_and_combine() {
+        let mut gt = GroundTruth::new();
+        let items = gt.new_items(3);
+        for (i, &item) in items.iter().enumerate() {
+            gt.set_text(
+                item,
+                "common",
+                TextTruth {
+                    variants: vec![
+                        (format!("Animal {i}"), 0.5),
+                        (format!("animal   {i}"), 0.3),
+                        (format!(" ANIMAL {i} "), 0.2),
+                    ],
+                },
+            );
+        }
+        let mut m = Marketplace::new(&CrowdConfig::default().honest(), gt);
+        let t = task(
+            r#"TASK animalInfo(field) TYPE Generative:
+                Prompt: "%s?", tuple[field]
+                Fields: {
+                    common: { Response: Text("Common name"),
+                              Combiner: MajorityVote,
+                              Normalizer: LowercaseSingleSpace }
+                }
+            "#,
+        );
+        let out = GenerativeOp::default().run(&mut m, &t, &items).unwrap();
+        for (i, row) in out.rows.iter().enumerate() {
+            assert_eq!(row["common"], Value::text(format!("animal {i}")), "row {i}");
+        }
+    }
+
+    #[test]
+    fn radio_features_extracted() {
+        let mut gt = GroundTruth::new();
+        gt.define_feature("gender", &["Male", "Female"]);
+        let items = gt.new_items(10);
+        for (i, &item) in items.iter().enumerate() {
+            gt.set_feature_simple(item, "gender", i % 2, 0.03);
+        }
+        let mut m = Marketplace::new(&CrowdConfig::default(), gt);
+        let t = task(
+            r#"TASK gender(field) TYPE Generative:
+                Prompt: "%s gender?", tuple[field]
+                Response: Radio("Gender", ["Male", "Female", UNKNOWN])
+                Combiner: MajorityVote
+            "#,
+        );
+        let out = GenerativeOp::default().run(&mut m, &t, &items).unwrap();
+        let correct = out
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                r.get("value").and_then(|v| v.as_text())
+                    == Some(if i % 2 == 0 { "Male" } else { "Female" })
+            })
+            .count();
+        assert!(correct >= 9, "correct={correct}/10");
+        // Votes recorded for kappa analysis.
+        assert_eq!(out.votes.len(), 10);
+        assert!(out.votes[0][0].len() >= 5);
+    }
+
+    #[test]
+    fn quality_adjust_combiner_on_features() {
+        let mut gt = GroundTruth::new();
+        gt.define_feature("hair", &["black", "brown", "blond", "white"]);
+        let items = gt.new_items(12);
+        for (i, &item) in items.iter().enumerate() {
+            gt.set_feature_simple(item, "hair", i % 4, 0.1);
+        }
+        let mut m = Marketplace::new(&CrowdConfig::default(), gt);
+        let t = task(
+            r#"TASK hair(field) TYPE Generative:
+                Prompt: "%s hair?", tuple[field]
+                Response: Radio("Hair", ["black", "brown", "blond", "white", UNKNOWN])
+                Combiner: QualityAdjust
+            "#,
+        );
+        let out = GenerativeOp::default().run(&mut m, &t, &items).unwrap();
+        let correct = out
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                r.get("value").and_then(|v| v.as_text())
+                    == Some(["black", "brown", "blond", "white"][i % 4])
+            })
+            .count();
+        assert!(correct >= 10, "correct={correct}/12");
+    }
+
+    #[test]
+    fn batching_reduces_hits() {
+        let mut gt = GroundTruth::new();
+        gt.define_feature("gender", &["Male", "Female"]);
+        let items = gt.new_items(20);
+        for &item in &items {
+            gt.set_feature_simple(item, "gender", 0, 0.03);
+        }
+        let mut m = Marketplace::new(&CrowdConfig::default(), gt);
+        let t = task(
+            r#"TASK gender(field) TYPE Generative:
+                Prompt: "%s?", tuple[field]
+                Response: Radio("Gender", ["Male", "Female", UNKNOWN])
+            "#,
+        );
+        let op = GenerativeOp {
+            batch_size: 4,
+            ..Default::default()
+        };
+        let out = op.run(&mut m, &t, &items).unwrap();
+        assert_eq!(out.hits_posted, 5); // 20 / 4
+    }
+
+    #[test]
+    fn empty_items_is_noop() {
+        let gt = GroundTruth::new();
+        let mut m = Marketplace::new(&CrowdConfig::default(), gt);
+        let t = task(
+            r#"TASK gender(field) TYPE Generative:
+                Prompt: "%s?", tuple[field]
+                Response: Radio("G", ["a", "b"])
+            "#,
+        );
+        let out = GenerativeOp::default().run(&mut m, &t, &[]).unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(m.hits_posted(), 0);
+    }
+}

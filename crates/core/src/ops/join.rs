@@ -1,0 +1,964 @@
+//! The crowd join operator (§3).
+//!
+//! Qurk implements a block nested loop join whose predicate evaluations
+//! are HITs. Three interfaces ([`JoinStrategy`]):
+//!
+//! * **Simple** (Figure 2a) — one pair per HIT: `|R||S|` HITs.
+//! * **NaiveBatch(b)** (Figure 2b) — b pairs stacked per HIT:
+//!   `|R||S|/b` HITs.
+//! * **SmartBatch(r×s)** (Figure 2c) — an r×s image grid per HIT:
+//!   `|R||S|/(rs)` HITs.
+//!
+//! [`feature_filter`] implements §3.2's `POSSIBLY` clause machinery:
+//! crowd-extracted features pre-filter the cross product, with three
+//! automatic tests for dropping bad filters (selectivity, leave-one-out
+//! error contribution, and Fleiss-κ ambiguity).
+
+use std::collections::{HashMap, HashSet};
+
+use qurk_combine::em::{LabelObservation, QualityAdjust, QualityAdjustConfig};
+use qurk_combine::majority_vote_bool;
+use qurk_crowd::question::{HitKind, Question};
+use qurk_crowd::{HitSpec, ItemId, Marketplace, WorkerId};
+
+use crate::error::Result;
+use crate::ops::common::{run_and_collect, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
+use crate::task::CombinerKind;
+
+pub use feature_filter::{FeatureFilter, FeatureFilterConfig, FeatureFilterOutcome};
+
+/// Which join interface to compile HITs into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    Simple,
+    NaiveBatch(usize),
+    SmartBatch { rows: usize, cols: usize },
+}
+
+impl JoinStrategy {
+    /// The marketplace interface kind for this strategy.
+    pub fn hit_kind(&self) -> HitKind {
+        match *self {
+            JoinStrategy::Simple => HitKind::JoinSimple,
+            JoinStrategy::NaiveBatch(_) => HitKind::JoinNaive,
+            JoinStrategy::SmartBatch { rows, cols } => HitKind::JoinSmart { rows, cols },
+        }
+    }
+}
+
+/// One crowd join execution.
+#[derive(Debug, Clone)]
+pub struct JoinOp {
+    pub strategy: JoinStrategy,
+    pub combiner: CombinerKind,
+    pub assignments: Option<u32>,
+    pub limit_secs: f64,
+}
+
+impl Default for JoinOp {
+    fn default() -> Self {
+        JoinOp {
+            strategy: JoinStrategy::NaiveBatch(5),
+            combiner: CombinerKind::MajorityVote,
+            assignments: None,
+            limit_secs: DEFAULT_ROUND_LIMIT_SECS,
+        }
+    }
+}
+
+/// Result of a join run.
+#[derive(Debug)]
+pub struct JoinOutcome {
+    /// Matching (left_idx, right_idx) pairs, ascending.
+    pub matches: Vec<(usize, usize)>,
+    /// HITs posted by this run.
+    pub hits_posted: usize,
+    /// Raw per-pair votes for quality analysis (§3.3.3's per-worker
+    /// accuracy regression needs worker identities).
+    pub pair_votes: HashMap<(usize, usize), Vec<(WorkerId, bool)>>,
+}
+
+impl JoinOp {
+    /// Join `left` × `right`, optionally restricted to `candidates`
+    /// (pairs that passed feature filtering). Returns combined matches.
+    pub fn run(
+        &self,
+        market: &mut Marketplace,
+        left: &[ItemId],
+        right: &[ItemId],
+        candidates: Option<&HashSet<(usize, usize)>>,
+    ) -> Result<JoinOutcome> {
+        let pairs: Vec<(usize, usize)> = (0..left.len())
+            .flat_map(|i| (0..right.len()).map(move |j| (i, j)))
+            .filter(|p| candidates.is_none_or(|c| c.contains(p)))
+            .collect();
+        if pairs.is_empty() {
+            return Ok(JoinOutcome {
+                matches: Vec::new(),
+                hits_posted: 0,
+                pair_votes: HashMap::new(),
+            });
+        }
+
+        // Compile pairs into HITs; record, per HIT, which pair each
+        // question addresses.
+        let (specs, layout) = self.compile(left, right, &pairs);
+        let num_hits = specs.len();
+        let group = match self.assignments {
+            Some(n) => market.post_group_with_assignments(specs, n),
+            None => market.post_group(specs),
+        };
+        let by_hit = run_and_collect(market, group, self.limit_secs)?;
+
+        let mut pair_votes: HashMap<(usize, usize), Vec<(WorkerId, bool)>> = HashMap::new();
+        let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
+        hit_ids.sort_unstable();
+        for (spec_idx, hit_id) in hit_ids.into_iter().enumerate() {
+            for a in &by_hit[&hit_id] {
+                for (qi, ans) in a.answers.iter().enumerate() {
+                    if let Some(b) = ans.as_bool() {
+                        let pair = layout[spec_idx][qi];
+                        pair_votes.entry(pair).or_default().push((a.worker, b));
+                    }
+                }
+            }
+        }
+
+        let matches = self.combine(&pair_votes);
+        Ok(JoinOutcome {
+            matches,
+            hits_posted: num_hits,
+            pair_votes,
+        })
+    }
+
+    /// Compile candidate pairs into HIT specs plus a per-HIT layout of
+    /// which pair each question refers to.
+    fn compile(
+        &self,
+        left: &[ItemId],
+        right: &[ItemId],
+        pairs: &[(usize, usize)],
+    ) -> (Vec<HitSpec>, Vec<Vec<(usize, usize)>>) {
+        let q = |&(i, j): &(usize, usize)| Question::JoinPair {
+            left: left[i],
+            right: right[j],
+        };
+        match self.strategy {
+            JoinStrategy::Simple => {
+                let specs = pairs
+                    .iter()
+                    .map(|p| HitSpec::new(vec![q(p)], HitKind::JoinSimple))
+                    .collect();
+                let layout = pairs.iter().map(|&p| vec![p]).collect();
+                (specs, layout)
+            }
+            JoinStrategy::NaiveBatch(b) => {
+                assert!(b > 0, "batch size must be positive");
+                let mut specs = Vec::new();
+                let mut layout = Vec::new();
+                for chunk in pairs.chunks(b) {
+                    specs.push(HitSpec::new(
+                        chunk.iter().map(q).collect(),
+                        HitKind::JoinNaive,
+                    ));
+                    layout.push(chunk.to_vec());
+                }
+                (specs, layout)
+            }
+            JoinStrategy::SmartBatch { rows, cols } => {
+                assert!(rows > 0 && cols > 0, "grid dims must be positive");
+                // Group candidate pairs into r×s grids: take left items
+                // (that still have pending pairs) in chunks of `rows`,
+                // then chunk their pending right items by `cols`.
+                let mut by_left: HashMap<usize, Vec<usize>> = HashMap::new();
+                for &(i, j) in pairs {
+                    by_left.entry(i).or_default().push(j);
+                }
+                let mut lefts: Vec<usize> = by_left.keys().copied().collect();
+                lefts.sort_unstable();
+                let kind = HitKind::JoinSmart { rows, cols };
+                let mut specs = Vec::new();
+                let mut layout = Vec::new();
+                for lchunk in lefts.chunks(rows) {
+                    // Right items paired with any left in this chunk.
+                    let mut rights: Vec<usize> = lchunk
+                        .iter()
+                        .flat_map(|l| by_left[l].iter().copied())
+                        .collect();
+                    rights.sort_unstable();
+                    rights.dedup();
+                    for rchunk in rights.chunks(cols) {
+                        let mut questions = Vec::new();
+                        let mut lay = Vec::new();
+                        for &i in lchunk {
+                            for &j in rchunk {
+                                // Only candidate crossings are scored.
+                                if by_left[&i].contains(&j) {
+                                    questions.push(q(&(i, j)));
+                                    lay.push((i, j));
+                                }
+                            }
+                        }
+                        if !questions.is_empty() {
+                            specs.push(HitSpec::new(questions, kind));
+                            layout.push(lay);
+                        }
+                    }
+                }
+                (specs, layout)
+            }
+        }
+    }
+
+    /// Fuse votes into the final match set.
+    fn combine(
+        &self,
+        pair_votes: &HashMap<(usize, usize), Vec<(WorkerId, bool)>>,
+    ) -> Vec<(usize, usize)> {
+        let mut matches: Vec<(usize, usize)> = match self.combiner {
+            CombinerKind::MajorityVote => pair_votes
+                .iter()
+                .filter(|(_, votes)| {
+                    let bools: Vec<bool> = votes.iter().map(|&(_, b)| b).collect();
+                    majority_vote_bool(&bools)
+                })
+                .map(|(&p, _)| p)
+                .collect(),
+            CombinerKind::QualityAdjust => {
+                let mut interner = WorkerInterner::new();
+                let mut pair_ids: Vec<(usize, usize)> = pair_votes.keys().copied().collect();
+                pair_ids.sort_unstable();
+                let index: HashMap<(usize, usize), usize> =
+                    pair_ids.iter().enumerate().map(|(n, &p)| (p, n)).collect();
+                let mut obs = Vec::new();
+                for (&p, votes) in pair_votes {
+                    for &(w, b) in votes {
+                        obs.push(LabelObservation {
+                            worker: interner.intern(w),
+                            item: index[&p],
+                            label: usize::from(b),
+                        });
+                    }
+                }
+                // The paper's configuration: 5 EM iterations, false
+                // negatives penalized twice as heavily (§3.3.2).
+                let qa = QualityAdjust::new(QualityAdjustConfig::paper_join());
+                let out = qa.run(&obs);
+                pair_ids
+                    .into_iter()
+                    .filter(|p| out.decision_bool(index[p]))
+                    .collect()
+            }
+        };
+        matches.sort_unstable();
+        matches
+    }
+}
+
+/// Identify spam-scoring workers from raw join votes via the
+/// QualityAdjust EM (§6: the QA output "is able to effectively
+/// eliminate and identify workers who generate spam answers"; in a
+/// non-experimental deployment these workers are banned via
+/// `Marketplace::ban_workers`).
+pub fn identify_spammers(
+    pair_votes: &HashMap<(usize, usize), Vec<(WorkerId, bool)>>,
+    threshold: f64,
+) -> Vec<WorkerId> {
+    identify_spammers_with_min_answers(pair_votes, threshold, 8)
+}
+
+/// [`identify_spammers`] with an explicit evidence floor: workers with
+/// fewer than `min_answers` votes are never flagged (their confusion
+/// matrices are too poorly estimated to condemn them).
+pub fn identify_spammers_with_min_answers(
+    pair_votes: &HashMap<(usize, usize), Vec<(WorkerId, bool)>>,
+    threshold: f64,
+    min_answers: usize,
+) -> Vec<WorkerId> {
+    let mut interner = WorkerInterner::new();
+    let mut reverse: Vec<WorkerId> = Vec::new();
+    let mut pair_ids: Vec<(usize, usize)> = pair_votes.keys().copied().collect();
+    pair_ids.sort_unstable();
+    let index: HashMap<(usize, usize), usize> =
+        pair_ids.iter().enumerate().map(|(n, &p)| (p, n)).collect();
+    let mut obs = Vec::new();
+    for (&pair, votes) in pair_votes {
+        for &(w, b) in votes {
+            let id = interner.intern(w);
+            if id == reverse.len() {
+                reverse.push(w);
+            }
+            obs.push(LabelObservation {
+                worker: id,
+                item: index[&pair],
+                label: usize::from(b),
+            });
+        }
+    }
+    let qa = QualityAdjust::new(QualityAdjustConfig::paper_join());
+    let out = qa.run(&obs);
+    out.spammers(threshold)
+        .into_iter()
+        .filter(|&id| out.worker_answer_counts[id] >= min_answers)
+        .map(|id| reverse[id])
+        .collect()
+}
+
+pub mod feature_filter {
+    //! §3.2: POSSIBLY-clause feature filtering.
+
+    use super::*;
+    use qurk_crowd::question::UNKNOWN;
+    use qurk_metrics::kappa::{counts_from_labels, fleiss_kappa};
+
+    /// A feature to extract: oracle name + option count (UNKNOWN
+    /// excluded).
+    #[derive(Debug, Clone)]
+    pub struct FeatureSpec {
+        pub name: String,
+        pub num_options: usize,
+    }
+
+    /// Configuration for the feature-filter pipeline.
+    #[derive(Debug, Clone)]
+    pub struct FeatureFilterConfig {
+        /// Tuples per extraction HIT.
+        pub batch_size: usize,
+        /// Ask all features of an item at once (§3.3.4's combined
+        /// interface) or separately.
+        pub combined_interface: bool,
+        pub assignments: Option<u32>,
+        /// Features with Fleiss κ below this are dropped as ambiguous.
+        pub kappa_threshold: f64,
+        /// Features whose estimated selectivity exceeds this are
+        /// dropped as not worth their extraction cost.
+        pub max_selectivity: f64,
+        /// Leave-one-out: drop a feature that kills more than this
+        /// fraction of sample join results.
+        pub error_threshold: f64,
+        /// Fraction of items sampled for the κ/selectivity estimates
+        /// (the paper samples 25%).
+        pub sample_fraction: f64,
+        /// Run the (HIT-costly) leave-one-out error test.
+        pub leave_one_out: bool,
+        pub limit_secs: f64,
+    }
+
+    impl Default for FeatureFilterConfig {
+        fn default() -> Self {
+            FeatureFilterConfig {
+                batch_size: 5,
+                combined_interface: true,
+                assignments: None,
+                kappa_threshold: 0.20,
+                max_selectivity: 0.85,
+                error_threshold: 0.15,
+                sample_fraction: 0.25,
+                leave_one_out: false,
+                limit_secs: DEFAULT_ROUND_LIMIT_SECS,
+            }
+        }
+    }
+
+    /// Per-table extraction results.
+    #[derive(Debug, Clone, Default)]
+    pub struct Extraction {
+        /// `values[item_idx][feature_idx]`: combined value; `None` is
+        /// UNKNOWN (matches everything, §2.4).
+        pub values: Vec<Vec<Option<usize>>>,
+        /// Raw votes (UNKNOWN mapped to `num_options`) for κ.
+        pub votes: Vec<Vec<Vec<usize>>>,
+    }
+
+    /// Outcome of the full pipeline.
+    #[derive(Debug)]
+    pub struct FeatureFilterOutcome {
+        /// Indices of features kept after the three tests.
+        pub selected: Vec<usize>,
+        /// Why each feature was kept/dropped (diagnostics).
+        pub decisions: Vec<String>,
+        /// Candidate (left_idx, right_idx) pairs passing the selected
+        /// filters.
+        pub candidates: HashSet<(usize, usize)>,
+        /// κ per feature (left and right tables pooled).
+        pub kappas: Vec<f64>,
+        /// Estimated selectivity per feature.
+        pub selectivities: Vec<f64>,
+        pub hits_posted: usize,
+    }
+
+    /// The feature-filter pipeline driver.
+    #[derive(Debug, Clone, Default)]
+    pub struct FeatureFilter {
+        pub config: FeatureFilterConfig,
+    }
+
+    impl FeatureFilter {
+        pub fn new(config: FeatureFilterConfig) -> Self {
+            FeatureFilter { config }
+        }
+
+        /// Extract `features` for every item of one table.
+        pub fn extract(
+            &self,
+            market: &mut Marketplace,
+            features: &[FeatureSpec],
+            items: &[ItemId],
+        ) -> Result<(Extraction, usize)> {
+            if items.is_empty() || features.is_empty() {
+                return Ok((Extraction::default(), 0));
+            }
+            let kind = if self.config.combined_interface {
+                HitKind::FeatureCombined
+            } else {
+                HitKind::FeatureSingle
+            };
+            let streams: Vec<Vec<Question>> = features
+                .iter()
+                .map(|f| {
+                    items
+                        .iter()
+                        .map(|&item| Question::Feature {
+                            item,
+                            feature: f.name.clone(),
+                            num_options: f.num_options,
+                        })
+                        .collect()
+                })
+                .collect();
+            let specs = if self.config.combined_interface {
+                crate::hit::batch::combine_questions(streams, self.config.batch_size, kind)
+            } else {
+                let mut all = Vec::new();
+                for s in streams {
+                    all.extend(crate::hit::batch::merge_into_hits(
+                        s,
+                        self.config.batch_size,
+                        kind,
+                    ));
+                }
+                all
+            };
+            let hits_posted = specs.len();
+            let group = match self.config.assignments {
+                Some(n) => market.post_group_with_assignments(specs, n),
+                None => market.post_group(specs),
+            };
+            let by_hit = run_and_collect(market, group, self.config.limit_secs)?;
+
+            // Flattened question order -> (item_idx, feature_idx).
+            let nf = features.len();
+            let flat: Vec<(usize, usize)> = if self.config.combined_interface {
+                (0..items.len())
+                    .flat_map(|ii| (0..nf).map(move |fi| (ii, fi)))
+                    .collect()
+            } else {
+                (0..nf)
+                    .flat_map(|fi| (0..items.len()).map(move |ii| (ii, fi)))
+                    .collect()
+            };
+
+            let mut votes: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); nf]; items.len()];
+            let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
+            hit_ids.sort_unstable();
+            let mut qcursor = 0usize;
+            for hit_id in hit_ids {
+                let nq = market.hit(hit_id).questions.len();
+                for a in &by_hit[&hit_id] {
+                    for (qi, ans) in a.answers.iter().enumerate() {
+                        if let Some(c) = ans.as_category() {
+                            let (ii, fi) = flat[qcursor + qi];
+                            let k = features[fi].num_options;
+                            votes[ii][fi].push(if c == UNKNOWN { k } else { c });
+                        }
+                    }
+                }
+                qcursor += nq;
+            }
+
+            // Majority-combine each cell; UNKNOWN majority -> None.
+            let values: Vec<Vec<Option<usize>>> = votes
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .enumerate()
+                        .map(|(fi, vs)| {
+                            let k = features[fi].num_options;
+                            let outcome = qurk_combine::majority_vote(vs);
+                            match outcome.winner {
+                                Some(c) if c < k => Some(c),
+                                _ => None,
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+
+            Ok((Extraction { values, votes }, hits_posted))
+        }
+
+        /// Pooled Fleiss κ for one feature across both tables' votes.
+        /// UNKNOWN answers participate as their own category.
+        pub fn kappa_for(
+            feature_idx: usize,
+            num_options: usize,
+            left: &Extraction,
+            right: &Extraction,
+        ) -> f64 {
+            let labels: Vec<Vec<usize>> = left
+                .votes
+                .iter()
+                .chain(right.votes.iter())
+                .map(|row| row[feature_idx].clone())
+                .collect();
+            let counts = counts_from_labels(&labels, num_options + 1);
+            fleiss_kappa(&counts).unwrap_or(0.0)
+        }
+
+        /// §3.2's selectivity estimate
+        /// `σᵢ = Σ_j ρSij × ρRij` from extracted values, counting
+        /// UNKNOWN as matching everything.
+        pub fn selectivity_for(
+            feature_idx: usize,
+            num_options: usize,
+            left: &Extraction,
+            right: &Extraction,
+        ) -> f64 {
+            let hist = |e: &Extraction| -> (Vec<f64>, f64) {
+                let mut counts = vec![0.0; num_options];
+                let mut unknown = 0.0;
+                let mut total = 0.0;
+                for row in &e.values {
+                    total += 1.0;
+                    match row[feature_idx] {
+                        Some(v) => counts[v] += 1.0,
+                        None => unknown += 1.0,
+                    }
+                }
+                if total == 0.0 {
+                    return (counts, 0.0);
+                }
+                for c in counts.iter_mut() {
+                    *c /= total;
+                }
+                (counts, unknown / total)
+            };
+            let (l, lu) = hist(left);
+            let (r, ru) = hist(right);
+            // P(pair passes) = Σ_j ρL_j ρR_j + P(either side UNKNOWN).
+            let agree: f64 = l.iter().zip(&r).map(|(a, b)| a * b).sum();
+            (agree + lu + ru - lu * ru).min(1.0)
+        }
+
+        /// Candidate pairs under the selected features: pass iff every
+        /// selected feature agrees or either side is UNKNOWN.
+        pub fn candidates(
+            selected: &[usize],
+            left: &Extraction,
+            right: &Extraction,
+        ) -> HashSet<(usize, usize)> {
+            let mut out = HashSet::new();
+            for (i, lrow) in left.values.iter().enumerate() {
+                for (j, rrow) in right.values.iter().enumerate() {
+                    let pass = selected.iter().all(|&fi| match (lrow[fi], rrow[fi]) {
+                        (Some(a), Some(b)) => a == b,
+                        _ => true, // UNKNOWN matches anything
+                    });
+                    if pass {
+                        out.insert((i, j));
+                    }
+                }
+            }
+            out
+        }
+
+        /// Run the full pipeline: sample-extract, test features
+        /// (κ, selectivity, optional leave-one-out), extract the
+        /// survivors on the full tables, and compute candidates.
+        pub fn run(
+            &self,
+            market: &mut Marketplace,
+            features: &[FeatureSpec],
+            left_items: &[ItemId],
+            right_items: &[ItemId],
+        ) -> Result<FeatureFilterOutcome> {
+            let mut hits_posted = 0usize;
+
+            // --- Phase 1: extraction on a sample. ---
+            let sample_n = |n: usize| {
+                ((n as f64 * self.config.sample_fraction).ceil() as usize).clamp(1.min(n), n)
+            };
+            let ls = &left_items[..sample_n(left_items.len())];
+            let rs = &right_items[..sample_n(right_items.len())];
+            let (left_sample, h1) = self.extract(market, features, ls)?;
+            let (right_sample, h2) = self.extract(market, features, rs)?;
+            hits_posted += h1 + h2;
+
+            // --- Phase 2: per-feature tests. ---
+            let mut kappas = Vec::with_capacity(features.len());
+            let mut selectivities = Vec::with_capacity(features.len());
+            let mut selected = Vec::new();
+            let mut decisions = Vec::with_capacity(features.len());
+            for (fi, f) in features.iter().enumerate() {
+                let kappa = Self::kappa_for(fi, f.num_options, &left_sample, &right_sample);
+                let sel = Self::selectivity_for(fi, f.num_options, &left_sample, &right_sample);
+                kappas.push(kappa);
+                selectivities.push(sel);
+                if kappa < self.config.kappa_threshold {
+                    decisions.push(format!(
+                        "{}: dropped (ambiguous: kappa {kappa:.2} < {:.2})",
+                        f.name, self.config.kappa_threshold
+                    ));
+                } else if sel > self.config.max_selectivity {
+                    decisions.push(format!(
+                        "{}: dropped (not selective: sigma {sel:.2} > {:.2})",
+                        f.name, self.config.max_selectivity
+                    ));
+                } else {
+                    decisions.push(format!(
+                        "{}: kept (kappa {kappa:.2}, sigma {sel:.2})",
+                        f.name
+                    ));
+                    selected.push(fi);
+                }
+            }
+
+            // --- Phase 3: leave-one-out error test on the sample. ---
+            if self.config.leave_one_out && selected.len() > 1 {
+                let join = JoinOp {
+                    strategy: JoinStrategy::NaiveBatch(self.config.batch_size),
+                    combiner: CombinerKind::MajorityVote,
+                    assignments: self.config.assignments,
+                    limit_secs: self.config.limit_secs,
+                };
+                let mut kept = Vec::new();
+                for &fi in &selected {
+                    let others: Vec<usize> =
+                        selected.iter().copied().filter(|&x| x != fi).collect();
+                    let cand_minus = Self::candidates(&others, &left_sample, &right_sample);
+                    let out = join.run(market, ls, rs, Some(&cand_minus))?;
+                    hits_posted += out.hits_posted;
+                    let j_minus: HashSet<(usize, usize)> = out.matches.iter().copied().collect();
+                    if j_minus.is_empty() {
+                        kept.push(fi);
+                        continue;
+                    }
+                    let killed = j_minus
+                        .iter()
+                        .filter(|&&(i, j)| {
+                            !(match (left_sample.values[i][fi], right_sample.values[j][fi]) {
+                                (Some(a), Some(b)) => a == b,
+                                _ => true,
+                            })
+                        })
+                        .count();
+                    let frac = killed as f64 / j_minus.len() as f64;
+                    if frac > self.config.error_threshold {
+                        decisions[fi] = format!(
+                            "{}: dropped (leave-one-out: kills {frac:.2} of sample joins)",
+                            features[fi].name
+                        );
+                    } else {
+                        kept.push(fi);
+                    }
+                }
+                selected = kept;
+            }
+
+            // --- Phase 4: full extraction of surviving features. ---
+            let survivors: Vec<FeatureSpec> =
+                selected.iter().map(|&fi| features[fi].clone()).collect();
+            let (mut left_full, h3) = self.extract(market, &survivors, left_items)?;
+            let (mut right_full, h4) = self.extract(market, &survivors, right_items)?;
+            hits_posted += h3 + h4;
+
+            // Re-map survivor columns back to original feature indices
+            // so `candidates` and reporting use consistent numbering.
+            let remap = |e: &mut Extraction| {
+                let n = e.values.len();
+                let mut values = vec![vec![None; features.len()]; n];
+                let mut votes = vec![vec![Vec::new(); features.len()]; n];
+                for (col, &fi) in selected.iter().enumerate() {
+                    for i in 0..n {
+                        values[i][fi] = e.values[i][col];
+                        votes[i][fi] = std::mem::take(&mut e.votes[i][col]);
+                    }
+                }
+                e.values = values;
+                e.votes = votes;
+            };
+            remap(&mut left_full);
+            remap(&mut right_full);
+
+            let candidates = Self::candidates(&selected, &left_full, &right_full);
+            Ok(FeatureFilterOutcome {
+                selected,
+                decisions,
+                candidates,
+                kappas,
+                selectivities,
+                hits_posted,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::feature_filter::*;
+    use super::*;
+    use qurk_crowd::{CrowdConfig, EntityId, GroundTruth};
+
+    /// Two tables of n items each, where left[i] matches right[i].
+    fn join_market(n: usize, seed: u64) -> (Marketplace, Vec<ItemId>, Vec<ItemId>) {
+        let mut gt = GroundTruth::new();
+        let left = gt.new_items(n);
+        let right = gt.new_items(n);
+        for i in 0..n {
+            gt.set_entity(left[i], EntityId(i as u64));
+            gt.set_entity(right[i], EntityId(i as u64));
+        }
+        gt.set_default_similarity(0.05);
+        let m = Marketplace::new(&CrowdConfig::default().with_seed(seed), gt);
+        (m, left, right)
+    }
+
+    fn accuracy(matches: &[(usize, usize)], n: usize) -> (usize, usize) {
+        let tp = matches.iter().filter(|&&(i, j)| i == j).count();
+        let fp = matches.len() - tp;
+        let _ = n;
+        (tp, fp)
+    }
+
+    #[test]
+    fn simple_join_finds_matches() {
+        let (mut m, l, r) = join_market(10, 1);
+        let op = JoinOp {
+            strategy: JoinStrategy::Simple,
+            ..Default::default()
+        };
+        let out = op.run(&mut m, &l, &r, None).unwrap();
+        assert_eq!(out.hits_posted, 100);
+        // Per-vote TP is ~78-85% (paper-calibrated); MV over 5 votes
+        // recovers most but not all matches.
+        let (tp, fp) = accuracy(&out.matches, 10);
+        assert!(tp >= 8, "tp={tp}");
+        assert!(fp <= 1, "fp={fp}");
+    }
+
+    #[test]
+    fn naive_batch_reduces_hits() {
+        let (mut m, l, r) = join_market(10, 2);
+        // QA combiner, as the paper recommends for batched schemes.
+        let op = JoinOp {
+            strategy: JoinStrategy::NaiveBatch(5),
+            combiner: CombinerKind::QualityAdjust,
+            ..Default::default()
+        };
+        let out = op.run(&mut m, &l, &r, None).unwrap();
+        assert_eq!(out.hits_posted, 20); // 100 / 5
+        let (tp, _) = accuracy(&out.matches, 10);
+        assert!(tp >= 7, "tp={tp}");
+    }
+
+    #[test]
+    fn smart_batch_grid_hit_count() {
+        let (mut m, l, r) = join_market(9, 3);
+        let op = JoinOp {
+            strategy: JoinStrategy::SmartBatch { rows: 3, cols: 3 },
+            combiner: CombinerKind::QualityAdjust,
+            ..Default::default()
+        };
+        let out = op.run(&mut m, &l, &r, None).unwrap();
+        assert_eq!(out.hits_posted, 9); // 81 / 9
+        let (tp, fp) = accuracy(&out.matches, 9);
+        assert!(tp >= 6, "tp={tp}");
+        assert!(fp <= 2, "fp={fp}");
+    }
+
+    #[test]
+    fn qa_beats_mv_under_spam() {
+        // Heavier spam population: QA should retain at least MV's TP.
+        let build = || {
+            let mut gt = GroundTruth::new();
+            let left = gt.new_items(12);
+            let right = gt.new_items(12);
+            for i in 0..12 {
+                gt.set_entity(left[i], EntityId(i as u64));
+                gt.set_entity(right[i], EntityId(i as u64));
+            }
+            let mut cfg = CrowdConfig::default().with_seed(77).with_assignments(5);
+            cfg.workers.spammer_fraction = 0.25;
+            (Marketplace::new(&cfg, gt), left, right)
+        };
+        let (mut m1, l, r) = build();
+        let mv = JoinOp {
+            strategy: JoinStrategy::SmartBatch { rows: 3, cols: 3 },
+            combiner: CombinerKind::MajorityVote,
+            ..Default::default()
+        }
+        .run(&mut m1, &l, &r, None)
+        .unwrap();
+        let (mut m2, l, r) = build();
+        let qa = JoinOp {
+            strategy: JoinStrategy::SmartBatch { rows: 3, cols: 3 },
+            combiner: CombinerKind::QualityAdjust,
+            ..Default::default()
+        }
+        .run(&mut m2, &l, &r, None)
+        .unwrap();
+        let (tp_mv, _) = accuracy(&mv.matches, 12);
+        let (tp_qa, _) = accuracy(&qa.matches, 12);
+        assert!(tp_qa >= tp_mv, "QA {tp_qa} vs MV {tp_mv}");
+    }
+
+    #[test]
+    fn candidate_mask_restricts_pairs() {
+        let (mut m, l, r) = join_market(6, 4);
+        let candidates: HashSet<(usize, usize)> =
+            (0..6).map(|i| (i, i)).chain([(0, 1), (1, 0)]).collect();
+        let op = JoinOp::default();
+        let out = op.run(&mut m, &l, &r, Some(&candidates)).unwrap();
+        // 8 candidates / batch 5 -> 2 HITs.
+        assert_eq!(out.hits_posted, 2);
+        for &(i, j) in &out.matches {
+            assert!(candidates.contains(&(i, j)));
+        }
+        let (tp, _) = accuracy(&out.matches, 6);
+        assert!(tp >= 5);
+    }
+
+    #[test]
+    fn empty_candidates_is_noop() {
+        let (mut m, l, r) = join_market(3, 5);
+        let out = JoinOp::default()
+            .run(&mut m, &l, &r, Some(&HashSet::new()))
+            .unwrap();
+        assert!(out.matches.is_empty());
+        assert_eq!(out.hits_posted, 0);
+        assert_eq!(m.hits_posted(), 0);
+    }
+
+    // ---- feature filtering ----
+
+    /// Market where items carry a crisp "color" feature and an
+    /// ambiguous "mood" feature.
+    fn feature_market(n: usize) -> (Marketplace, Vec<ItemId>, Vec<ItemId>) {
+        let mut gt = GroundTruth::new();
+        gt.define_feature("color", &["red", "green", "blue"]);
+        gt.define_feature("mood", &["happy", "sad"]);
+        let left = gt.new_items(n);
+        let right = gt.new_items(n);
+        for i in 0..n {
+            gt.set_entity(left[i], EntityId(i as u64));
+            gt.set_entity(right[i], EntityId(i as u64));
+            for &item in &[left[i], right[i]] {
+                gt.set_feature_simple(item, "color", i % 3, 0.04);
+                // mood is pure noise: uniform report probs.
+                gt.set_feature(
+                    item,
+                    "mood",
+                    qurk_crowd::truth::FeatureTruth {
+                        value: 0,
+                        report_probs: vec![0.5, 0.5],
+                    },
+                );
+            }
+        }
+        let m = Marketplace::new(&CrowdConfig::default().with_seed(9), gt);
+        (m, left, right)
+    }
+
+    fn specs() -> Vec<FeatureSpec> {
+        vec![
+            FeatureSpec {
+                name: "color".into(),
+                num_options: 3,
+            },
+            FeatureSpec {
+                name: "mood".into(),
+                num_options: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn extraction_recovers_crisp_features() {
+        let (mut m, l, _) = feature_market(9);
+        let ff = FeatureFilter::default();
+        let (ex, hits) = ff.extract(&mut m, &specs(), &l).unwrap();
+        assert!(hits > 0);
+        let correct = ex
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(i, row)| row[0] == Some(i % 3))
+            .count();
+        assert!(correct >= 8, "correct={correct}/9");
+    }
+
+    #[test]
+    fn kappa_separates_crisp_from_ambiguous() {
+        let (mut m, l, r) = feature_market(12);
+        let ff = FeatureFilter::default();
+        let (le, _) = ff.extract(&mut m, &specs(), &l).unwrap();
+        let (re, _) = ff.extract(&mut m, &specs(), &r).unwrap();
+        let k_color = FeatureFilter::kappa_for(0, 3, &le, &re);
+        let k_mood = FeatureFilter::kappa_for(1, 2, &le, &re);
+        assert!(k_color > 0.5, "color kappa={k_color}");
+        assert!(k_mood < 0.2, "mood kappa={k_mood}");
+    }
+
+    #[test]
+    fn selectivity_estimate_reasonable() {
+        let (mut m, l, r) = feature_market(12);
+        let ff = FeatureFilter::default();
+        let (le, _) = ff.extract(&mut m, &specs(), &l).unwrap();
+        let (re, _) = ff.extract(&mut m, &specs(), &r).unwrap();
+        let sel = FeatureFilter::selectivity_for(0, 3, &le, &re);
+        // 3 roughly equal color classes -> sigma ~ 1/3.
+        assert!((0.2..=0.5).contains(&sel), "sel={sel}");
+    }
+
+    #[test]
+    fn pipeline_drops_ambiguous_feature_and_prunes() {
+        let (mut m, l, r) = feature_market(12);
+        let ff = FeatureFilter::new(FeatureFilterConfig {
+            sample_fraction: 0.5,
+            ..Default::default()
+        });
+        let out = ff.run(&mut m, &specs(), &l, &r).unwrap();
+        assert_eq!(out.selected, vec![0], "decisions: {:?}", out.decisions);
+        // All true matches survive filtering.
+        for i in 0..12 {
+            assert!(
+                out.candidates.contains(&(i, i)),
+                "true match {i} filtered away"
+            );
+        }
+        // And the cross product shrank substantially.
+        assert!(
+            out.candidates.len() < 12 * 12 / 2,
+            "candidates={}",
+            out.candidates.len()
+        );
+    }
+
+    #[test]
+    fn unknowns_act_as_wildcards() {
+        let left = Extraction {
+            values: vec![vec![None], vec![Some(1)]],
+            votes: vec![],
+        };
+        let right = Extraction {
+            values: vec![vec![Some(0)], vec![Some(2)]],
+            votes: vec![],
+        };
+        let c = FeatureFilter::candidates(&[0], &left, &right);
+        assert!(c.contains(&(0, 0)));
+        assert!(c.contains(&(0, 1)));
+        assert!(!c.contains(&(1, 0)));
+        assert!(!c.contains(&(1, 1)));
+    }
+}

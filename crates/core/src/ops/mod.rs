@@ -1,0 +1,22 @@
+//! Crowd-powered operators.
+//!
+//! Each operator turns tuples into HIT groups, drives the marketplace,
+//! and combines worker answers:
+//!
+//! * [`filter`] — linear-scan Yes/No predicates (§2.1) with merging
+//!   and combining batching.
+//! * [`generative`] — free-text and categorical extraction (§2.2).
+//! * [`join`] — SimpleJoin / NaiveBatch / SmartBatch block nested loop
+//!   (§3.1) plus POSSIBLY feature filtering (§3.2).
+//! * [`sort`] — Compare / Rate / Hybrid (§4.1) and MAX/MIN extraction.
+
+pub mod common;
+pub mod filter;
+pub mod generative;
+pub mod join;
+pub mod sort;
+
+pub use filter::FilterOp;
+pub use generative::GenerativeOp;
+pub use join::{FeatureFilterConfig, JoinOp, JoinOutcome, JoinStrategy};
+pub use sort::{CompareSort, HybridSort, HybridStrategy, RateSort, SortOutcome};

@@ -1,0 +1,901 @@
+//! The crowd sort operator (§4).
+//!
+//! Three implementations:
+//!
+//! * [`CompareSort`] — groups of `S` items per question; each worker
+//!   ranking yields `C(S,2)` pairwise votes. Because transitivity can
+//!   fail across workers (§4.1.1), aggregation uses the paper's
+//!   **head-to-head** method: an item's score is the number of
+//!   pairwise contests it wins under majority vote — identical to the
+//!   true ordering when the majority tournament is acyclic.
+//! * [`RateSort`] — each item rated on a 7-point Likert scale against
+//!   ten random context items; items are ordered by mean rating
+//!   (§4.1.2). `O(N)` HITs instead of `O(N²)`.
+//! * [`HybridSort`] — starts from the Rate order and spends extra
+//!   comparison HITs on suspect windows (§4.1.3): `Random`,
+//!   `Confidence` (rating-overlap driven) or sliding `Window(t)`.
+//!
+//! Plus the MAX/MIN extraction interface of §2.3 ([`extract_best`]).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use qurk_crowd::question::{HitKind, Question};
+use qurk_crowd::{HitSpec, ItemId, Marketplace};
+
+use crate::error::Result;
+use crate::ops::common::{run_and_collect, DEFAULT_ROUND_LIMIT_SECS};
+
+/// Result of a sort run.
+#[derive(Debug, Clone)]
+pub struct SortOutcome {
+    /// Items best-to-worst (the `MostName` end first).
+    pub order: Vec<ItemId>,
+    /// Score per *input index* (head-to-head wins or mean rating).
+    pub scores: Vec<f64>,
+    /// Rating standard deviation per input index (Rate only; zeros for
+    /// Compare).
+    pub stds: Vec<f64>,
+    /// Raw pairwise vote tally (Compare only; empty for Rate). Drives
+    /// the paper's modified-kappa agreement signal (Figure 6).
+    pub tally: PairTally,
+    pub hits_posted: usize,
+}
+
+// ---------------------------------------------------------------- Compare
+
+/// Comparison-based sort.
+#[derive(Debug, Clone)]
+pub struct CompareSort {
+    /// Items per comparison group (`S`).
+    pub group_size: usize,
+    /// Groups per HIT (`b` in §4.1.1's batching).
+    pub groups_per_hit: usize,
+    pub assignments: Option<u32>,
+    pub limit_secs: f64,
+    /// Seed for the group-cover generator.
+    pub seed: u64,
+}
+
+impl Default for CompareSort {
+    fn default() -> Self {
+        CompareSort {
+            group_size: 5,
+            groups_per_hit: 1,
+            assignments: None,
+            limit_secs: DEFAULT_ROUND_LIMIT_SECS,
+            seed: 0x50B7,
+        }
+    }
+}
+
+impl CompareSort {
+    /// Generate groups of `s` item indices covering every pair at
+    /// least once (a greedy covering design; §4.1.1: "our
+    /// batch-generation algorithm may generate overlapping groups").
+    /// The count approaches the `N(N−1)/(S(S−1))` lower bound the
+    /// paper quotes.
+    pub fn plan_groups(n: usize, s: usize, seed: u64) -> Vec<Vec<usize>> {
+        assert!(s >= 2, "group size must be at least 2");
+        if n <= 1 {
+            return Vec::new();
+        }
+        let s = s.min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // uncovered[i] = set of j > i not yet covered with i.
+        let mut uncovered: Vec<Vec<bool>> = (0..n).map(|i| vec![true; n - i]).collect();
+        let mut remaining: u64 = (n as u64) * (n as u64 - 1) / 2;
+        let is_unc = |unc: &Vec<Vec<bool>>, a: usize, b: usize| {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            unc[lo][hi - lo]
+        };
+        let mut groups = Vec::new();
+        while remaining > 0 {
+            // Seed the group with the item having the most uncovered
+            // partners (random tie-break via rotation).
+            let start = rng.random_range(0..n);
+            let first = (0..n)
+                .map(|k| (k + start) % n)
+                .max_by_key(|&i| {
+                    (0..n)
+                        .filter(|&j| j != i && is_unc(&uncovered, i, j))
+                        .count()
+                })
+                .unwrap();
+            let mut group = vec![first];
+            while group.len() < s {
+                // Add the item covering the most new pairs with the
+                // current group.
+                let best = (0..n)
+                    .filter(|i| !group.contains(i))
+                    .map(|i| {
+                        let new = group.iter().filter(|&&g| is_unc(&uncovered, i, g)).count();
+                        (new, i)
+                    })
+                    .max_by_key(|&(new, i)| (new, n - i))
+                    .map(|(_, i)| i);
+                match best {
+                    Some(i) => group.push(i),
+                    None => break,
+                }
+            }
+            // Mark pairs covered.
+            for a in 0..group.len() {
+                for b in (a + 1)..group.len() {
+                    let (lo, hi) = if group[a] < group[b] {
+                        (group[a], group[b])
+                    } else {
+                        (group[b], group[a])
+                    };
+                    if uncovered[lo][hi - lo] {
+                        uncovered[lo][hi - lo] = false;
+                        remaining -= 1;
+                    }
+                }
+            }
+            group.sort_unstable();
+            groups.push(group);
+        }
+        groups
+    }
+
+    /// Sort `items` along `dimension`.
+    pub fn run(
+        &self,
+        market: &mut Marketplace,
+        items: &[ItemId],
+        dimension: &str,
+    ) -> Result<SortOutcome> {
+        if items.len() <= 1 {
+            return Ok(SortOutcome {
+                order: items.to_vec(),
+                scores: vec![0.0; items.len()],
+                stds: vec![0.0; items.len()],
+                tally: PairTally::new(items.len()),
+                hits_posted: 0,
+            });
+        }
+        let groups = Self::plan_groups(items.len(), self.group_size, self.seed);
+        let questions: Vec<Question> = groups
+            .iter()
+            .map(|g| Question::CompareGroup {
+                items: g.iter().map(|&i| items[i]).collect(),
+                dimension: dimension.to_owned(),
+            })
+            .collect();
+        let specs = crate::hit::batch::merge_into_hits(
+            questions,
+            self.groups_per_hit.max(1),
+            HitKind::SortCompare,
+        );
+        let hits_posted = specs.len();
+        let group_id = match self.assignments {
+            Some(n) => market.post_group_with_assignments(specs, n),
+            None => market.post_group(specs),
+        };
+        let by_hit = run_and_collect(market, group_id, self.limit_secs)?;
+
+        // Accumulate pairwise wins from every ordering answer.
+        let index: HashMap<ItemId, usize> =
+            items.iter().enumerate().map(|(i, &it)| (it, i)).collect();
+        let mut tally = PairTally::new(items.len());
+        for assignments in by_hit.values() {
+            for a in assignments {
+                for ans in &a.answers {
+                    if let Some(ordering) = ans.as_ordering() {
+                        tally.record_ordering(ordering, &index);
+                    }
+                }
+            }
+        }
+
+        let scores = tally.head_to_head_scores();
+        let order = order_by_scores(items, &scores);
+        Ok(SortOutcome {
+            order,
+            scores,
+            stds: vec![0.0; items.len()],
+            tally,
+            hits_posted,
+        })
+    }
+}
+
+/// Pairwise vote tally with head-to-head scoring.
+#[derive(Debug, Clone)]
+pub struct PairTally {
+    n: usize,
+    /// wins[i][j] = number of votes ranking i above j.
+    wins: Vec<Vec<u32>>,
+}
+
+impl PairTally {
+    pub fn new(n: usize) -> Self {
+        PairTally {
+            n,
+            wins: vec![vec![0; n]; n],
+        }
+    }
+
+    /// Record one worker's best-to-worst ordering.
+    pub fn record_ordering(&mut self, ordering: &[ItemId], index: &HashMap<ItemId, usize>) {
+        for a in 0..ordering.len() {
+            for b in (a + 1)..ordering.len() {
+                if let (Some(&i), Some(&j)) = (index.get(&ordering[a]), index.get(&ordering[b])) {
+                    self.wins[i][j] += 1;
+                }
+            }
+        }
+    }
+
+    /// Record a single pairwise vote: `winner` beat `loser`.
+    pub fn record_pair(&mut self, winner: usize, loser: usize) {
+        self.wins[winner][loser] += 1;
+    }
+
+    /// Votes for (i beats j).
+    pub fn votes(&self, i: usize, j: usize) -> (u32, u32) {
+        (self.wins[i][j], self.wins[j][i])
+    }
+
+    /// Head-to-head scores (§4.1.1): each pair's majority winner gets a
+    /// point; ties split. Pairs with no votes contribute nothing.
+    pub fn head_to_head_scores(&self) -> Vec<f64> {
+        let mut scores = vec![0.0; self.n];
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let (wi, wj) = self.votes(i, j);
+                if wi + wj == 0 {
+                    continue;
+                }
+                match wi.cmp(&wj) {
+                    std::cmp::Ordering::Greater => scores[i] += 1.0,
+                    std::cmp::Ordering::Less => scores[j] += 1.0,
+                    std::cmp::Ordering::Equal => {
+                        scores[i] += 0.5;
+                        scores[j] += 0.5;
+                    }
+                }
+            }
+        }
+        scores
+    }
+
+    /// Does the majority tournament contain a cycle? (§4.1.1 explains
+    /// why Quicksort-style `O(N log N)` algorithms misbehave: with
+    /// cycles their output depends on unexamined pairs.)
+    pub fn has_cycles(&self) -> bool {
+        // DFS 3-coloring over majority edges i -> j (i beats j).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let beats = |i: usize, j: usize| {
+            let (wi, wj) = self.votes(i, j);
+            wi > wj
+        };
+        let mut color = vec![Color::White; self.n];
+        for start in 0..self.n {
+            if color[start] != Color::White {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            color[start] = Color::Gray;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                let mut advanced = false;
+                while *next < self.n {
+                    let j = *next;
+                    *next += 1;
+                    if j != node && beats(node, j) {
+                        match color[j] {
+                            Color::Gray => return true,
+                            Color::White => {
+                                color[j] = Color::Gray;
+                                stack.push((j, 0));
+                                advanced = true;
+                                break;
+                            }
+                            Color::Black => {}
+                        }
+                    }
+                }
+                if !advanced
+                    && stack
+                        .last()
+                        .map(|&(n2, nx)| n2 == node && nx >= self.n)
+                        .unwrap_or(false)
+                {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+fn order_by_scores(items: &[ItemId], scores: &[f64]) -> Vec<ItemId> {
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    idx.into_iter().map(|i| items[i]).collect()
+}
+
+// ---------------------------------------------------------------- Rate
+
+/// Rating-based sort.
+#[derive(Debug, Clone)]
+pub struct RateSort {
+    /// Items per HIT.
+    pub batch_size: usize,
+    /// Likert scale size (7 in the paper).
+    pub scale: u8,
+    /// Random context items shown alongside the target (10 in §4.1.2).
+    pub context_size: usize,
+    pub assignments: Option<u32>,
+    pub limit_secs: f64,
+    pub seed: u64,
+}
+
+impl Default for RateSort {
+    fn default() -> Self {
+        RateSort {
+            batch_size: 5,
+            scale: 7,
+            context_size: 10,
+            assignments: None,
+            limit_secs: DEFAULT_ROUND_LIMIT_SECS,
+            seed: 0x4A7E,
+        }
+    }
+}
+
+impl RateSort {
+    /// Sort `items` along `dimension` by mean rating.
+    pub fn run(
+        &self,
+        market: &mut Marketplace,
+        items: &[ItemId],
+        dimension: &str,
+    ) -> Result<SortOutcome> {
+        if items.is_empty() {
+            return Ok(SortOutcome {
+                order: Vec::new(),
+                scores: Vec::new(),
+                stds: Vec::new(),
+                tally: PairTally::new(0),
+                hits_posted: 0,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let questions: Vec<Question> = items
+            .iter()
+            .map(|&item| {
+                let ctx = qurk_crowd::rng::sample_distinct(
+                    &mut rng,
+                    items.len(),
+                    self.context_size.min(items.len()),
+                )
+                .into_iter()
+                .map(|i| items[i])
+                .collect();
+                Question::Rate {
+                    item,
+                    dimension: dimension.to_owned(),
+                    scale: self.scale,
+                    context: ctx,
+                }
+            })
+            .collect();
+        let specs =
+            crate::hit::batch::merge_into_hits(questions, self.batch_size, HitKind::SortRate);
+        let hits_posted = specs.len();
+        let group = match self.assignments {
+            Some(n) => market.post_group_with_assignments(specs, n),
+            None => market.post_group(specs),
+        };
+        let by_hit = run_and_collect(market, group, self.limit_secs)?;
+
+        // Per-item rating samples. Question order is items order.
+        let mut ratings: Vec<Vec<f64>> = vec![Vec::new(); items.len()];
+        let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
+        hit_ids.sort_unstable();
+        let mut qcursor = 0usize;
+        for hit_id in hit_ids {
+            let nq = market.hit(hit_id).questions.len();
+            for a in &by_hit[&hit_id] {
+                for (qi, ans) in a.answers.iter().enumerate() {
+                    if let Some(r) = ans.as_rating() {
+                        ratings[qcursor + qi].push(r as f64);
+                    }
+                }
+            }
+            qcursor += nq;
+        }
+
+        let scores: Vec<f64> = ratings
+            .iter()
+            .map(|rs| qurk_metrics::mean(rs).unwrap_or(0.0))
+            .collect();
+        let stds: Vec<f64> = ratings
+            .iter()
+            .map(|rs| qurk_metrics::sample_std(rs).unwrap_or(0.0))
+            .collect();
+        let order = order_by_scores(items, &scores);
+        Ok(SortOutcome {
+            order,
+            scores,
+            stds,
+            tally: PairTally::new(items.len()),
+            hits_posted,
+        })
+    }
+}
+
+// ---------------------------------------------------------------- Hybrid
+
+/// Window-selection strategy for the hybrid sort (§4.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridStrategy {
+    /// Pick S random items each iteration.
+    Random,
+    /// Prioritize windows whose rating confidence intervals overlap
+    /// most (`Σ Δa,b` over the window).
+    Confidence,
+    /// Sliding window advancing by `t` positions per iteration;
+    /// §4.2.4: `t` coprime with N lets passes interleave (Window 6
+    /// beats Window 5 on 40 squares because 5 divides 40).
+    Window { t: usize },
+}
+
+/// Result of a hybrid run: the initial rating order plus the order
+/// after each comparison HIT (Figure 7's x-axis).
+#[derive(Debug, Clone)]
+pub struct HybridOutcome {
+    pub initial: SortOutcome,
+    /// `trajectory[k]` = order after k+1 comparison HITs.
+    pub trajectory: Vec<Vec<ItemId>>,
+    pub hits_posted: usize,
+}
+
+/// The hybrid sort driver.
+#[derive(Debug, Clone)]
+pub struct HybridSort {
+    /// Window size S (usually the comparison group size).
+    pub window: usize,
+    pub strategy: HybridStrategy,
+    pub rate: RateSort,
+    pub assignments: Option<u32>,
+    pub limit_secs: f64,
+    pub seed: u64,
+}
+
+impl Default for HybridSort {
+    fn default() -> Self {
+        HybridSort {
+            window: 5,
+            strategy: HybridStrategy::Window { t: 6 },
+            rate: RateSort::default(),
+            assignments: None,
+            limit_secs: DEFAULT_ROUND_LIMIT_SECS,
+            seed: 0x48B1D,
+        }
+    }
+}
+
+impl HybridSort {
+    /// Run: rating pass, then `iterations` single-window comparison
+    /// HITs, re-sorting the touched positions after each.
+    pub fn run(
+        &self,
+        market: &mut Marketplace,
+        items: &[ItemId],
+        dimension: &str,
+        iterations: usize,
+    ) -> Result<HybridOutcome> {
+        let initial = self.rate.run(market, items, dimension)?;
+        let mut hits_posted = initial.hits_posted;
+        let n = items.len();
+        if n <= 1 || iterations == 0 {
+            return Ok(HybridOutcome {
+                trajectory: Vec::new(),
+                initial,
+                hits_posted,
+            });
+        }
+
+        let index: HashMap<ItemId, usize> =
+            items.iter().enumerate().map(|(i, &it)| (it, i)).collect();
+        // Current order as input indices.
+        let mut order: Vec<usize> = initial.order.iter().map(|it| index[it]).collect();
+        let mut tally = PairTally::new(n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trajectory = Vec::with_capacity(iterations);
+        let s = self.window.min(n);
+
+        // Confidence strategy: rank windows once by rating-overlap.
+        let mut confidence_windows: Vec<usize> = Vec::new();
+        if self.strategy == HybridStrategy::Confidence {
+            let mut scored: Vec<(f64, usize)> = (0..n.saturating_sub(s - 1))
+                .map(|w| {
+                    let mut r = 0.0;
+                    for a in w..(w + s) {
+                        for b in (a + 1)..(w + s) {
+                            let (ia, ib) = (order[a], order[b]);
+                            let (mu_a, sd_a) = (initial.scores[ia], initial.stds[ia]);
+                            let (mu_b, sd_b) = (initial.scores[ib], initial.stds[ib]);
+                            // Δa,b = max(μlow + σlow − μhigh + σhigh, 0)
+                            let (lo, lo_sd, hi, hi_sd) = if mu_a < mu_b {
+                                (mu_a, sd_a, mu_b, sd_b)
+                            } else {
+                                (mu_b, sd_b, mu_a, sd_a)
+                            };
+                            r += (lo + lo_sd - (hi - hi_sd)).max(0.0);
+                        }
+                    }
+                    (r, w)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            confidence_windows = scored.into_iter().map(|(_, w)| w).collect();
+        }
+
+        let mut window_cursor = 1usize; // sliding window position (paper starts i at 1)
+        for it in 0..iterations {
+            // Pick window positions within the *current* order.
+            let positions: Vec<usize> = match self.strategy {
+                HybridStrategy::Random => qurk_crowd::rng::sample_distinct(&mut rng, n, s),
+                HybridStrategy::Confidence => {
+                    let w = confidence_windows[it % confidence_windows.len().max(1)];
+                    (w..(w + s).min(n)).collect()
+                }
+                HybridStrategy::Window { t } => {
+                    let start = window_cursor;
+                    window_cursor = (window_cursor + t) % n;
+                    (0..s).map(|k| (start + k) % n).collect()
+                }
+            };
+            let mut positions = positions;
+            positions.sort_unstable();
+            positions.dedup();
+
+            let group_items: Vec<ItemId> = positions.iter().map(|&p| items[order[p]]).collect();
+            let spec = HitSpec::new(
+                vec![Question::CompareGroup {
+                    items: group_items,
+                    dimension: dimension.to_owned(),
+                }],
+                HitKind::SortCompare,
+            );
+            let gid = match self.assignments {
+                Some(nn) => market.post_group_with_assignments(vec![spec], nn),
+                None => market.post_group(vec![spec]),
+            };
+            let by_hit = run_and_collect(market, gid, self.limit_secs)?;
+            hits_posted += 1;
+            for assignments in by_hit.values() {
+                for a in assignments {
+                    for ans in &a.answers {
+                        if let Some(o) = ans.as_ordering() {
+                            tally.record_ordering(o, &index);
+                        }
+                    }
+                }
+            }
+
+            // Re-order the window's items by head-to-head among all
+            // accumulated votes for those pairs; stable fallback to
+            // current position.
+            let members: Vec<usize> = positions.iter().map(|&p| order[p]).collect();
+            let mut local: Vec<usize> = members.clone();
+            let pos_of = |m: usize, cur: &[usize]| cur.iter().position(|&x| x == m).unwrap();
+            local.sort_by(|&a, &b| {
+                let mut score_a = 0.0;
+                let mut score_b = 0.0;
+                for &m in &members {
+                    if m != a {
+                        let (wa, wm) = tally.votes(a, m);
+                        if wa > wm {
+                            score_a += 1.0;
+                        } else if wa == wm && wa > 0 {
+                            score_a += 0.5;
+                        }
+                    }
+                    if m != b {
+                        let (wb, wm) = tally.votes(b, m);
+                        if wb > wm {
+                            score_b += 1.0;
+                        } else if wb == wm && wb > 0 {
+                            score_b += 0.5;
+                        }
+                    }
+                }
+                score_b
+                    .partial_cmp(&score_a)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| pos_of(a, &order).cmp(&pos_of(b, &order)))
+            });
+            for (k, &p) in positions.iter().enumerate() {
+                order[p] = local[k];
+            }
+            trajectory.push(order.iter().map(|&i| items[i]).collect());
+        }
+
+        Ok(HybridOutcome {
+            initial,
+            trajectory,
+            hits_posted,
+        })
+    }
+}
+
+// ---------------------------------------------------------------- MAX/MIN
+
+/// Tournament-style MAX/MIN extraction (§2.3): batches of `batch_size`
+/// items, each HIT picks the best (or worst), winners advance.
+/// Returns the final pick and the number of HITs used.
+pub fn extract_best(
+    market: &mut Marketplace,
+    items: &[ItemId],
+    dimension: &str,
+    batch_size: usize,
+    want_max: bool,
+    assignments: Option<u32>,
+) -> Result<(ItemId, usize)> {
+    assert!(!items.is_empty(), "cannot extract from empty input");
+    assert!(batch_size >= 2, "batch size must be at least 2");
+    let mut pool: Vec<ItemId> = items.to_vec();
+    let mut hits = 0usize;
+    while pool.len() > 1 {
+        let specs: Vec<HitSpec> = pool
+            .chunks(batch_size)
+            .map(|chunk| {
+                HitSpec::new(
+                    vec![Question::PickBest {
+                        items: chunk.to_vec(),
+                        dimension: dimension.to_owned(),
+                        want_max,
+                    }],
+                    HitKind::PickBest,
+                )
+            })
+            .collect();
+        hits += specs.len();
+        let group = match assignments {
+            Some(n) => market.post_group_with_assignments(specs, n),
+            None => market.post_group(specs),
+        };
+        let by_hit = run_and_collect(market, group, DEFAULT_ROUND_LIMIT_SECS)?;
+        let mut winners: Vec<ItemId> = Vec::new();
+        let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
+        hit_ids.sort_unstable();
+        for hit_id in hit_ids {
+            // Majority vote over the assignment picks.
+            let picks: Vec<ItemId> = by_hit[&hit_id]
+                .iter()
+                .flat_map(|a| a.answers.iter().filter_map(|x| x.as_pick()))
+                .collect();
+            if let Some(winner) = qurk_combine::majority_vote(&picks).winner {
+                winners.push(winner);
+            }
+        }
+        winners.sort_unstable();
+        winners.dedup();
+        pool = winners;
+    }
+    Ok((pool[0], hits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qurk_crowd::truth::DimensionParams;
+    use qurk_crowd::{CrowdConfig, GroundTruth};
+    use qurk_metrics::tau_between_orders;
+
+    fn sort_market(n: usize, ambiguity: f64, seed: u64) -> (Marketplace, Vec<ItemId>) {
+        let mut gt = GroundTruth::new();
+        gt.define_dimension(
+            "dim",
+            DimensionParams {
+                ambiguity,
+                rating_noise_mult: 5.0,
+                pure_noise: false,
+            },
+        );
+        let items = gt.new_items(n);
+        for (i, &it) in items.iter().enumerate() {
+            gt.set_score(it, "dim", i as f64);
+        }
+        let m = Marketplace::new(&CrowdConfig::default().with_seed(seed), gt);
+        (m, items)
+    }
+
+    fn true_desc(items: &[ItemId]) -> Vec<ItemId> {
+        items.iter().rev().copied().collect()
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) index a pair matrix
+    fn plan_groups_covers_all_pairs() {
+        for (n, s) in [(10, 5), (17, 4), (40, 5), (7, 7), (5, 10)] {
+            let groups = CompareSort::plan_groups(n, s, 42);
+            let mut covered = vec![vec![false; n]; n];
+            for g in &groups {
+                assert!(g.len() <= s.min(n));
+                for a in 0..g.len() {
+                    for b in (a + 1)..g.len() {
+                        covered[g[a]][g[b]] = true;
+                        covered[g[b]][g[a]] = true;
+                    }
+                }
+            }
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert!(covered[i][j], "pair ({i},{j}) uncovered for n={n} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_groups_near_lower_bound() {
+        // 40 items, S=5: lower bound 78 (the paper's Compare cost);
+        // greedy should stay within ~40% of it.
+        let groups = CompareSort::plan_groups(40, 5, 1);
+        assert!(
+            (78..=110).contains(&groups.len()),
+            "groups={}",
+            groups.len()
+        );
+    }
+
+    #[test]
+    fn plan_groups_trivial_cases() {
+        assert!(CompareSort::plan_groups(1, 5, 0).is_empty());
+        assert_eq!(CompareSort::plan_groups(2, 5, 0).len(), 1);
+    }
+
+    #[test]
+    fn compare_sort_is_nearly_perfect_on_crisp_data() {
+        let (mut m, items) = sort_market(15, 0.012, 10);
+        let out = CompareSort::default().run(&mut m, &items, "dim").unwrap();
+        let tau = tau_between_orders(&out.order, &true_desc(&items)).unwrap();
+        assert!(tau > 0.97, "tau={tau}");
+    }
+
+    #[test]
+    fn rate_sort_is_good_but_imperfect() {
+        let (mut m, items) = sort_market(30, 0.012, 11);
+        let out = RateSort::default().run(&mut m, &items, "dim").unwrap();
+        assert_eq!(out.hits_posted, 6); // 30 / 5
+        let tau = tau_between_orders(&out.order, &true_desc(&items)).unwrap();
+        assert!((0.55..0.98).contains(&tau), "tau={tau}");
+        // Stds are populated (needed by Confidence hybrid).
+        assert!(out.stds.iter().any(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn rate_costs_linear_compare_costs_quadratic() {
+        let (mut m, items) = sort_market(20, 0.012, 12);
+        let rate = RateSort::default().run(&mut m, &items, "dim").unwrap();
+        let cmp = CompareSort::default().run(&mut m, &items, "dim").unwrap();
+        assert!(
+            cmp.hits_posted > 3 * rate.hits_posted,
+            "compare={} rate={}",
+            cmp.hits_posted,
+            rate.hits_posted
+        );
+    }
+
+    #[test]
+    fn hybrid_improves_on_rating() {
+        let (mut m, items) = sort_market(20, 0.012, 13);
+        let hybrid = HybridSort {
+            strategy: HybridStrategy::Window { t: 3 },
+            ..Default::default()
+        };
+        let out = hybrid.run(&mut m, &items, "dim", 25).unwrap();
+        let tau0 = tau_between_orders(&out.initial.order, &true_desc(&items)).unwrap();
+        let tau_end =
+            tau_between_orders(out.trajectory.last().unwrap(), &true_desc(&items)).unwrap();
+        assert!(
+            tau_end > tau0,
+            "hybrid should improve: tau0={tau0} tau_end={tau_end}"
+        );
+        assert!(tau_end > 0.9, "tau_end={tau_end}");
+    }
+
+    #[test]
+    fn hybrid_trajectory_length_matches_iterations() {
+        let (mut m, items) = sort_market(10, 0.012, 14);
+        let out = HybridSort::default().run(&mut m, &items, "dim", 7).unwrap();
+        assert_eq!(out.trajectory.len(), 7);
+        assert_eq!(out.hits_posted, out.initial.hits_posted + 7);
+        // Every trajectory entry is a permutation of the items.
+        for t in &out.trajectory {
+            let mut s = t.clone();
+            s.sort_unstable();
+            let mut want = items.clone();
+            want.sort_unstable();
+            assert_eq!(s, want);
+        }
+    }
+
+    #[test]
+    fn all_three_strategies_run() {
+        for strategy in [
+            HybridStrategy::Random,
+            HybridStrategy::Confidence,
+            HybridStrategy::Window { t: 6 },
+        ] {
+            let (mut m, items) = sort_market(12, 0.012, 15);
+            let out = HybridSort {
+                strategy,
+                ..Default::default()
+            }
+            .run(&mut m, &items, "dim", 5)
+            .unwrap();
+            assert_eq!(out.trajectory.len(), 5, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn head_to_head_handles_cycles() {
+        // A > B, B > C, C > A: scores all equal; no panic, order total.
+        let mut tally = PairTally::new(3);
+        for _ in 0..3 {
+            tally.record_pair(0, 1);
+            tally.record_pair(1, 2);
+            tally.record_pair(2, 0);
+        }
+        assert!(tally.has_cycles());
+        let scores = tally.head_to_head_scores();
+        assert_eq!(scores, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn acyclic_tournament_detected() {
+        let mut tally = PairTally::new(3);
+        tally.record_pair(0, 1);
+        tally.record_pair(1, 2);
+        tally.record_pair(0, 2);
+        assert!(!tally.has_cycles());
+        let scores = tally.head_to_head_scores();
+        assert_eq!(scores, vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tie_votes_split_points() {
+        let mut tally = PairTally::new(2);
+        tally.record_pair(0, 1);
+        tally.record_pair(1, 0);
+        assert_eq!(tally.head_to_head_scores(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn extract_max_and_min() {
+        let (mut m, items) = sort_market(12, 0.012, 16);
+        let (max, hits) = extract_best(&mut m, &items, "dim", 4, true, None).unwrap();
+        assert_eq!(max, items[11]);
+        assert!(hits >= 4); // 3 first-round + final
+        let (min, _) = extract_best(&mut m, &items, "dim", 4, false, None).unwrap();
+        assert_eq!(min, items[0]);
+    }
+
+    #[test]
+    fn single_item_sorts_trivially() {
+        let (mut m, items) = sort_market(1, 0.012, 17);
+        let out = CompareSort::default().run(&mut m, &items, "dim").unwrap();
+        assert_eq!(out.order, items);
+        assert_eq!(out.hits_posted, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! In-memory relations and the tab-delimited loader.
+//!
+//! §2.6: "Qurk is implemented as a Scala workflow engine with several
+//! types of input including relational databases and tab-delimited text
+//! files." We reproduce the tab-delimited path; rows type-check against
+//! the declared schema on the way in.
+
+use crate::error::{QurkError, Result};
+use crate::schema::{Schema, ValueType};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A schema-checked bag of tuples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row, type-checking against the schema.
+    pub fn push(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(QurkError::Schema(format!(
+                "row has {} values, schema has {} columns",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        for (v, f) in values.iter().zip(self.schema.fields()) {
+            if !f.ty.admits(v) {
+                return Err(QurkError::Schema(format!(
+                    "value {v:?} does not fit column {} ({:?})",
+                    f.name, f.ty
+                )));
+            }
+        }
+        self.rows.push(Tuple::new(values));
+        Ok(())
+    }
+
+    /// Append an already-checked tuple (internal fast path for
+    /// operators that construct rows from existing relations).
+    pub(crate) fn push_unchecked(&mut self, tuple: Tuple) {
+        debug_assert_eq!(tuple.len(), self.schema.len());
+        self.rows.push(tuple);
+    }
+
+    /// Iterate rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// Rename columns to `alias.<base>` (scan under an alias).
+    pub fn qualified(mut self, alias: &str) -> Relation {
+        self.schema = self.schema.qualified(alias);
+        self
+    }
+
+    /// Parse a tab-delimited document: `NULL` is null, `item://N` is an
+    /// item reference, otherwise values parse per the schema's column
+    /// type.
+    pub fn from_tsv(schema: Schema, text: &str) -> Result<Relation> {
+        let mut rel = Relation::new(schema);
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('\t').collect();
+            if parts.len() != rel.schema.len() {
+                return Err(QurkError::Schema(format!(
+                    "line {}: expected {} fields, found {}",
+                    lineno + 1,
+                    rel.schema.len(),
+                    parts.len()
+                )));
+            }
+            let mut values = Vec::with_capacity(parts.len());
+            for (raw, field) in parts.iter().zip(rel.schema.fields()) {
+                values.push(parse_value(raw, field.ty, lineno + 1)?);
+            }
+            rel.push(values)?;
+        }
+        Ok(rel)
+    }
+
+    /// Serialize to tab-delimited text (inverse of [`Self::from_tsv`]).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let line: Vec<String> = row.values().iter().map(render_tsv).collect();
+            out.push_str(&line.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_tsv(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_owned(),
+        other => other.render(),
+    }
+}
+
+fn parse_value(raw: &str, ty: ValueType, line: usize) -> Result<Value> {
+    if raw == "NULL" {
+        return Ok(Value::Null);
+    }
+    let err = |m: String| QurkError::Schema(format!("line {line}: {m}"));
+    match ty {
+        ValueType::Bool => raw
+            .parse::<bool>()
+            .map(Value::Bool)
+            .map_err(|_| err(format!("bad bool {raw:?}"))),
+        ValueType::Int => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err(format!("bad int {raw:?}"))),
+        ValueType::Float => raw
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err(format!("bad float {raw:?}"))),
+        ValueType::Text => Ok(Value::text(raw)),
+        ValueType::Item => raw
+            .strip_prefix("item://")
+            .and_then(|n| n.parse::<u64>().ok())
+            .map(|n| Value::Item(qurk_crowd::ItemId(n)))
+            .ok_or_else(|| err(format!("bad item reference {raw:?}"))),
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(&[
+            ("id", ValueType::Int),
+            ("name", ValueType::Text),
+            ("img", ValueType::Item),
+        ])
+    }
+
+    #[test]
+    fn push_type_checks() {
+        let mut r = Relation::new(schema());
+        r.push(vec![Value::Int(1), Value::text("a"), Value::Null])
+            .unwrap();
+        let err = r.push(vec![Value::text("x"), Value::text("a"), Value::Null]);
+        assert!(matches!(err, Err(QurkError::Schema(_))));
+        let err = r.push(vec![Value::Int(1)]);
+        assert!(matches!(err, Err(QurkError::Schema(_))));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let text = "1\talice\titem://4\n2\tNULL\titem://5\n";
+        let r = Relation::from_tsv(schema(), text).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[1][1], Value::Null);
+        assert_eq!(r.rows()[0][2], Value::Item(qurk_crowd::ItemId(4)));
+        assert_eq!(r.to_tsv(), text);
+    }
+
+    #[test]
+    fn tsv_rejects_bad_rows() {
+        assert!(Relation::from_tsv(schema(), "1\tonly-two").is_err());
+        assert!(Relation::from_tsv(schema(), "x\ta\titem://1").is_err());
+        assert!(Relation::from_tsv(schema(), "1\ta\tnot-item").is_err());
+    }
+
+    #[test]
+    fn tsv_skips_blank_lines() {
+        let r = Relation::from_tsv(schema(), "\n1\ta\titem://1\n\n").unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn qualification() {
+        let r = Relation::new(schema()).qualified("c");
+        assert_eq!(r.schema().fields()[0].name, "c.id");
+    }
+
+    #[test]
+    fn iteration() {
+        let mut r = Relation::new(Schema::new(&[("x", ValueType::Int)]));
+        r.push(vec![Value::Int(1)]).unwrap();
+        r.push(vec![Value::Int(2)]).unwrap();
+        let sum: i64 = r.iter().map(|t| t[0].as_int().unwrap()).sum();
+        assert_eq!(sum, 3);
+    }
+}

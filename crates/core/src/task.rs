@@ -1,0 +1,409 @@
+//! Typed task templates (§2.1–§2.4).
+//!
+//! A [`TaskDef`] is the validated form of a parsed `TASK` block. Four
+//! types exist, mirroring the paper:
+//!
+//! * **Filter** — Yes/No question per tuple (`isFemale`).
+//! * **Generative** — free-text or constrained (Radio) responses, one
+//!   or many fields (`animalInfo`, `gender`).
+//! * **Rank** — ordering information for ORDER BY (`squareSorter`),
+//!   rendered either as a comparison or a rating interface.
+//! * **EquiJoin** — pairwise match question for joins (`samePerson`).
+//!
+//! **Simulation convention**: the crowd oracle keys off the task name
+//! for Filter predicates and Generative/feature lookups, and off
+//! `OrderDimensionName` for Rank tasks. Datasets register ground truth
+//! under those names.
+
+use crate::error::{QurkError, Result};
+use crate::lang::ast::{PropValue, ResponseOption, ResponseSpec, TaskDefAst, Template};
+
+/// The four task types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskType {
+    Filter,
+    Generative,
+    Rank,
+    EquiJoin,
+}
+
+impl TaskType {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskType::Filter => "Filter",
+            TaskType::Generative => "Generative",
+            TaskType::Rank => "Rank",
+            TaskType::EquiJoin => "EquiJoin",
+        }
+    }
+}
+
+/// Answer-combination strategy (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombinerKind {
+    #[default]
+    MajorityVote,
+    /// Ipeirotis et al. EM (§2.1's `QualityAdjust`).
+    QualityAdjust,
+}
+
+/// Text normalization strategy (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormalizerKind {
+    #[default]
+    None,
+    LowercaseSingleSpace,
+}
+
+impl NormalizerKind {
+    pub fn apply(&self, raw: &str) -> String {
+        match self {
+            NormalizerKind::None => raw.to_owned(),
+            NormalizerKind::LowercaseSingleSpace => {
+                qurk_combine::normalize_lowercase_single_space(raw)
+            }
+        }
+    }
+}
+
+/// One generative output field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenField {
+    pub name: String,
+    pub response: ResponseSpec,
+    pub combiner: CombinerKind,
+    pub normalizer: NormalizerKind,
+}
+
+impl GenField {
+    /// For Radio responses: the concrete option labels (UNKNOWN
+    /// excluded) and whether UNKNOWN is offered.
+    pub fn radio_options(&self) -> Option<(Vec<&str>, bool)> {
+        match &self.response {
+            ResponseSpec::Radio { options, .. } => {
+                let mut labels = Vec::new();
+                let mut unknown = false;
+                for o in options {
+                    match o {
+                        ResponseOption::Value(v) => labels.push(v.as_str()),
+                        ResponseOption::Unknown => unknown = true,
+                    }
+                }
+                Some((labels, unknown))
+            }
+            ResponseSpec::Text { .. } => None,
+        }
+    }
+}
+
+/// A validated task definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDef {
+    pub name: String,
+    pub params: Vec<String>,
+    pub ty: TaskType,
+    pub combiner: CombinerKind,
+    /// Filter / Generative prompt.
+    pub prompt: Option<Template>,
+    /// Filter button labels.
+    pub yes_text: String,
+    pub no_text: String,
+    /// Generative fields (single-response tasks get one synthetic field
+    /// named "value").
+    pub fields: Vec<GenField>,
+    /// Rank labels.
+    pub singular_name: Option<String>,
+    pub plural_name: Option<String>,
+    pub order_dimension: Option<String>,
+    pub least_name: Option<String>,
+    pub most_name: Option<String>,
+    /// Rank item HTML.
+    pub html: Option<Template>,
+    /// EquiJoin UI templates.
+    pub left_preview: Option<Template>,
+    pub left_normal: Option<Template>,
+    pub right_preview: Option<Template>,
+    pub right_normal: Option<Template>,
+}
+
+impl TaskDef {
+    /// Validate and convert a parsed TASK block.
+    pub fn from_ast(ast: &TaskDefAst) -> Result<TaskDef> {
+        let ty = match ast.task_type.as_str() {
+            t if t.eq_ignore_ascii_case("Filter") => TaskType::Filter,
+            t if t.eq_ignore_ascii_case("Generative") => TaskType::Generative,
+            t if t.eq_ignore_ascii_case("Rank") => TaskType::Rank,
+            t if t.eq_ignore_ascii_case("EquiJoin") => TaskType::EquiJoin,
+            other => {
+                return Err(QurkError::Other(format!(
+                    "task {}: unknown TYPE {other}",
+                    ast.name
+                )))
+            }
+        };
+
+        let template_prop = |name: &str| -> Option<Template> {
+            match ast.prop(name) {
+                Some(PropValue::Template(t)) => Some(t.clone()),
+                _ => None,
+            }
+        };
+        let string_prop = |name: &str| -> Option<String> {
+            match ast.prop(name) {
+                Some(PropValue::Template(t)) => Some(t.format.clone()),
+                Some(PropValue::Ident(s)) => Some(s.clone()),
+                _ => None,
+            }
+        };
+
+        let combiner = match ast.prop("Combiner") {
+            None => CombinerKind::MajorityVote,
+            Some(PropValue::Ident(s)) if s.eq_ignore_ascii_case("MajorityVote") => {
+                CombinerKind::MajorityVote
+            }
+            Some(PropValue::Ident(s)) if s.eq_ignore_ascii_case("QualityAdjust") => {
+                CombinerKind::QualityAdjust
+            }
+            Some(other) => {
+                return Err(QurkError::Other(format!(
+                    "task {}: bad Combiner {other:?}",
+                    ast.name
+                )))
+            }
+        };
+
+        // Generative fields: explicit Fields block or single Response.
+        let mut fields = Vec::new();
+        if let Some(PropValue::Fields(fs)) = ast.prop("Fields") {
+            for (fname, props) in fs {
+                let mut response = None;
+                let mut fcomb = combiner;
+                let mut norm = NormalizerKind::None;
+                for (pname, pval) in props {
+                    match (pname.to_ascii_lowercase().as_str(), pval) {
+                        ("response", PropValue::Response(r)) => response = Some(r.clone()),
+                        ("combiner", PropValue::Ident(s)) => {
+                            fcomb = if s.eq_ignore_ascii_case("QualityAdjust") {
+                                CombinerKind::QualityAdjust
+                            } else {
+                                CombinerKind::MajorityVote
+                            };
+                        }
+                        ("normalizer", PropValue::Ident(s)) => {
+                            norm = if s.eq_ignore_ascii_case("LowercaseSingleSpace") {
+                                NormalizerKind::LowercaseSingleSpace
+                            } else {
+                                NormalizerKind::None
+                            };
+                        }
+                        _ => {
+                            return Err(QurkError::Other(format!(
+                                "task {}: bad field property {pname}",
+                                ast.name
+                            )))
+                        }
+                    }
+                }
+                fields.push(GenField {
+                    name: fname.clone(),
+                    response: response.ok_or_else(|| {
+                        QurkError::Other(format!(
+                            "task {}: field {fname} missing Response",
+                            ast.name
+                        ))
+                    })?,
+                    combiner: fcomb,
+                    normalizer: norm,
+                });
+            }
+        } else if let Some(PropValue::Response(r)) = ast.prop("Response") {
+            fields.push(GenField {
+                name: "value".to_owned(),
+                response: r.clone(),
+                combiner,
+                normalizer: NormalizerKind::None,
+            });
+        }
+
+        let def = TaskDef {
+            name: ast.name.clone(),
+            params: ast.params.clone(),
+            ty,
+            combiner,
+            prompt: template_prop("Prompt"),
+            yes_text: string_prop("YesText").unwrap_or_else(|| "Yes".to_owned()),
+            no_text: string_prop("NoText").unwrap_or_else(|| "No".to_owned()),
+            fields,
+            singular_name: string_prop("SingularName").or_else(|| string_prop("SingluarName")),
+            plural_name: string_prop("PluralName"),
+            order_dimension: string_prop("OrderDimensionName"),
+            least_name: string_prop("LeastName"),
+            most_name: string_prop("MostName"),
+            html: template_prop("Html"),
+            left_preview: template_prop("LeftPreview"),
+            left_normal: template_prop("LeftNormal"),
+            right_preview: template_prop("RightPreview"),
+            right_normal: template_prop("RightNormal"),
+        };
+        def.validate()?;
+        Ok(def)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let fail = |m: String| Err(QurkError::Other(format!("task {}: {m}", self.name)));
+        match self.ty {
+            TaskType::Filter => {
+                if self.prompt.is_none() {
+                    return fail("Filter requires a Prompt".into());
+                }
+                if self.params.len() != 1 {
+                    return fail(format!("Filter takes 1 param, has {}", self.params.len()));
+                }
+            }
+            TaskType::Generative => {
+                if self.prompt.is_none() {
+                    return fail("Generative requires a Prompt".into());
+                }
+                if self.fields.is_empty() {
+                    return fail("Generative requires Fields or a Response".into());
+                }
+            }
+            TaskType::Rank => {
+                if self.order_dimension.is_none() {
+                    return fail("Rank requires OrderDimensionName".into());
+                }
+                if self.params.len() != 1 {
+                    return fail(format!("Rank takes 1 param, has {}", self.params.len()));
+                }
+            }
+            TaskType::EquiJoin => {
+                if self.params.len() != 2 {
+                    return fail(format!(
+                        "EquiJoin takes 2 params, has {}",
+                        self.params.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The simulation key this task asks about: task name for
+    /// filters/features, `OrderDimensionName` for ranks.
+    pub fn oracle_key(&self) -> &str {
+        match self.ty {
+            TaskType::Rank => self.order_dimension.as_deref().unwrap_or(&self.name),
+            _ => &self.name,
+        }
+    }
+
+    /// For single-field categorical tasks (feature extraction): option
+    /// labels and whether UNKNOWN is offered.
+    pub fn feature_options(&self) -> Option<(Vec<&str>, bool)> {
+        if self.fields.len() == 1 {
+            self.fields[0].radio_options()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parser::parse_tasks;
+
+    fn one(src: &str) -> TaskDef {
+        let asts = parse_tasks(src).unwrap();
+        TaskDef::from_ast(&asts[0]).unwrap()
+    }
+
+    #[test]
+    fn filter_defaults() {
+        let t = one(r#"TASK isFemale(field) TYPE Filter:
+                Prompt: "<img src='%s'>?", tuple[field]
+            "#);
+        assert_eq!(t.ty, TaskType::Filter);
+        assert_eq!(t.yes_text, "Yes");
+        assert_eq!(t.no_text, "No");
+        assert_eq!(t.combiner, CombinerKind::MajorityVote);
+        assert_eq!(t.oracle_key(), "isFemale");
+    }
+
+    #[test]
+    fn filter_requires_prompt() {
+        let asts = parse_tasks("TASK f(x) TYPE Filter:\n YesText: \"Y\"").unwrap();
+        assert!(TaskDef::from_ast(&asts[0]).is_err());
+    }
+
+    #[test]
+    fn rank_oracle_key_is_dimension() {
+        let t = one(r#"TASK squareSorter(field) TYPE Rank:
+                SingularName: "square"
+                PluralName: "squares"
+                OrderDimensionName: "area"
+                LeastName: "smallest"
+                MostName: "largest"
+                Html: "<img src='%s'>", tuple[field]
+            "#);
+        assert_eq!(t.ty, TaskType::Rank);
+        assert_eq!(t.oracle_key(), "area");
+        assert_eq!(t.most_name.as_deref(), Some("largest"));
+    }
+
+    #[test]
+    fn rank_requires_dimension() {
+        let asts = parse_tasks("TASK r(x) TYPE Rank:\n SingularName: \"s\"").unwrap();
+        assert!(TaskDef::from_ast(&asts[0]).is_err());
+    }
+
+    #[test]
+    fn generative_single_response_becomes_value_field() {
+        let t = one(r#"TASK gender(field) TYPE Generative:
+                Prompt: "%s gender?", tuple[field]
+                Response: Radio("Gender", ["Male", "Female", UNKNOWN])
+                Combiner: MajorityVote
+            "#);
+        assert_eq!(t.fields.len(), 1);
+        let (opts, unknown) = t.feature_options().unwrap();
+        assert_eq!(opts, vec!["Male", "Female"]);
+        assert!(unknown);
+    }
+
+    #[test]
+    fn generative_fields_with_normalizers() {
+        let t = one(r#"TASK animalInfo(field) TYPE Generative:
+                Prompt: "%s?", tuple[field]
+                Fields: {
+                    common: { Response: Text("Common name"),
+                              Combiner: MajorityVote,
+                              Normalizer: LowercaseSingleSpace }
+                }
+            "#);
+        assert_eq!(t.fields[0].normalizer, NormalizerKind::LowercaseSingleSpace);
+        assert_eq!(t.fields[0].normalizer.apply(" A  B "), "a b");
+        assert!(t.feature_options().is_none()); // Text, not Radio
+    }
+
+    #[test]
+    fn equijoin_validates_arity() {
+        let t = one(r#"TASK samePerson(f1, f2) TYPE EquiJoin:
+                Combiner: QualityAdjust
+            "#);
+        assert_eq!(t.ty, TaskType::EquiJoin);
+        assert_eq!(t.combiner, CombinerKind::QualityAdjust);
+        let asts = parse_tasks("TASK bad(x) TYPE EquiJoin:\n Combiner: MajorityVote").unwrap();
+        assert!(TaskDef::from_ast(&asts[0]).is_err());
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let asts = parse_tasks("TASK t(x) TYPE Wat:\n Prompt: \"p\"").unwrap();
+        assert!(TaskDef::from_ast(&asts[0]).is_err());
+    }
+
+    #[test]
+    fn normalizer_none_is_identity() {
+        assert_eq!(NormalizerKind::None.apply(" A "), " A ");
+    }
+}

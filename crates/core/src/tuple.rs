@@ -1,0 +1,108 @@
+//! Tuples: rows of a relation.
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row. Values are positionally aligned with a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Value by column name through a schema (supports qualified names).
+    pub fn field<'a>(&'a self, schema: &Schema, name: &str) -> Option<&'a Value> {
+        schema.resolve(name).and_then(|i| self.values.get(i))
+    }
+
+    /// Concatenate two tuples (join output).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+
+    /// Project onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices
+                .iter()
+                .map(|&i| self.values.get(i).cloned().unwrap_or(Value::Null))
+                .collect(),
+        }
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ValueType;
+
+    #[test]
+    fn field_access_via_schema() {
+        let s = Schema::new(&[("c.name", ValueType::Text), ("c.img", ValueType::Item)]);
+        let t = Tuple::new(vec![Value::text("alice"), Value::Null]);
+        assert_eq!(t.field(&s, "name"), Some(&Value::text("alice")));
+        assert_eq!(t.field(&s, "c.name"), Some(&Value::text("alice")));
+        assert_eq!(t.field(&s, "missing"), None);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Tuple::new(vec![Value::Int(3)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[2], Value::Int(3));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn project_out_of_range_gives_null() {
+        let t = Tuple::new(vec![Value::Int(1)]);
+        assert_eq!(t.project(&[5]).values(), &[Value::Null]);
+    }
+
+    #[test]
+    fn indexing() {
+        let t = Tuple::from(vec![Value::Bool(true)]);
+        assert_eq!(t[0], Value::Bool(true));
+        assert_eq!(t.get(1), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! Scalar values.
+//!
+//! Qurk's data model is relational with one extension: an
+//! [`Item`](Value::Item) value referencing a crowd-visible object (an
+//! image in the paper's datasets). Items are what HIT questions are
+//! asked about; everything else is ordinary scalar data.
+
+use qurk_crowd::ItemId;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    /// Reference to a crowd-visible item (e.g. an image URL in the
+    /// original system; here a handle into the ground-truth oracle).
+    Item(ItemId),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_item(&self) -> Option<ItemId> {
+        match self {
+            Value::Item(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Render for display / HIT HTML substitution.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "NULL".to_owned(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Text(t) => t.clone(),
+            Value::Item(i) => format!("item://{}", i.0),
+        }
+    }
+
+    /// SQL-style comparison: `Null` compares as unknown (`None`);
+    /// numeric types compare cross-type.
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Item(a), Item(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality (`None` when either side is NULL or incomparable).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == std::cmp::Ordering::Equal)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<ItemId> for Value {
+    fn from(v: ItemId) -> Self {
+        Value::Item(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::text("x").as_text(), Some("x"));
+        assert_eq!(Value::Item(ItemId(7)).as_item(), Some(ItemId(7)));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_bool(), None);
+    }
+
+    #[test]
+    fn sql_comparison_with_nulls() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::text("a").sql_cmp(&Value::text("b")),
+            Some(Ordering::Less)
+        );
+        // Mixed incompatible types are incomparable.
+        assert_eq!(Value::text("a").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn rendering() {
+        assert_eq!(Value::Null.render(), "NULL");
+        assert_eq!(Value::Int(-4).render(), "-4");
+        assert_eq!(Value::Item(ItemId(3)).render(), "item://3");
+        assert_eq!(format!("{}", Value::text("hi")), "hi");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::text("s"));
+        assert_eq!(Value::from(ItemId(1)), Value::Item(ItemId(1)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Top-level crowd configuration.
+
+use crate::pricing::Price;
+use crate::sim::SimConfig;
+use crate::worker::WorkerPoolConfig;
+
+/// Everything needed to instantiate a [`crate::Marketplace`].
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    pub workers: WorkerPoolConfig,
+    pub sim: SimConfig,
+    pub price: Price,
+    /// Default assignments requested per HIT (the paper uses 5, and 10
+    /// for the two-trial aggregates).
+    pub assignments_per_hit: u32,
+    /// Master seed for population generation and the event loop.
+    pub seed: u64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            workers: WorkerPoolConfig::default(),
+            sim: SimConfig::default(),
+            price: Price::PAPER,
+            assignments_per_hit: 5,
+            seed: 0x9E37_79B9,
+        }
+    }
+}
+
+impl CrowdConfig {
+    /// Same configuration, different seed (for repeated trials).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the assignments requested per HIT.
+    pub fn with_assignments(mut self, n: u32) -> Self {
+        self.assignments_per_hit = n;
+        self
+    }
+
+    /// A clean-room population with no spammers or sloppy workers —
+    /// useful for isolating algorithmic behaviour in tests.
+    pub fn honest(mut self) -> Self {
+        self.workers.spammer_fraction = 0.0;
+        self.workers.sloppy_fraction = 0.0;
+        self.workers.biased_fraction = 0.0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = CrowdConfig::default();
+        assert_eq!(c.assignments_per_hit, 5);
+        assert!((c.price.per_assignment() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = CrowdConfig::default()
+            .with_seed(7)
+            .with_assignments(10)
+            .honest();
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.assignments_per_hit, 10);
+        assert_eq!(c.workers.spammer_fraction, 0.0);
+    }
+}

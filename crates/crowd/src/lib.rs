@@ -1,0 +1,49 @@
+//! # qurk-crowd
+//!
+//! A discrete-event simulator of a crowdsourcing marketplace, standing
+//! in for Amazon Mechanical Turk in the reproduction of *Human-powered
+//! Sorts and Joins* (Marcus et al., VLDB 2011).
+//!
+//! ## Why a simulator
+//!
+//! The paper's experiments ran live HITs against MTurk's 2011 worker
+//! population. That population is unavailable (and non-replayable), so
+//! this crate provides a *generative model* of the behaviours the paper
+//! measures:
+//!
+//! * **Worker quality** — a mixture of diligent, sloppy, biased and
+//!   spammer archetypes ([`worker`]); per-question answer models are
+//!   grounded in a hidden [`truth::GroundTruth`] oracle (Thurstonian
+//!   comparisons, noisy Likert ratings, similarity-driven join
+//!   confusion, per-item categorical confusion with `UNKNOWN`).
+//! * **Marketplace dynamics** — Poisson worker arrivals modulated by
+//!   time of day, HIT-group attractiveness proportional to remaining
+//!   work (Turkers "gravitate toward HIT groups with more tasks", §2.6),
+//!   Zipfian per-worker session lengths (§3.3.3), batch-size acceptance
+//!   (workers refuse oversized $0.01 HITs, §4.2.2/§6), and abandonment
+//!   that temporarily blocks tasks (§3.3.2) — all in a deterministic
+//!   seeded event loop ([`sim`]).
+//! * **Economics** — fixed price per HIT plus Amazon's half-cent
+//!   commission ([`pricing`]), the quantity the paper's optimizations
+//!   minimize.
+//!
+//! The operators in the `qurk` crate talk to this marketplace through
+//! the [`market::Marketplace`] API exactly as Qurk talked to MTurk:
+//! post HIT groups, wait, collect assignments.
+
+pub mod config;
+pub mod market;
+pub mod pricing;
+pub mod question;
+pub mod rng;
+pub mod sim;
+pub mod truth;
+pub mod worker;
+
+pub use config::CrowdConfig;
+pub use market::{Assignment, AssignmentId, Hit, HitGroupId, HitId, HitSpec, Marketplace};
+pub use pricing::{Ledger, Price};
+pub use question::{Answer, Question, UNKNOWN};
+pub use sim::{SimConfig, SimTime};
+pub use truth::{EntityId, GroundTruth, ItemId};
+pub use worker::{Worker, WorkerArchetype, WorkerId, WorkerPool, WorkerPoolConfig};

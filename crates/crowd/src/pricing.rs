@@ -1,0 +1,104 @@
+//! Pricing and accounting.
+//!
+//! The paper pays a fixed $0.01 per assignment, plus Amazon's half-cent
+//! commission, "which costs $0.015 per assignment" (§3.3.2). The
+//! system's objective function is to minimize the number of HITs
+//! subject to queries actually completing (§2.6).
+
+/// A per-assignment price in dollars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Price {
+    /// Paid to the worker per assignment.
+    pub reward: f64,
+    /// Platform commission per assignment.
+    pub commission: f64,
+}
+
+impl Price {
+    /// The paper's pricing: $0.01 reward + $0.005 commission.
+    pub const PAPER: Price = Price {
+        reward: 0.01,
+        commission: 0.005,
+    };
+
+    /// Total cost per assignment.
+    pub fn per_assignment(&self) -> f64 {
+        self.reward + self.commission
+    }
+}
+
+impl Default for Price {
+    fn default() -> Self {
+        Price::PAPER
+    }
+}
+
+/// Running account of marketplace spending.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Ledger {
+    pub assignments_paid: u64,
+    pub worker_payout: f64,
+    pub commission: f64,
+}
+
+impl Ledger {
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Record payment for one completed assignment.
+    pub fn charge(&mut self, price: Price) {
+        self.assignments_paid += 1;
+        self.worker_payout += price.reward;
+        self.commission += price.commission;
+    }
+
+    /// Total dollars spent.
+    pub fn total(&self) -> f64 {
+        self.worker_payout + self.commission
+    }
+}
+
+/// Cost of running `hits` HITs at `assignments_per_hit` assignments
+/// under `price` — the arithmetic behind every cost figure in the paper
+/// (e.g. 900 × 10 × $0.015 = $135 for the unbatched 30×30 join).
+pub fn query_cost(hits: u64, assignments_per_hit: u64, price: Price) -> f64 {
+    (hits * assignments_per_hit) as f64 * price.per_assignment()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_price_is_1_5_cents() {
+        assert!((Price::PAPER.per_assignment() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut l = Ledger::new();
+        for _ in 0..10 {
+            l.charge(Price::PAPER);
+        }
+        assert_eq!(l.assignments_paid, 10);
+        assert!((l.worker_payout - 0.10).abs() < 1e-12);
+        assert!((l.commission - 0.05).abs() < 1e-12);
+        assert!((l.total() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_naive_join_costs_135_dollars() {
+        // §3.3.2: 900 comparisons, 10 assignments per pair, $0.015 each.
+        let cost = query_cost(900, 10, Price::PAPER);
+        assert!((cost - 135.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_celebrity_join_5_assignments_costs_67_50() {
+        // §3.3.4: "without feature filters the cost would be $67.50 for
+        // 5 assignments per HIT" (900 pairs).
+        let cost = query_cost(900, 5, Price::PAPER);
+        assert!((cost - 67.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,260 @@
+//! Questions posed to workers and their answers.
+//!
+//! Each HIT contains one or more questions; the question enum mirrors
+//! the interfaces in the paper: filter buttons (§2.1), generative text
+//! (§2.2), join pair Yes/No (§3.1.1–3.1.3), comparison groups and
+//! Likert ratings (§4.1), and best-of-batch extraction for MAX/MIN
+//! aggregates (§2.3).
+
+use crate::truth::ItemId;
+
+/// Sentinel category index for the `UNKNOWN` answer of feature
+/// extraction tasks (§2.4): "This special value is equal to any other
+/// value, so that an UNKNOWN value does not remove potential join
+/// candidates."
+pub const UNKNOWN: usize = usize::MAX;
+
+/// A single question within a HIT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Question {
+    /// Yes/No predicate about one item (Filter task).
+    Filter { item: ItemId, predicate: String },
+    /// Categorical feature of one item; `num_options` excludes UNKNOWN.
+    Feature {
+        item: ItemId,
+        feature: String,
+        num_options: usize,
+    },
+    /// Free-text field for one item (Generative task).
+    Generative { item: ItemId, field: String },
+    /// Does this pair satisfy the join predicate?
+    JoinPair { left: ItemId, right: ItemId },
+    /// Order this group of items along `dimension`, best first.
+    CompareGroup {
+        items: Vec<ItemId>,
+        dimension: String,
+    },
+    /// Rate one item on a 1..=scale Likert scale; `context` items are
+    /// shown for calibration (§4.1.2 shows 10 random samples).
+    Rate {
+        item: ItemId,
+        dimension: String,
+        scale: u8,
+        context: Vec<ItemId>,
+    },
+    /// Pick the best (or worst, for MIN aggregates) item of a batch
+    /// (the MAX/MIN interface of §2.3).
+    PickBest {
+        items: Vec<ItemId>,
+        dimension: String,
+        /// true = pick the maximum ("largest"), false = the minimum.
+        want_max: bool,
+    },
+}
+
+impl Question {
+    /// Approximate worker effort, in "simple question" units. Drives
+    /// batch-size acceptance and per-HIT completion time in the
+    /// simulator. Comparison groups cost roughly the number of induced
+    /// pairwise judgements scaled down (workers scan, not enumerate).
+    pub fn work_units(&self) -> f64 {
+        match self {
+            Question::Filter { .. } => 1.0,
+            Question::Feature { .. } => 1.0,
+            Question::Generative { .. } => 2.0,
+            Question::JoinPair { .. } => 1.0,
+            Question::CompareGroup { items, .. } => {
+                let s = items.len() as f64;
+                // C(S,2) judgements, discounted: ordering 5 items is
+                // much cheaper than 10 independent pair HITs.
+                (s * (s - 1.0) / 2.0) * 0.4
+            }
+            Question::Rate { .. } => 1.0,
+            Question::PickBest { items, .. } => items.len() as f64 * 0.3,
+        }
+    }
+
+    /// Items referenced by this question (context items excluded — the
+    /// worker only glances at them).
+    pub fn items(&self) -> Vec<ItemId> {
+        match self {
+            Question::Filter { item, .. }
+            | Question::Feature { item, .. }
+            | Question::Generative { item, .. }
+            | Question::Rate { item, .. } => vec![*item],
+            Question::JoinPair { left, right } => vec![*left, *right],
+            Question::CompareGroup { items, .. } | Question::PickBest { items, .. } => {
+                items.clone()
+            }
+        }
+    }
+}
+
+/// The user interface a HIT was compiled to. Worker behaviour depends
+/// on the interface, not just the questions: the paper finds e.g. that
+/// large SmartBatch grids induce missed pairs (§3.3.2) and that asking
+/// all features at once improves answers (§3.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitKind {
+    /// One join pair with Yes/No buttons (Figure 2a).
+    JoinSimple,
+    /// b pairs stacked vertically with radio buttons (Figure 2b).
+    JoinNaive,
+    /// r×s grid of images; workers click matching pairs (Figure 2c).
+    JoinSmart { rows: usize, cols: usize },
+    /// One feature question per item.
+    FeatureSingle,
+    /// All features of an item asked together ("demographic survey"
+    /// framing, which the paper found reduces hair-color errors).
+    FeatureCombined,
+    /// Comparison sort interface (Figure 5a).
+    SortCompare,
+    /// Likert rating interface (Figure 5b).
+    SortRate,
+    /// Batched filter questions.
+    Filter,
+    /// Free-text generative form.
+    Generative,
+    /// Best-of-batch extraction (MAX/MIN).
+    PickBest,
+}
+
+/// Context the worker sees when answering: the interface and the total
+/// effort of the HIT (batching more work into one HIT for the same pay
+/// degrades care and attracts spammers — §3.3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitContext {
+    pub kind: HitKind,
+    pub total_work_units: f64,
+}
+
+/// Effective worker effort for a whole HIT, accounting for the
+/// interface. A SmartBatch grid of r×s images costs roughly r+s image
+/// scans, *not* r·s independent pair judgements — which is why the
+/// paper's workers accepted 5×5 grids (§5.2) while refusing equivalent
+/// stacks of 25 pairs.
+pub fn hit_work_units(kind: HitKind, questions: &[Question]) -> f64 {
+    match kind {
+        HitKind::JoinSmart { rows, cols } => {
+            // Scanning two image columns plus a few click decisions.
+            (rows + cols) as f64 * 0.8 + 1.0
+        }
+        _ => questions.iter().map(Question::work_units).sum(),
+    }
+}
+
+/// A worker's answer to one [`Question`]. Variants correspond 1:1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    Bool(bool),
+    /// Category index, or [`UNKNOWN`].
+    Category(usize),
+    Text(String),
+    /// Best-to-worst ordering of the group's items.
+    Ordering(Vec<ItemId>),
+    /// 1-based Likert rating.
+    Rating(u8),
+    Pick(ItemId),
+}
+
+impl Answer {
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Answer::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_category(&self) -> Option<usize> {
+        match self {
+            Answer::Category(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Answer::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    pub fn as_ordering(&self) -> Option<&[ItemId]> {
+        match self {
+            Answer::Ordering(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_rating(&self) -> Option<u8> {
+        match self {
+            Answer::Rating(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    pub fn as_pick(&self) -> Option<ItemId> {
+        match self {
+            Answer::Pick(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(n: u64) -> ItemId {
+        ItemId(n)
+    }
+
+    #[test]
+    fn work_units_scale_with_group_size() {
+        let small = Question::CompareGroup {
+            items: (0..5).map(item).collect(),
+            dimension: "size".into(),
+        };
+        let large = Question::CompareGroup {
+            items: (0..20).map(item).collect(),
+            dimension: "size".into(),
+        };
+        assert!(large.work_units() > small.work_units() * 10.0);
+        assert_eq!(
+            Question::Filter {
+                item: item(0),
+                predicate: "p".into()
+            }
+            .work_units(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn items_extraction() {
+        let q = Question::JoinPair {
+            left: item(1),
+            right: item(2),
+        };
+        assert_eq!(q.items(), vec![item(1), item(2)]);
+        let q = Question::Rate {
+            item: item(3),
+            dimension: "d".into(),
+            scale: 7,
+            context: vec![item(4), item(5)],
+        };
+        assert_eq!(q.items(), vec![item(3)]);
+    }
+
+    #[test]
+    fn answer_accessors() {
+        assert_eq!(Answer::Bool(true).as_bool(), Some(true));
+        assert_eq!(Answer::Bool(true).as_rating(), None);
+        assert_eq!(Answer::Category(UNKNOWN).as_category(), Some(UNKNOWN));
+        assert_eq!(Answer::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Answer::Rating(7).as_rating(), Some(7));
+        assert_eq!(Answer::Pick(item(9)).as_pick(), Some(item(9)));
+        let ord = Answer::Ordering(vec![item(1), item(2)]);
+        assert_eq!(ord.as_ordering().unwrap().len(), 2);
+    }
+}

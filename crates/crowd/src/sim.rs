@@ -1,0 +1,237 @@
+//! Discrete-event scaffolding: virtual time, event queue, and the
+//! marketplace dynamics configuration.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in seconds since the simulation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    pub fn hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    pub fn plus_secs(self, secs: f64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+}
+
+/// Marketplace dynamics knobs.
+///
+/// Defaults are calibrated so that the paper-scale workloads complete in
+/// fractions of an hour to a couple of hours of virtual time, matching
+/// the magnitudes in Figure 4, and so that under-batched workloads with
+/// many HITs take longer end-to-end than batched ones.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Mean worker arrivals per hour at the daily baseline.
+    pub arrivals_per_hour: f64,
+    /// Multiplier applied on top of the baseline by virtual time of day;
+    /// index = hour of day 0..24. Models the paper's morning-vs-evening
+    /// trial variance.
+    pub time_of_day: [f64; 24],
+    /// Hour of virtual day at which the simulation starts.
+    pub start_hour: f64,
+    /// Saturation constant for group engagement: a group with `r`
+    /// remaining assignments attracts an arriving worker with
+    /// probability `r / (r + half_saturation)`. Small remainders make
+    /// groups unattractive — producing the paper's observation that
+    /// "the last 50% of wait time is spent completing the last 5% of
+    /// tasks".
+    pub engagement_half_saturation: f64,
+    /// Probability an accepted assignment is abandoned; it stays locked
+    /// (blocking other workers) until the lock expires.
+    pub abandon_probability: f64,
+    /// Lock duration for abandoned assignments, seconds.
+    pub abandon_lock_secs: f64,
+    /// Zipf support/exponent for per-session assignment counts.
+    pub session_zipf_n: u64,
+    pub session_zipf_s: f64,
+    /// Fixed per-HIT overhead seconds (reading instructions, submit).
+    pub per_hit_overhead_secs: f64,
+    /// Sharpness of the work-unit acceptance threshold: P(accept) is a
+    /// logistic in (max_work_units − hit_work_units) / softness.
+    pub acceptance_softness: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            arrivals_per_hour: 140.0,
+            time_of_day: [
+                0.5, 0.4, 0.35, 0.3, 0.3, 0.4, 0.6, 0.8, 1.0, 1.1, 1.15, 1.2, //
+                1.2, 1.15, 1.1, 1.05, 1.0, 1.0, 1.1, 1.2, 1.15, 1.0, 0.8, 0.6,
+            ],
+            start_hour: 9.0,
+            engagement_half_saturation: 6.0,
+            abandon_probability: 0.03,
+            abandon_lock_secs: 600.0,
+            session_zipf_n: 120,
+            session_zipf_s: 1.05,
+            per_hit_overhead_secs: 6.0,
+            acceptance_softness: 2.5,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Arrival-rate multiplier at virtual time `t`.
+    pub fn rate_multiplier(&self, t: SimTime) -> f64 {
+        let hour = (self.start_hour + t.hours()) % 24.0;
+        let idx = (hour.floor() as usize) % 24;
+        self.time_of_day[idx]
+    }
+
+    /// Evening preset: the paper ran one trial before 11 AM EST and one
+    /// after 7 PM EST to measure time-of-day latency variance.
+    pub fn evening(mut self) -> Self {
+        self.start_hour = 19.0;
+        self
+    }
+
+    /// Morning preset.
+    pub fn morning(mut self) -> Self {
+        self.start_hour = 9.0;
+        self
+    }
+}
+
+/// An event in the queue. Ordered by time (earliest first) with a
+/// sequence number tie-break so ordering is total and deterministic.
+#[derive(Debug, Clone)]
+pub struct Event<P> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub payload: P,
+}
+
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<P> Eq for Event<P> {}
+
+impl<P> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic earliest-first event queue.
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Event<P>>,
+    next_seq: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<P> EventQueue<P> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, at: SimTime, payload: P) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, payload });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let t = SimTime::ZERO.plus_secs(7200.0);
+        assert_eq!(t.hours(), 2.0);
+        assert_eq!(t.secs(), 7200.0);
+    }
+
+    #[test]
+    fn queue_pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5.0), "c");
+        q.push(SimTime(1.0), "a");
+        q.push(SimTime(3.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1.0), 1);
+        q.push(SimTime(1.0), 2);
+        q.push(SimTime(1.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rate_multiplier_wraps_around_midnight() {
+        let cfg = SimConfig::default();
+        // Start 9am; +20h = 5am next day.
+        let m = cfg.rate_multiplier(SimTime(20.0 * 3600.0));
+        assert_eq!(m, cfg.time_of_day[5]);
+    }
+
+    #[test]
+    fn evening_preset_changes_start() {
+        let cfg = SimConfig::default().evening();
+        assert_eq!(cfg.start_hour, 19.0);
+        let m = cfg.rate_multiplier(SimTime::ZERO);
+        assert_eq!(m, cfg.time_of_day[19]);
+    }
+
+    #[test]
+    fn queue_len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(1.0), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! The hidden ground-truth oracle.
+//!
+//! Datasets register *items* (the analogue of the paper's images) with
+//! latent properties that workers perceive noisily:
+//!
+//! * **scores** along named sort dimensions (square area, animal adult
+//!   size, dangerousness, …) together with a per-dimension *ambiguity*
+//!   controlling how discriminable neighbouring items are. The paper's
+//!   Q4 ("belongs on Saturn") is a dimension with ambiguity so high the
+//!   signal nearly vanishes; Q5 is pure noise.
+//! * **entities** for join questions: two items match iff they denote
+//!   the same entity. A pairwise *similarity* in `[0,1]` drives false
+//!   positives between lookalikes.
+//! * **categorical features** (gender, hair color, skin color) with
+//!   per-item confusion distributions — a dyed-hair celebrity has
+//!   probability mass spread over several hair colors, which is what
+//!   drags Fleiss' κ down in Table 4.
+//! * **filter predicates** (bool) with per-item error rates.
+//! * **generative fields**: a distribution over raw strings workers
+//!   type (case/spacing variants normalize to the canonical answer).
+//!
+//! The oracle is append-only and shared read-only by worker models.
+
+use std::collections::HashMap;
+
+/// Opaque item identifier (an image/tuple in the paper's datasets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u64);
+
+/// Opaque entity identifier for join ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u64);
+
+/// Latent per-dimension sort information.
+#[derive(Debug, Clone, Copy)]
+struct ScoreEntry {
+    score: f64,
+}
+
+/// Per-dimension perception parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DimensionParams {
+    /// Standard deviation of the perceptual noise a median worker adds
+    /// to an item's (normalized) score when comparing items
+    /// side-by-side. 0 = perfectly crisp (squares); large = ambiguous
+    /// (Saturn).
+    pub ambiguity: f64,
+    /// Multiplier on `ambiguity` for *absolute* judgments (Likert
+    /// ratings). Psychophysically, rating an item in isolation is much
+    /// noisier than comparing two items side by side; this gap is what
+    /// makes `Rate` cheaper but less accurate than `Compare` (§4.2).
+    pub rating_noise_mult: f64,
+    /// If true the dimension carries no signal at all: workers perceive
+    /// pure noise (the paper's Q5 "random responses" control).
+    pub pure_noise: bool,
+}
+
+impl Default for DimensionParams {
+    fn default() -> Self {
+        DimensionParams {
+            ambiguity: 0.05,
+            rating_noise_mult: 4.0,
+            pure_noise: false,
+        }
+    }
+}
+
+impl DimensionParams {
+    /// A crisp, objectively sortable dimension (e.g. square area).
+    pub fn crisp(ambiguity: f64) -> Self {
+        DimensionParams {
+            ambiguity,
+            ..Default::default()
+        }
+    }
+
+    /// Fully ambiguous: workers perceive pure noise.
+    pub fn pure_noise() -> Self {
+        DimensionParams {
+            ambiguity: 1.0,
+            rating_noise_mult: 1.0,
+            pure_noise: true,
+        }
+    }
+}
+
+/// Categorical feature truth for one item.
+#[derive(Debug, Clone)]
+pub struct FeatureTruth {
+    /// Index of the true category within the feature's option list.
+    pub value: usize,
+    /// Probability a careful worker reports each category; must sum to
+    /// ~1 over `options.len()` entries. An extra final entry, if
+    /// present, is the probability of answering `UNKNOWN`.
+    pub report_probs: Vec<f64>,
+}
+
+/// Boolean predicate truth for one item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredicateTruth {
+    pub value: bool,
+    /// Probability a careful worker answers incorrectly.
+    pub error_rate: f64,
+}
+
+/// Generative field truth: raw strings a worker might type and their
+/// probabilities (normalizing should collapse them to a canonical form).
+#[derive(Debug, Clone)]
+pub struct TextTruth {
+    pub variants: Vec<(String, f64)>,
+}
+
+/// The oracle. Keys are `(item, name)` pairs; names are interned by the
+/// datasets layer (they are tiny and few, so plain `String` keys are
+/// simpler than an interner and nowhere near hot).
+#[derive(Debug, Default, Clone)]
+pub struct GroundTruth {
+    scores: HashMap<(ItemId, String), ScoreEntry>,
+    dimensions: HashMap<String, DimensionParams>,
+    entities: HashMap<ItemId, EntityId>,
+    /// Similarity between *different* entities, keyed with the smaller
+    /// entity id first. Missing = `default_similarity`.
+    similarities: HashMap<(EntityId, EntityId), f64>,
+    default_similarity: f64,
+    features: HashMap<(ItemId, String), FeatureTruth>,
+    /// Override distributions used when the feature is asked in the
+    /// combined (all-features-at-once) interface; falls back to
+    /// `features`. Captures the paper's §3.3.4 finding that the
+    /// combined interface changes answer quality per feature.
+    features_combined: HashMap<(ItemId, String), FeatureTruth>,
+    feature_options: HashMap<String, Vec<String>>,
+    predicates: HashMap<(ItemId, String), PredicateTruth>,
+    texts: HashMap<(ItemId, String), TextTruth>,
+    next_item: u64,
+}
+
+impl GroundTruth {
+    pub fn new() -> Self {
+        GroundTruth {
+            default_similarity: 0.1,
+            ..Default::default()
+        }
+    }
+
+    /// Allocate a fresh item id.
+    pub fn new_item(&mut self) -> ItemId {
+        let id = ItemId(self.next_item);
+        self.next_item += 1;
+        id
+    }
+
+    /// Allocate `n` fresh item ids.
+    pub fn new_items(&mut self, n: usize) -> Vec<ItemId> {
+        (0..n).map(|_| self.new_item()).collect()
+    }
+
+    // ---- sort dimensions ----
+
+    /// Register a sort dimension with perception parameters.
+    pub fn define_dimension(&mut self, name: &str, params: DimensionParams) {
+        self.dimensions.insert(name.to_owned(), params);
+    }
+
+    pub fn dimension_params(&self, name: &str) -> DimensionParams {
+        self.dimensions.get(name).copied().unwrap_or_default()
+    }
+
+    /// Set an item's latent score on a dimension.
+    pub fn set_score(&mut self, item: ItemId, dimension: &str, score: f64) {
+        self.scores
+            .insert((item, dimension.to_owned()), ScoreEntry { score });
+    }
+
+    /// Latent score, if registered.
+    pub fn score(&self, item: ItemId, dimension: &str) -> Option<f64> {
+        self.scores
+            .get(&(item, dimension.to_owned()))
+            .map(|e| e.score)
+    }
+
+    /// Min/max score over all items registered on a dimension; used to
+    /// normalize perception noise and to calibrate Likert mapping.
+    pub fn score_range(&self, dimension: &str) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut any = false;
+        for ((_, d), e) in &self.scores {
+            if d == dimension {
+                lo = lo.min(e.score);
+                hi = hi.max(e.score);
+                any = true;
+            }
+        }
+        if any {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Ground-truth best-to-worst ordering of `items` on `dimension`
+    /// (higher score first). Items without a score sort last, stably.
+    pub fn true_order(&self, items: &[ItemId], dimension: &str) -> Vec<ItemId> {
+        let mut v: Vec<ItemId> = items.to_vec();
+        v.sort_by(|&a, &b| {
+            let sa = self.score(a, dimension).unwrap_or(f64::NEG_INFINITY);
+            let sb = self.score(b, dimension).unwrap_or(f64::NEG_INFINITY);
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+
+    // ---- entities / joins ----
+
+    /// Mark an item as depicting an entity.
+    pub fn set_entity(&mut self, item: ItemId, entity: EntityId) {
+        self.entities.insert(item, entity);
+    }
+
+    pub fn entity(&self, item: ItemId) -> Option<EntityId> {
+        self.entities.get(&item).copied()
+    }
+
+    /// Do two items depict the same entity? Items without entity
+    /// registration never match anything.
+    pub fn same_entity(&self, a: ItemId, b: ItemId) -> bool {
+        match (self.entity(a), self.entity(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Baseline similarity used for unregistered entity pairs.
+    pub fn set_default_similarity(&mut self, s: f64) {
+        self.default_similarity = s.clamp(0.0, 1.0);
+    }
+
+    /// Record how visually similar two distinct entities are (drives
+    /// false-positive join votes between lookalikes).
+    pub fn set_similarity(&mut self, a: EntityId, b: EntityId, s: f64) {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.similarities.insert(key, s.clamp(0.0, 1.0));
+    }
+
+    /// Similarity between the entities behind two items (1.0 if same).
+    pub fn similarity(&self, a: ItemId, b: ItemId) -> f64 {
+        match (self.entity(a), self.entity(b)) {
+            (Some(x), Some(y)) if x == y => 1.0,
+            (Some(x), Some(y)) => {
+                let key = if x.0 <= y.0 { (x, y) } else { (y, x) };
+                self.similarities
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(self.default_similarity)
+            }
+            _ => self.default_similarity,
+        }
+    }
+
+    // ---- categorical features ----
+
+    /// Register a feature and its option labels (e.g. `hairColor`:
+    /// black/brown/blond/white). `UNKNOWN` is implicit and not listed.
+    pub fn define_feature(&mut self, name: &str, options: &[&str]) {
+        self.feature_options.insert(
+            name.to_owned(),
+            options.iter().map(|s| s.to_string()).collect(),
+        );
+    }
+
+    pub fn feature_options(&self, name: &str) -> Option<&[String]> {
+        self.feature_options.get(name).map(|v| v.as_slice())
+    }
+
+    /// Set an item's feature truth. `report_probs` may include one
+    /// trailing entry beyond the option count for `UNKNOWN`.
+    ///
+    /// # Panics
+    /// Panics if the feature is undefined or the probability vector has
+    /// the wrong arity.
+    pub fn set_feature(&mut self, item: ItemId, feature: &str, truth: FeatureTruth) {
+        let opts = self
+            .feature_options
+            .get(feature)
+            .unwrap_or_else(|| panic!("feature {feature} not defined"));
+        assert!(
+            truth.report_probs.len() == opts.len() || truth.report_probs.len() == opts.len() + 1,
+            "report_probs arity {} does not match {} options (+1 optional UNKNOWN)",
+            truth.report_probs.len(),
+            opts.len()
+        );
+        assert!(truth.value < opts.len(), "true value out of range");
+        self.features.insert((item, feature.to_owned()), truth);
+    }
+
+    /// Convenience: a crisp feature where a careful worker answers the
+    /// true category with probability `1 - confusion` and spreads the
+    /// remainder uniformly over the other categories.
+    pub fn set_feature_simple(
+        &mut self,
+        item: ItemId,
+        feature: &str,
+        value: usize,
+        confusion: f64,
+    ) {
+        let k = self
+            .feature_options
+            .get(feature)
+            .unwrap_or_else(|| panic!("feature {feature} not defined"))
+            .len();
+        let mut probs = vec![confusion / (k.max(2) - 1) as f64; k];
+        probs[value] = 1.0 - confusion;
+        self.set_feature(
+            item,
+            feature,
+            FeatureTruth {
+                value,
+                report_probs: probs,
+            },
+        );
+    }
+
+    pub fn feature(&self, item: ItemId, feature: &str) -> Option<&FeatureTruth> {
+        self.features.get(&(item, feature.to_owned()))
+    }
+
+    /// Set the distribution used when the feature is asked in the
+    /// combined interface (same validation as [`Self::set_feature`]).
+    pub fn set_feature_for_combined(&mut self, item: ItemId, feature: &str, truth: FeatureTruth) {
+        let opts = self
+            .feature_options
+            .get(feature)
+            .unwrap_or_else(|| panic!("feature {feature} not defined"));
+        assert!(
+            truth.report_probs.len() == opts.len() || truth.report_probs.len() == opts.len() + 1,
+            "report_probs arity mismatch"
+        );
+        self.features_combined
+            .insert((item, feature.to_owned()), truth);
+    }
+
+    /// Feature truth as perceived through the combined interface,
+    /// falling back to the single-feature distribution.
+    pub fn feature_combined(&self, item: ItemId, feature: &str) -> Option<&FeatureTruth> {
+        self.features_combined
+            .get(&(item, feature.to_owned()))
+            .or_else(|| self.features.get(&(item, feature.to_owned())))
+    }
+
+    // ---- predicates ----
+
+    pub fn set_predicate(&mut self, item: ItemId, predicate: &str, truth: PredicateTruth) {
+        self.predicates.insert((item, predicate.to_owned()), truth);
+    }
+
+    pub fn predicate(&self, item: ItemId, predicate: &str) -> Option<PredicateTruth> {
+        self.predicates.get(&(item, predicate.to_owned())).copied()
+    }
+
+    // ---- generative text ----
+
+    pub fn set_text(&mut self, item: ItemId, field: &str, truth: TextTruth) {
+        self.texts.insert((item, field.to_owned()), truth);
+    }
+
+    pub fn text(&self, item: ItemId, field: &str) -> Option<&TextTruth> {
+        self.texts.get(&(item, field.to_owned()))
+    }
+
+    /// Number of items allocated so far.
+    pub fn item_count(&self) -> u64 {
+        self.next_item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_allocation_is_sequential() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        let b = gt.new_item();
+        assert_ne!(a, b);
+        assert_eq!(gt.item_count(), 2);
+        assert_eq!(gt.new_items(3).len(), 3);
+        assert_eq!(gt.item_count(), 5);
+    }
+
+    #[test]
+    fn scores_and_ranges() {
+        let mut gt = GroundTruth::new();
+        let items = gt.new_items(3);
+        gt.set_score(items[0], "area", 400.0);
+        gt.set_score(items[1], "area", 529.0);
+        gt.set_score(items[2], "area", 676.0);
+        assert_eq!(gt.score(items[1], "area"), Some(529.0));
+        assert_eq!(gt.score(items[1], "height"), None);
+        assert_eq!(gt.score_range("area"), Some((400.0, 676.0)));
+        assert_eq!(gt.score_range("nope"), None);
+    }
+
+    #[test]
+    fn true_order_is_descending() {
+        let mut gt = GroundTruth::new();
+        let items = gt.new_items(3);
+        gt.set_score(items[0], "size", 1.0);
+        gt.set_score(items[1], "size", 3.0);
+        gt.set_score(items[2], "size", 2.0);
+        let order = gt.true_order(&items, "size");
+        assert_eq!(order, vec![items[1], items[2], items[0]]);
+    }
+
+    #[test]
+    fn entities_and_similarity() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        let b = gt.new_item();
+        let c = gt.new_item();
+        gt.set_entity(a, EntityId(1));
+        gt.set_entity(b, EntityId(1));
+        gt.set_entity(c, EntityId(2));
+        assert!(gt.same_entity(a, b));
+        assert!(!gt.same_entity(a, c));
+        assert_eq!(gt.similarity(a, b), 1.0);
+        gt.set_similarity(EntityId(1), EntityId(2), 0.8);
+        assert_eq!(gt.similarity(a, c), 0.8);
+        // symmetric key
+        assert_eq!(gt.similarity(c, a), 0.8);
+    }
+
+    #[test]
+    fn unregistered_items_never_match() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        let b = gt.new_item();
+        assert!(!gt.same_entity(a, b));
+        assert_eq!(gt.similarity(a, b), 0.1); // default
+        gt.set_default_similarity(0.3);
+        assert_eq!(gt.similarity(a, b), 0.3);
+    }
+
+    #[test]
+    fn features_roundtrip() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        gt.define_feature("gender", &["male", "female"]);
+        gt.set_feature_simple(a, "gender", 1, 0.02);
+        let f = gt.feature(a, "gender").unwrap();
+        assert_eq!(f.value, 1);
+        assert!((f.report_probs[1] - 0.98).abs() < 1e-12);
+        assert_eq!(gt.feature_options("gender").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn feature_with_unknown_tail() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        gt.define_feature("hair", &["black", "brown", "blond", "white"]);
+        gt.set_feature(
+            a,
+            "hair",
+            FeatureTruth {
+                value: 2,
+                report_probs: vec![0.05, 0.1, 0.5, 0.3, 0.05], // last = UNKNOWN
+            },
+        );
+        assert_eq!(gt.feature(a, "hair").unwrap().report_probs.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn feature_requires_definition() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        gt.set_feature_simple(a, "undefined", 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn feature_probs_arity_checked() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        gt.define_feature("gender", &["male", "female"]);
+        gt.set_feature(
+            a,
+            "gender",
+            FeatureTruth {
+                value: 0,
+                report_probs: vec![0.2; 5],
+            },
+        );
+    }
+
+    #[test]
+    fn predicates_roundtrip() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        gt.set_predicate(
+            a,
+            "isFemale",
+            PredicateTruth {
+                value: true,
+                error_rate: 0.05,
+            },
+        );
+        let p = gt.predicate(a, "isFemale").unwrap();
+        assert!(p.value);
+        assert_eq!(gt.predicate(a, "other"), None);
+    }
+
+    #[test]
+    fn texts_roundtrip() {
+        let mut gt = GroundTruth::new();
+        let a = gt.new_item();
+        gt.set_text(
+            a,
+            "common",
+            TextTruth {
+                variants: vec![
+                    ("Humpback Whale".into(), 0.6),
+                    ("humpback  whale".into(), 0.4),
+                ],
+            },
+        );
+        assert_eq!(gt.text(a, "common").unwrap().variants.len(), 2);
+    }
+
+    #[test]
+    fn dimension_params_default_and_override() {
+        let mut gt = GroundTruth::new();
+        assert!(!gt.dimension_params("x").pure_noise);
+        gt.define_dimension("saturn", DimensionParams::crisp(3.0));
+        assert_eq!(gt.dimension_params("saturn").ambiguity, 3.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! The animals dataset (§4.2.1, §4.2.3).
+//!
+//! "The animals dataset contains 25 images of randomly chosen animals
+//! ranging from ants to humpback whales. In addition, we added an image
+//! of a rock and a dandelion to introduce uncertainty."
+//!
+//! Ground-truth scores are anchored to the paper's own `Compare`
+//! results, which it uses as ground truth "for lack of objective
+//! measures": the published size / dangerousness / Saturn orderings are
+//! reproduced verbatim as latent score ranks, with per-dimension
+//! ambiguity rising from size (fairly objective) through dangerousness
+//! (subjective) to Saturn (nearly nonsensical) and a pure-noise control
+//! (the paper's Q5).
+
+use qurk_crowd::truth::DimensionParams;
+use qurk_crowd::{GroundTruth, ItemId};
+
+/// Dimension names for the four animal queries.
+pub const SIZE: &str = "adult size";
+pub const DANGER: &str = "dangerousness";
+pub const SATURN: &str = "belongs on saturn";
+pub const RANDOM: &str = "random control";
+
+/// The 27 item names, in the paper's *size* order (smallest first).
+pub const ANIMALS: [&str; 27] = [
+    "ant",
+    "bee",
+    "flower",
+    "grasshopper",
+    "parrot",
+    "rock",
+    "rat",
+    "octopus",
+    "skunk",
+    "tazmanian devil",
+    "turkey",
+    "eagle",
+    "lemur",
+    "hyena",
+    "dog",
+    "komodo dragon",
+    "baboon",
+    "wolf",
+    "panther",
+    "dolphin",
+    "elephant seal",
+    "moose",
+    "tiger",
+    "camel",
+    "great white shark",
+    "hippo",
+    "whale",
+];
+
+/// The paper's dangerousness ordering (least dangerous first).
+pub const DANGER_ORDER: [&str; 27] = [
+    "flower",
+    "ant",
+    "grasshopper",
+    "rock",
+    "bee",
+    "turkey",
+    "dolphin",
+    "parrot",
+    "baboon",
+    "rat",
+    "tazmanian devil",
+    "lemur",
+    "camel",
+    "octopus",
+    "dog",
+    "eagle",
+    "elephant seal",
+    "skunk",
+    "hippo",
+    "hyena",
+    "great white shark",
+    "moose",
+    "komodo dragon",
+    "wolf",
+    "tiger",
+    "whale",
+    "panther",
+];
+
+/// The paper's Saturn ordering (least Saturn-suited first); κ for this
+/// query is near zero, so the list is only a weak latent signal.
+pub const SATURN_ORDER: [&str; 27] = [
+    "whale",
+    "octopus",
+    "dolphin",
+    "elephant seal",
+    "great white shark",
+    "bee",
+    "flower",
+    "grasshopper",
+    "hippo",
+    "dog",
+    "lemur",
+    "wolf",
+    "moose",
+    "camel",
+    "hyena",
+    "skunk",
+    "tazmanian devil",
+    "tiger",
+    "baboon",
+    "eagle",
+    "parrot",
+    "turkey",
+    "rat",
+    "panther",
+    "komodo dragon",
+    "ant",
+    "rock",
+];
+
+/// A generated animals dataset.
+#[derive(Debug, Clone)]
+pub struct AnimalsDataset {
+    pub items: Vec<ItemId>,
+    pub names: Vec<String>,
+    pub urls: Vec<String>,
+}
+
+impl AnimalsDataset {
+    pub fn item_by_name(&self, name: &str) -> Option<ItemId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.items[i])
+    }
+
+    pub fn name_of(&self, item: ItemId) -> Option<&str> {
+        self.items
+            .iter()
+            .position(|&i| i == item)
+            .map(|i| self.names[i].as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+fn rank_scores(order: &[&str]) -> std::collections::HashMap<String, f64> {
+    order
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n.to_owned(), i as f64))
+        .collect()
+}
+
+/// Generate the 27-item animals dataset into `truth`.
+pub fn animals_dataset(truth: &mut GroundTruth) -> AnimalsDataset {
+    // Ambiguity calibration (normalized score units):
+    //  - size: mostly objective, τ(Rate vs Compare) high but not 1.
+    //  - dangerousness: subjective, noticeably noisier.
+    //  - saturn: barely better than random (κ low but > random).
+    //  - random: pure noise (Q5).
+    truth.define_dimension(
+        SIZE,
+        DimensionParams {
+            ambiguity: 0.05,
+            rating_noise_mult: 4.0,
+            pure_noise: false,
+        },
+    );
+    truth.define_dimension(
+        DANGER,
+        DimensionParams {
+            ambiguity: 0.11,
+            rating_noise_mult: 2.0,
+            pure_noise: false,
+        },
+    );
+    truth.define_dimension(
+        SATURN,
+        DimensionParams {
+            ambiguity: 0.55,
+            rating_noise_mult: 3.2,
+            pure_noise: false,
+        },
+    );
+    truth.define_dimension(RANDOM, DimensionParams::pure_noise());
+
+    let danger = rank_scores(&DANGER_ORDER);
+    let saturn = rank_scores(&SATURN_ORDER);
+
+    let mut items = Vec::with_capacity(ANIMALS.len());
+    let mut names = Vec::with_capacity(ANIMALS.len());
+    let mut urls = Vec::with_capacity(ANIMALS.len());
+    for (i, &name) in ANIMALS.iter().enumerate() {
+        let item = truth.new_item();
+        truth.set_score(item, SIZE, i as f64);
+        truth.set_score(item, DANGER, danger[name]);
+        truth.set_score(item, SATURN, saturn[name]);
+        truth.set_score(item, RANDOM, i as f64); // ignored: pure noise
+        items.push(item);
+        names.push(name.to_owned());
+        urls.push(format!(
+            "https://data.example/animals/{}.jpg",
+            name.replace(' ', "_")
+        ));
+    }
+    AnimalsDataset { items, names, urls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_are_permutations_of_each_other() {
+        let mut a: Vec<&str> = ANIMALS.to_vec();
+        let mut d: Vec<&str> = DANGER_ORDER.to_vec();
+        let mut s: Vec<&str> = SATURN_ORDER.to_vec();
+        a.sort_unstable();
+        d.sort_unstable();
+        s.sort_unstable();
+        assert_eq!(a, d);
+        assert_eq!(a, s);
+    }
+
+    #[test]
+    fn builds_27_items() {
+        let mut gt = GroundTruth::new();
+        let ds = animals_dataset(&mut gt);
+        assert_eq!(ds.len(), 27);
+        assert!(ds.item_by_name("komodo dragon").is_some());
+        assert!(ds.item_by_name("unicorn").is_none());
+    }
+
+    #[test]
+    fn size_order_matches_paper() {
+        let mut gt = GroundTruth::new();
+        let ds = animals_dataset(&mut gt);
+        let order = gt.true_order(&ds.items, SIZE);
+        // true_order returns best (largest) first; the paper's list is
+        // smallest-first.
+        let names: Vec<&str> = order.iter().map(|&i| ds.name_of(i).unwrap()).collect();
+        let expect: Vec<&str> = ANIMALS.iter().rev().copied().collect();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn danger_order_matches_paper() {
+        let mut gt = GroundTruth::new();
+        let ds = animals_dataset(&mut gt);
+        let order = gt.true_order(&ds.items, DANGER);
+        let names: Vec<&str> = order.iter().map(|&i| ds.name_of(i).unwrap()).collect();
+        let expect: Vec<&str> = DANGER_ORDER.iter().rev().copied().collect();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn ambiguity_increases_across_queries() {
+        let mut gt = GroundTruth::new();
+        animals_dataset(&mut gt);
+        let size = gt.dimension_params(SIZE).ambiguity;
+        let danger = gt.dimension_params(DANGER).ambiguity;
+        let saturn = gt.dimension_params(SATURN).ambiguity;
+        assert!(size < danger && danger < saturn);
+        assert!(gt.dimension_params(RANDOM).pure_noise);
+    }
+
+    #[test]
+    fn whale_is_biggest_panther_most_dangerous() {
+        let mut gt = GroundTruth::new();
+        let ds = animals_dataset(&mut gt);
+        let whale = ds.item_by_name("whale").unwrap();
+        let panther = ds.item_by_name("panther").unwrap();
+        assert_eq!(gt.true_order(&ds.items, SIZE)[0], whale);
+        assert_eq!(gt.true_order(&ds.items, DANGER)[0], panther);
+    }
+}

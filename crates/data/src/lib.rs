@@ -1,0 +1,35 @@
+//! # qurk-data
+//!
+//! The evaluation datasets of *Human-powered Sorts and Joins* (Marcus
+//! et al., VLDB 2011), rebuilt as synthetic generators over the
+//! `qurk-crowd` ground-truth oracle:
+//!
+//! * [`squares`] — §4.2.1: N squares of side `20 + 3i` pixels sorted by
+//!   area; the objectively-correct microbenchmark workload.
+//! * [`animals`] — §4.2.1: 25 animals plus a rock and a dandelion, with
+//!   latent scores for *adult size* (Q2), *dangerousness* (Q3), the
+//!   deliberately ambiguous *belongs on Saturn* (Q4) and a pure-noise
+//!   control (Q5).
+//! * [`celebrity`] — §3.3.1: the celebrity join. Two tables (`celeb`
+//!   profile photos, `photos` award-night photos) with one image per
+//!   celebrity each, plus the gender / hair-color / skin-color features
+//!   used for feature filtering, including hair dye ambiguity and
+//!   photo-to-photo feature drift.
+//! * [`movie`] — §5.1: 211 movie stills and five actor headshots for
+//!   the end-to-end query (`numInScene` filter, `inScene` join,
+//!   `quality` sort).
+//!
+//! Each generator returns the item handles *and* fills in a
+//! [`GroundTruth`](qurk_crowd::GroundTruth) the simulated workers
+//! perceive through noise. Item labels/URLs are synthesized so the
+//! datasets can also be loaded as relational tables.
+
+pub mod animals;
+pub mod celebrity;
+pub mod movie;
+pub mod squares;
+
+pub use animals::{animals_dataset, AnimalsDataset, ANIMALS};
+pub use celebrity::{celebrity_dataset, CelebrityConfig, CelebrityDataset};
+pub use movie::{movie_dataset, MovieConfig, MovieDataset};
+pub use squares::{squares_dataset, SquaresDataset};

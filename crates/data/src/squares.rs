@@ -1,0 +1,127 @@
+//! The squares dataset (§4.2.1).
+//!
+//! "Each square is n×n pixels, and the smallest is 20×20. A dataset of
+//! size N contains squares of sizes {(20+3i)×(20+3i) | i ∈ [0, N)}.
+//! This dataset is designed so that the sort metric (square area) is
+//! clearly defined, and we know the correct ordering."
+
+use qurk_crowd::truth::DimensionParams;
+use qurk_crowd::{GroundTruth, ItemId};
+
+/// The sort dimension name registered for squares.
+pub const AREA: &str = "area";
+
+/// A generated squares dataset.
+#[derive(Debug, Clone)]
+pub struct SquaresDataset {
+    /// Items ordered by increasing side (and therefore area).
+    pub items: Vec<ItemId>,
+    /// `label[i]` = "23x23"-style label for items\[i\].
+    pub labels: Vec<String>,
+    /// Synthetic image URLs (one per item).
+    pub urls: Vec<String>,
+}
+
+impl SquaresDataset {
+    /// Ground-truth ordering, largest first (the `Rank` task's
+    /// `MostName` is "largest").
+    pub fn true_order_desc(&self) -> Vec<ItemId> {
+        self.items.iter().rev().copied().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Generate `n` squares into `truth`.
+///
+/// Perceptual calibration: comparing two squares side by side is nearly
+/// error-free even for adjacent sizes (the paper's Compare achieves
+/// τ = 1.0 at group sizes 5 and 10), while rating a square against a
+/// remembered scale is much noisier (Rate averages τ ≈ 0.78).
+pub fn squares_dataset(truth: &mut GroundTruth, n: usize) -> SquaresDataset {
+    assert!(n > 0, "need at least one square");
+    truth.define_dimension(
+        AREA,
+        DimensionParams {
+            ambiguity: 0.012,
+            rating_noise_mult: 10.0,
+            pure_noise: false,
+        },
+    );
+    let mut items = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    let mut urls = Vec::with_capacity(n);
+    for i in 0..n {
+        let side = 20 + 3 * i as u64;
+        let item = truth.new_item();
+        truth.set_score(item, AREA, (side * side) as f64);
+        items.push(item);
+        labels.push(format!("{side}x{side}"));
+        urls.push(format!("https://data.example/squares/{side}.png"));
+    }
+    SquaresDataset {
+        items,
+        labels,
+        urls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_correct_areas() {
+        let mut gt = GroundTruth::new();
+        let ds = squares_dataset(&mut gt, 40);
+        assert_eq!(ds.len(), 40);
+        assert_eq!(ds.labels[0], "20x20");
+        assert_eq!(ds.labels[39], "137x137");
+        assert_eq!(gt.score(ds.items[0], AREA), Some(400.0));
+        assert_eq!(gt.score(ds.items[39], AREA), Some((137.0f64).powi(2)));
+    }
+
+    #[test]
+    fn true_order_is_area_descending() {
+        let mut gt = GroundTruth::new();
+        let ds = squares_dataset(&mut gt, 10);
+        let order = gt.true_order(&ds.items, AREA);
+        assert_eq!(order, ds.true_order_desc());
+    }
+
+    #[test]
+    fn score_range_spans_min_max() {
+        let mut gt = GroundTruth::new();
+        let ds = squares_dataset(&mut gt, 5);
+        let (lo, hi) = gt.score_range(AREA).unwrap();
+        assert_eq!(lo, 400.0);
+        assert_eq!(hi, (32.0f64).powi(2));
+        let _ = ds;
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_squares_rejected() {
+        let mut gt = GroundTruth::new();
+        squares_dataset(&mut gt, 0);
+    }
+
+    #[test]
+    fn adjacent_relative_gap_shrinks() {
+        // The tightest discrimination is at the large end; document the
+        // dataset property the perception model relies on.
+        let mut gt = GroundTruth::new();
+        let ds = squares_dataset(&mut gt, 40);
+        let s = |i: usize| gt.score(ds.items[i], AREA).unwrap();
+        let (lo, hi) = gt.score_range(AREA).unwrap();
+        let gap_small = (s(1) - s(0)) / (hi - lo);
+        let gap_large = (s(39) - s(38)) / (hi - lo);
+        assert!(gap_small < gap_large * 3.0 && gap_large > 0.02);
+    }
+}

@@ -1,0 +1,37 @@
+//! # qurk-metrics
+//!
+//! Statistical metrics used by the Qurk crowd-powered query engine
+//! (reproduction of *Human-powered Sorts and Joins*, Marcus et al.,
+//! VLDB 2011).
+//!
+//! The paper relies on a small set of signals to decide how to run (or
+//! whether to abandon) crowd-powered sorts and joins:
+//!
+//! * [Kendall's τ-b](tau::kendall_tau_b) — rank correlation between two
+//!   orderings, tie-aware. Used to compare `Rate` output against
+//!   `Compare` output (§4.2) and hybrid-sort progress (Figure 7).
+//! * [Fleiss' κ](kappa::fleiss_kappa) — inter-rater reliability on
+//!   categorical labels. Used to detect ambiguous join feature filters
+//!   (§3.2, Table 4).
+//! * [Modified Fleiss' κ](kappa::modified_fleiss_kappa) — the paper's
+//!   variant with the chance-compensation denominator removed, used on
+//!   sort comparison votes (§4.2.3 footnote 4, Figure 6).
+//! * [Ordinary least squares](regression::linear_regression) — the
+//!   worker-volume vs. accuracy regression of §3.3.3 (R² = 0.028,
+//!   positive slope, p < .05).
+//! * [Percentiles / summaries](stats) — latency reporting (Figure 4).
+//!
+//! All functions are pure and deterministic; they operate on plain
+//! slices so they can be reused outside the engine.
+
+pub mod kappa;
+pub mod rank;
+pub mod regression;
+pub mod stats;
+pub mod tau;
+
+pub use kappa::{fleiss_kappa, modified_fleiss_kappa, KappaError};
+pub use rank::{average_ranks, dense_ranks, rank_of_items};
+pub use regression::{linear_regression, Regression, RegressionError};
+pub use stats::{mean, percentile, sample_std, summary, Summary};
+pub use tau::{kendall_tau_b, tau_between_orders, TauError};

@@ -1,0 +1,162 @@
+//! Rank-assignment helpers.
+//!
+//! Converting scores (mean ratings, head-to-head win counts) into rank
+//! vectors is a recurring step before computing τ. Ties must be handled
+//! consistently: τ-b expects *average ranks* for tied groups, while some
+//! reports use *dense ranks*.
+
+/// Assign average ranks (1-based) to `scores`, higher score = better
+/// (rank 1). Tied values share the mean of the ranks they span —
+/// the convention required for τ-b to treat them as ties.
+pub fn average_ranks(scores: &[f64]) -> Vec<f64> {
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Sort descending by score; NaNs sink to the end deterministically.
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or_else(|| b.cmp(&a))
+    });
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Assign dense ranks (1-based): tied values share a rank and the next
+/// distinct value gets the next integer.
+pub fn dense_ranks(scores: &[f64]) -> Vec<usize> {
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or_else(|| b.cmp(&a))
+    });
+    let mut ranks = vec![0usize; n];
+    let mut rank = 0usize;
+    let mut prev: Option<f64> = None;
+    for &i in &idx {
+        if prev != Some(scores[i]) {
+            rank += 1;
+            prev = Some(scores[i]);
+        }
+        ranks[i] = rank;
+    }
+    ranks
+}
+
+/// Given a best-to-worst ordering of items, return each item's 0-based
+/// position keyed by the item itself. Useful for building τ inputs from
+/// two orderings of the same set.
+pub fn rank_of_items<T: Eq + std::hash::Hash + Clone>(
+    order: &[T],
+) -> std::collections::HashMap<T, usize> {
+    order
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.clone(), i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_ranks_no_ties() {
+        // Higher score -> rank 1.
+        let r = average_ranks(&[10.0, 30.0, 20.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn average_ranks_with_tie_group() {
+        // scores: 5, 5, 3 -> the two 5s occupy ranks 1 and 2 -> 1.5 each.
+        let r = average_ranks(&[5.0, 5.0, 3.0]);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn average_ranks_all_tied() {
+        let r = average_ranks(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(r, vec![2.5, 2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn dense_ranks_compact() {
+        let r = dense_ranks(&[5.0, 5.0, 3.0, 1.0]);
+        assert_eq!(r, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rank_of_items_positions() {
+        let m = rank_of_items(&["a", "b", "c"]);
+        assert_eq!(m["a"], 0);
+        assert_eq!(m["c"], 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(average_ranks(&[]).is_empty());
+        assert!(dense_ranks(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Average ranks sum to n(n+1)/2 regardless of ties.
+        #[test]
+        fn average_ranks_sum_invariant(xs in prop::collection::vec(-100i32..100, 1..64)) {
+            let xs: Vec<f64> = xs.into_iter().map(|v| v as f64).collect();
+            let ranks = average_ranks(&xs);
+            let n = xs.len() as f64;
+            let sum: f64 = ranks.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+
+        /// Dense ranks are contiguous from 1 to the number of distinct values.
+        #[test]
+        fn dense_ranks_contiguous(xs in prop::collection::vec(-100i32..100, 1..64)) {
+            let xs: Vec<f64> = xs.into_iter().map(|v| v as f64).collect();
+            let ranks = dense_ranks(&xs);
+            let mut distinct = xs.clone();
+            distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            distinct.dedup();
+            let max = *ranks.iter().max().unwrap();
+            prop_assert_eq!(max, distinct.len());
+            for r in 1..=max {
+                prop_assert!(ranks.contains(&r), "missing rank {}", r);
+            }
+        }
+
+        /// Higher score never gets a numerically larger (worse) average rank.
+        #[test]
+        fn average_ranks_order_consistent(xs in prop::collection::vec(-100i32..100, 2..64)) {
+            let xs: Vec<f64> = xs.into_iter().map(|v| v as f64).collect();
+            let ranks = average_ranks(&xs);
+            for i in 0..xs.len() {
+                for j in 0..xs.len() {
+                    if xs[i] > xs[j] {
+                        prop_assert!(ranks[i] < ranks[j]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Simple ordinary-least-squares linear regression with significance
+//! testing.
+//!
+//! §3.3.3 of the paper regresses worker accuracy on the number of tasks
+//! each worker completed, reporting `R² = 0.028` with `p < .05` and a
+//! positive slope — i.e. volume of work explains almost none of the
+//! accuracy variance. This module provides exactly that analysis:
+//! slope/intercept, R², the slope's t-statistic and a two-sided p-value
+//! computed from the Student-t CDF (via the regularized incomplete beta
+//! function, implemented here to avoid external dependencies).
+
+/// Errors from [`linear_regression`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionError {
+    /// x and y lengths differ.
+    LengthMismatch { left: usize, right: usize },
+    /// Need at least 3 points for a slope significance test.
+    TooFewPoints(usize),
+    /// x has zero variance; the slope is undefined.
+    ConstantPredictor,
+}
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressionError::LengthMismatch { left, right } => {
+                write!(f, "x has {left} points but y has {right}")
+            }
+            RegressionError::TooFewPoints(n) => write!(f, "need >= 3 points, got {n}"),
+            RegressionError::ConstantPredictor => write!(f, "x is constant; slope undefined"),
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+/// Result of an OLS fit `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regression {
+    /// Fitted slope (β).
+    pub slope: f64,
+    /// Fitted intercept (α).
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// t-statistic for H₀: slope = 0.
+    pub t_statistic: f64,
+    /// Two-sided p-value for the slope.
+    pub p_value: f64,
+    /// Residual degrees of freedom (n − 2).
+    pub degrees_of_freedom: usize,
+}
+
+impl Regression {
+    /// Predicted value at `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fit `y = a + b x` by ordinary least squares.
+///
+/// # Errors
+/// See [`RegressionError`].
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Result<Regression, RegressionError> {
+    if xs.len() != ys.len() {
+        return Err(RegressionError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    let n = xs.len();
+    if n < 3 {
+        return Err(RegressionError::TooFewPoints(n));
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 {
+        return Err(RegressionError::ConstantPredictor);
+    }
+
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+
+    // Residual sum of squares and R^2.
+    let ss_res = (syy - slope * sxy).max(0.0);
+    let r_squared = if syy > 0.0 { 1.0 - ss_res / syy } else { 1.0 };
+
+    let df = n - 2;
+    let sigma2 = ss_res / df as f64;
+    let se_slope = (sigma2 / sxx).sqrt();
+    let (t_statistic, p_value) = if se_slope == 0.0 {
+        // Perfect fit: infinitely significant (p = 0) unless slope is 0 too.
+        if slope == 0.0 {
+            (0.0, 1.0)
+        } else {
+            (f64::INFINITY, 0.0)
+        }
+    } else {
+        let t = slope / se_slope;
+        (t, two_sided_t_p_value(t, df as f64))
+    };
+
+    Ok(Regression {
+        slope,
+        intercept,
+        r_squared,
+        t_statistic,
+        p_value,
+        degrees_of_freedom: df,
+    })
+}
+
+/// Two-sided p-value for a Student-t statistic with `df` degrees of
+/// freedom: `P(|T| >= |t|) = I_{df/(df+t²)}(df/2, 1/2)` via the
+/// regularized incomplete beta function.
+pub fn two_sided_t_p_value(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    let x = df / (df + t * t);
+    regularized_incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+#[allow(clippy::excessive_precision)] // published Lanczos coefficients
+fn ln_gamma(x: f64) -> f64 {
+    // Coefficients from the standard Lanczos(7,9) approximation.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the Lentz
+/// continued-fraction expansion (Numerical Recipes §6.4).
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation for faster convergence. `<=` (not `<`)
+    // guarantees the mirrored call lands strictly inside its own direct
+    // branch, so recursion depth is at most 1 (x = 0.5, a = b would
+    // otherwise recurse forever).
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - regularized_incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovered() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let r = linear_regression(&xs, &ys).unwrap();
+        assert!((r.slope - 2.0).abs() < 1e-12);
+        assert!((r.intercept - 1.0).abs() < 1e-12);
+        assert!((r.r_squared - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_approximately_recovered() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x - 0.5 + ((i as f64 * 2.399963).sin() * 0.3))
+            .collect();
+        let r = linear_regression(&xs, &ys).unwrap();
+        assert!((r.slope - 3.0).abs() < 0.05, "slope={}", r.slope);
+        assert!(r.r_squared > 0.99);
+        assert!(r.p_value < 1e-12);
+    }
+
+    #[test]
+    fn pure_noise_is_insignificant() {
+        // x and a quasi-random y decoupled from x.
+        let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..40).map(|i| ((i * 37 % 17) as f64).sin()).collect();
+        let r = linear_regression(&xs, &ys).unwrap();
+        assert!(r.r_squared < 0.2, "r2={}", r.r_squared);
+        assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn constant_predictor_rejected() {
+        let xs = [2.0, 2.0, 2.0, 2.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            linear_regression(&xs, &ys),
+            Err(RegressionError::ConstantPredictor)
+        );
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert_eq!(
+            linear_regression(&[1.0, 2.0], &[1.0, 2.0]),
+            Err(RegressionError::TooFewPoints(2))
+        );
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(matches!(
+            linear_regression(&[1.0, 2.0, 3.0], &[1.0]),
+            Err(RegressionError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_uses_fit() {
+        let xs: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 4.0 - x).collect();
+        let r = linear_regression(&xs, &ys).unwrap();
+        assert!((r.predict(10.0) - (-6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=sqrt(pi)
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform CDF)
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            assert!((regularized_incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_distribution_reference_values() {
+        // Standard normal limit: t=1.96, df large -> p ~ 0.05.
+        let p = two_sided_t_p_value(1.96, 1e6);
+        assert!((p - 0.05).abs() < 1e-3, "p={p}");
+        // t=2.262, df=9 -> p ~ 0.05 (classic table value).
+        let p = two_sided_t_p_value(2.262, 9.0);
+        assert!((p - 0.05).abs() < 2e-3, "p={p}");
+        // t=0 -> p=1.
+        assert!((two_sided_t_p_value(0.0, 10.0) - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// R² is always within [0, 1]; p-value within [0, 1].
+        #[test]
+        fn fit_outputs_bounded(
+            xs in prop::collection::vec(-1e3..1e3f64, 3..40),
+            noise in prop::collection::vec(-1.0..1.0f64, 3..40),
+            slope in -10.0..10.0f64,
+        ) {
+            let n = xs.len().min(noise.len());
+            let xs = &xs[..n];
+            let ys: Vec<f64> = xs.iter().zip(&noise[..n])
+                .map(|(x, e)| slope * x + e).collect();
+            if let Ok(r) = linear_regression(xs, &ys) {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&r.r_squared));
+                prop_assert!((0.0..=1.0).contains(&r.p_value));
+            }
+        }
+
+        /// Shifting y by a constant changes only the intercept.
+        #[test]
+        fn shift_invariance(
+            xs in prop::collection::vec(-1e3..1e3f64, 3..30),
+            shift in -100.0..100.0f64,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x + (x * 0.7).sin()).collect();
+            let shifted: Vec<f64> = ys.iter().map(|y| y + shift).collect();
+            if let (Ok(a), Ok(b)) = (linear_regression(&xs, &ys), linear_regression(&xs, &shifted)) {
+                prop_assert!((a.slope - b.slope).abs() < 1e-6);
+                prop_assert!(((b.intercept - a.intercept) - shift).abs() < 1e-6);
+                prop_assert!((a.r_squared - b.r_squared).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Summary statistics and percentiles.
+//!
+//! Figure 4 of the paper reports the completion time of the 50th, 95th
+//! and 100th percentile *assignment* for each join variant; Table 4
+//! reports means and standard deviations of κ over repeated samples.
+//! These helpers centralize that arithmetic.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Sample standard deviation (n − 1 denominator). Returns `None` for
+/// fewer than two observations.
+pub fn sample_std(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some((ss / (xs.len() - 1) as f64).sqrt())
+}
+
+/// Population variance (n denominator). Returns `None` for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Percentile by linear interpolation between closest ranks
+/// (the "exclusive" convention used by most latency dashboards).
+///
+/// `p` is in `[0, 100]`. Returns `None` for an empty slice. The input
+/// need not be sorted.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// A one-pass summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    /// Sample standard deviation; 0.0 when count < 2.
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p100: f64,
+}
+
+/// Summarize a sample (count, mean, std, min/max, latency percentiles).
+/// Returns `None` for an empty slice.
+pub fn summary(xs: &[f64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mean_v = mean(xs)?;
+    let std_v = sample_std(xs).unwrap_or(0.0);
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Some(Summary {
+        count: xs.len(),
+        mean: mean_v,
+        std: std_v,
+        min,
+        max,
+        p50: percentile(xs, 50.0)?,
+        p95: percentile(xs, 95.0)?,
+        p100: max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn std_of_known_values() {
+        // Sample std of [2,4,4,4,5,5,7,9] with n-1: ~2.138
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = sample_std(&xs).unwrap();
+        assert!((s - 2.13809).abs() < 1e-4, "std={s}");
+        assert_eq!(sample_std(&[1.0]), None);
+    }
+
+    #[test]
+    fn population_variance_known() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_variance(&xs).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        // p is clamped
+        assert_eq!(percentile(&xs, 150.0), Some(4.0));
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 95.0), Some(7.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs = [5.0, 1.0, 3.0];
+        let s = summary(&xs).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p100, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!(summary(&[]).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Percentiles are monotone in p and bracketed by min/max.
+        #[test]
+        fn percentile_monotone(xs in prop::collection::vec(-1e6..1e6f64, 1..64)) {
+            let p50 = percentile(&xs, 50.0).unwrap();
+            let p95 = percentile(&xs, 95.0).unwrap();
+            let p100 = percentile(&xs, 100.0).unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(p50 <= p95 + 1e-9);
+            prop_assert!(p95 <= p100 + 1e-9);
+            prop_assert!(min <= p50 + 1e-9);
+        }
+
+        /// mean is translation-equivariant; std translation-invariant.
+        #[test]
+        fn translation_properties(
+            xs in prop::collection::vec(-1e3..1e3f64, 2..64),
+            c in -1e3..1e3f64,
+        ) {
+            let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+            let dm = mean(&shifted).unwrap() - mean(&xs).unwrap();
+            prop_assert!((dm - c).abs() < 1e-6);
+            let ds = sample_std(&shifted).unwrap() - sample_std(&xs).unwrap();
+            prop_assert!(ds.abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Kendall rank correlation.
+//!
+//! The paper (§4.2) compares sorted lists with Kendall's τ, specifically
+//! the **τ-b** variant which allows two items to share a rank. The value
+//! lies in `[-1, 1]`: `-1` is inverse correlation, `0` no correlation,
+//! `1` perfect correlation.
+
+/// Errors produced by τ computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TauError {
+    /// The two rank vectors have different lengths.
+    LengthMismatch { left: usize, right: usize },
+    /// Fewer than two observations — τ is undefined.
+    TooFewItems(usize),
+    /// All values tied in one of the vectors — the denominator is zero.
+    Degenerate,
+}
+
+impl std::fmt::Display for TauError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TauError::LengthMismatch { left, right } => {
+                write!(f, "rank vectors differ in length: {left} vs {right}")
+            }
+            TauError::TooFewItems(n) => write!(f, "need at least 2 items, got {n}"),
+            TauError::Degenerate => write!(f, "all values tied; tau-b undefined"),
+        }
+    }
+}
+
+impl std::error::Error for TauError {}
+
+/// Kendall's τ-b between two paired score/rank vectors.
+///
+/// τ-b handles ties in either vector:
+///
+/// ```text
+/// tau_b = (C - D) / sqrt((n0 - n1)(n0 - n2))
+/// ```
+///
+/// where `C`/`D` are concordant/discordant pair counts, `n0 = n(n-1)/2`,
+/// and `n1`/`n2` are the tie corrections `Σ t(t-1)/2` over tie groups of
+/// each vector.
+///
+/// Complexity is O(n²); the paper's datasets (≤ a few hundred items) make
+/// the simple implementation preferable to an O(n log n) merge-sort
+/// variant. A property test cross-checks the two pair-counting paths.
+///
+/// # Errors
+/// Returns [`TauError`] on mismatched lengths, fewer than 2 items, or a
+/// fully-tied (zero-variance) vector.
+pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> Result<f64, TauError> {
+    if xs.len() != ys.len() {
+        return Err(TauError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    let n = xs.len();
+    if n < 2 {
+        return Err(TauError::TooFewItems(n));
+    }
+
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64; // tied in x only
+    let mut ties_y = 0i64; // tied in y only
+    let mut ties_both = 0i64;
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i].partial_cmp(&xs[j]);
+            let dy = ys[i].partial_cmp(&ys[j]);
+            let (Some(dx), Some(dy)) = (dx, dy) else {
+                // NaN comparisons count as ties in both dimensions: they
+                // carry no ordering information.
+                ties_both += 1;
+                continue;
+            };
+            use std::cmp::Ordering::Equal;
+            match (dx == Equal, dy == Equal) {
+                (true, true) => ties_both += 1,
+                (true, false) => ties_x += 1,
+                (false, true) => ties_y += 1,
+                (false, false) => {
+                    if dx == dy {
+                        concordant += 1;
+                    } else {
+                        discordant += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
+    let n1 = ties_x + ties_both;
+    let n2 = ties_y + ties_both;
+    let denom = ((n0 - n1) as f64) * ((n0 - n2) as f64);
+    if denom <= 0.0 {
+        return Err(TauError::Degenerate);
+    }
+    Ok((concordant - discordant) as f64 / denom.sqrt())
+}
+
+/// τ-b between two *orderings* of the same item set.
+///
+/// `left` and `right` each list item identifiers from best to worst.
+/// Items are matched by value; both orders must be permutations of the
+/// same set. This is the form used when comparing a crowd-produced order
+/// against ground truth or against another operator's output.
+///
+/// # Errors
+/// [`TauError::LengthMismatch`] if the orders have different lengths or
+/// are not permutations of one another (an unmatched item is reported as
+/// a length mismatch of the matched prefix).
+pub fn tau_between_orders<T: Eq + std::hash::Hash>(
+    left: &[T],
+    right: &[T],
+) -> Result<f64, TauError> {
+    if left.len() != right.len() {
+        return Err(TauError::LengthMismatch {
+            left: left.len(),
+            right: right.len(),
+        });
+    }
+    let pos: std::collections::HashMap<&T, usize> =
+        right.iter().enumerate().map(|(i, t)| (t, i)).collect();
+    let mut xs = Vec::with_capacity(left.len());
+    let mut ys = Vec::with_capacity(left.len());
+    for (i, item) in left.iter().enumerate() {
+        let Some(&j) = pos.get(item) else {
+            return Err(TauError::LengthMismatch {
+                left: left.len(),
+                right: i,
+            });
+        };
+        xs.push(i as f64);
+        ys.push(j as f64);
+    }
+    kendall_tau_b(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_orders_give_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((kendall_tau_b(&xs, &xs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_orders_give_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau_b(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_swap_matches_closed_form() {
+        // n=4, one adjacent swap: C=5, D=1, tau = 4/6.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 1.0, 3.0, 4.0];
+        assert!((kendall_tau_b(&xs, &ys).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_shrink_denominator() {
+        // y has a tie; compare against scipy.stats.kendalltau reference:
+        // x = [1,2,3,4], y = [1,2,2,4] -> tau-b = 0.912870929...
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 2.0, 2.0, 4.0];
+        let t = kendall_tau_b(&xs, &ys).unwrap();
+        assert!((t - 0.9128709291752769).abs() < 1e-12, "tau={t}");
+    }
+
+    #[test]
+    fn all_tied_is_degenerate() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(kendall_tau_b(&xs, &ys), Err(TauError::Degenerate));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        assert!(matches!(
+            kendall_tau_b(&[1.0], &[1.0, 2.0]),
+            Err(TauError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn too_few_items_detected() {
+        assert_eq!(kendall_tau_b(&[1.0], &[1.0]), Err(TauError::TooFewItems(1)));
+    }
+
+    #[test]
+    fn nan_pairs_count_as_uninformative() {
+        // One NaN: pairs with it carry no order info, the remaining pairs
+        // are perfectly concordant.
+        let xs = [1.0, f64::NAN, 3.0, 4.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let t = kendall_tau_b(&xs, &ys).unwrap();
+        assert!(t > 0.7, "tau={t}");
+    }
+
+    #[test]
+    fn orders_by_item_identity() {
+        let a = ["ant", "bee", "cat", "dog"];
+        let b = ["ant", "cat", "bee", "dog"];
+        let t = tau_between_orders(&a, &b).unwrap();
+        assert!((t - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orders_must_be_permutations() {
+        let a = ["ant", "bee"];
+        let b = ["ant", "cow"];
+        assert!(tau_between_orders(&a, &b).is_err());
+    }
+
+    #[test]
+    fn tau_is_symmetric() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0, 6.0];
+        let ys = [2.0, 7.0, 1.0, 8.0, 2.8, 1.8, 2.9, 3.0];
+        let a = kendall_tau_b(&xs, &ys).unwrap();
+        let b = kendall_tau_b(&ys, &xs).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_shuffle_lies_strictly_between() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut ys = xs.clone();
+        ys.swap(0, 19);
+        let t = kendall_tau_b(&xs, &ys).unwrap();
+        assert!(t > 0.0 && t < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// τ-b is always within [-1, 1] when defined.
+        #[test]
+        fn tau_bounded(xs in prop::collection::vec(-1e6..1e6f64, 2..64),
+                       ys in prop::collection::vec(-1e6..1e6f64, 2..64)) {
+            let n = xs.len().min(ys.len());
+            if let Ok(t) = kendall_tau_b(&xs[..n], &ys[..n]) {
+                prop_assert!((-1.0..=1.0).contains(&t), "tau out of range: {t}");
+            }
+        }
+
+        /// Self-correlation of a vector with distinct values is exactly 1.
+        #[test]
+        fn tau_self_is_one(mut xs in prop::collection::vec(-1e6..1e6f64, 2..64)) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.dedup();
+            if xs.len() >= 2 {
+                let t = kendall_tau_b(&xs, &xs).unwrap();
+                prop_assert!((t - 1.0).abs() < 1e-12);
+            }
+        }
+
+        /// Negating one vector negates τ (no ties case).
+        #[test]
+        fn tau_antisymmetric_under_negation(
+            mut xs in prop::collection::vec(-1e6..1e6f64, 2..48),
+            seed in any::<u64>())
+        {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.dedup();
+            if xs.len() < 2 { return Ok(()); }
+            // Deterministic shuffle of ys derived from seed.
+            let mut ys = xs.clone();
+            let mut s = seed;
+            for i in (1..ys.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                ys.swap(i, j);
+            }
+            let t1 = kendall_tau_b(&xs, &ys).unwrap();
+            let neg: Vec<f64> = ys.iter().map(|v| -v).collect();
+            let t2 = kendall_tau_b(&xs, &neg).unwrap();
+            prop_assert!((t1 + t2).abs() < 1e-9);
+        }
+    }
+}

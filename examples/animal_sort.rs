@@ -1,0 +1,79 @@
+//! Sorting animals by adult size (§4): Compare vs. Rate vs. Hybrid.
+//!
+//! Reproduces the paper's Q2 workload on the 27-item animals dataset
+//! (25 animals + a rock + a dandelion) and reports, per operator, the
+//! HIT cost and the rank correlation (Kendall τ-b) against the paper's
+//! published Compare ordering.
+//!
+//! Run with: `cargo run --release --example animal_sort`
+
+use qurk::ops::sort::{CompareSort, HybridSort, HybridStrategy, RateSort};
+use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
+use qurk_data::animals::{animals_dataset, SIZE};
+use qurk_metrics::tau_between_orders;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut truth = GroundTruth::new();
+    let ds = animals_dataset(&mut truth);
+    let ground_truth_order = truth.true_order(&ds.items, SIZE);
+    let mut market = Marketplace::new(&CrowdConfig::default(), truth);
+
+    println!(
+        "{:<22} {:>6} {:>8} {:>8}",
+        "operator", "HITs", "cost $", "tau"
+    );
+
+    // Comparison sort: groups of 5, every pair voted >= 5 times.
+    let spent0 = market.ledger.total();
+    let cmp = CompareSort::default().run(&mut market, &ds.items, SIZE)?;
+    let tau = tau_between_orders(&cmp.order, &ground_truth_order)?;
+    println!(
+        "{:<22} {:>6} {:>8.2} {:>8.3}",
+        "Compare (S=5)",
+        cmp.hits_posted,
+        market.ledger.total() - spent0,
+        tau
+    );
+
+    // Rating sort: 7-point Likert, batch 5.
+    let spent0 = market.ledger.total();
+    let rate = RateSort::default().run(&mut market, &ds.items, SIZE)?;
+    let tau = tau_between_orders(&rate.order, &ground_truth_order)?;
+    println!(
+        "{:<22} {:>6} {:>8.2} {:>8.3}",
+        "Rate (batch=5)",
+        rate.hits_posted,
+        market.ledger.total() - spent0,
+        tau
+    );
+
+    // Hybrid: rate first, then 20 windowed comparison HITs (§4.2.4:
+    // tau improved from ~.76 to ~.90 within 20 iterations).
+    let spent0 = market.ledger.total();
+    let hybrid = HybridSort {
+        strategy: HybridStrategy::Window { t: 6 },
+        ..Default::default()
+    }
+    .run(&mut market, &ds.items, SIZE, 20)?;
+    let tau0 = tau_between_orders(&hybrid.initial.order, &ground_truth_order)?;
+    let tau = tau_between_orders(hybrid.trajectory.last().unwrap(), &ground_truth_order)?;
+    println!(
+        "{:<22} {:>6} {:>8.2} {:>8.3}  (started at {:.3})",
+        "Hybrid (Window t=6)",
+        hybrid.hits_posted,
+        market.ledger.total() - spent0,
+        tau,
+        tau0
+    );
+
+    println!("\nhybrid final order (largest first):");
+    let names: Vec<&str> = hybrid
+        .trajectory
+        .last()
+        .unwrap()
+        .iter()
+        .filter_map(|&it| ds.name_of(it))
+        .collect();
+    println!("  {}", names.join(" > "));
+    Ok(())
+}

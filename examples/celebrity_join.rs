@@ -1,0 +1,129 @@
+//! The celebrity join (§2.4, §3): naive vs. optimized.
+//!
+//! Joins `celeb(name, img)` against `photos(id, img)` with the
+//! `samePerson` EquiJoin task, first unbatched and unfiltered (the $67
+//! configuration), then with NaiveBatch(5) plus POSSIBLY feature
+//! filtering on gender/hair/skin (the ~$3 configuration), and reports
+//! accuracy against the hidden ground truth.
+//!
+//! Run with: `cargo run --release --example celebrity_join`
+
+use qurk::exec::ExecConfig;
+use qurk::ops::join::{JoinOp, JoinStrategy};
+use qurk::prelude::*;
+use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
+use qurk_data::celebrity::{celebrity_dataset, CelebrityConfig};
+
+const TASKS: &str = r#"
+TASK samePerson(f1, f2) TYPE EquiJoin:
+    SingularName: "celebrity"
+    PluralName: "celebrities"
+    LeftPreview: "<img src='%s' class=smImg>", tuple1[f1]
+    LeftNormal: "<img src='%s' class=lgImg>", tuple1[f1]
+    RightPreview: "<img src='%s' class=smImg>", tuple2[f2]
+    RightNormal: "<img src='%s' class=lgImg>", tuple2[f2]
+    Combiner: QualityAdjust
+TASK gender(field) TYPE Generative:
+    Prompt: "<img src='%s'> What is this person's gender?", tuple[field]
+    Response: Radio("Gender", ["Male", "Female", UNKNOWN])
+    Combiner: MajorityVote
+TASK hairColor(field) TYPE Generative:
+    Prompt: "<img src='%s'> What is this person's hair color?", tuple[field]
+    Response: Radio("Hair color", ["black", "brown", "blond", "white", UNKNOWN])
+    Combiner: MajorityVote
+TASK skinColor(field) TYPE Generative:
+    Prompt: "<img src='%s'> What is this person's skin color?", tuple[field]
+    Response: Radio("Skin color", ["light", "medium", "dark", UNKNOWN])
+    Combiner: MajorityVote
+"#;
+
+fn build_world(seed: u64) -> (Catalog, Marketplace, Vec<(String, u64)>) {
+    let mut truth = GroundTruth::new();
+    let ds = celebrity_dataset(
+        &mut truth,
+        &CelebrityConfig::default()
+            .with_celebrities(20)
+            .with_seed(seed),
+    );
+    let market = Marketplace::new(&CrowdConfig::default().with_seed(seed), truth);
+
+    let mut celeb = Relation::new(Schema::new(&[
+        ("name", ValueType::Text),
+        ("img", ValueType::Item),
+    ]));
+    let mut photos = Relation::new(Schema::new(&[
+        ("id", ValueType::Int),
+        ("img", ValueType::Item),
+    ]));
+    let mut expected = Vec::new();
+    for (i, c) in ds.celebrities.iter().enumerate() {
+        celeb
+            .push(vec![
+                Value::text(c.name.clone()),
+                Value::Item(ds.celeb_items[i]),
+            ])
+            .unwrap();
+        expected.push((c.name.clone(), c.entity.0));
+    }
+    for (j, &item) in ds.photo_items.iter().enumerate() {
+        photos
+            .push(vec![Value::Int(j as i64), Value::Item(item)])
+            .unwrap();
+    }
+    let mut catalog = Catalog::new();
+    catalog.register_table("celeb", celeb);
+    catalog.register_table("photos", photos);
+    catalog.define_tasks(TASKS).unwrap();
+    (catalog, market, expected)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Naive: SimpleJoin over the full cross product. ---
+    let (catalog, mut market, _) = build_world(11);
+    let mut executor = Executor::new(&catalog, &mut market);
+    executor.config = ExecConfig {
+        join: JoinOp {
+            strategy: JoinStrategy::Simple,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let naive = executor.query_report(
+        "SELECT c.name, p.id FROM celeb c JOIN photos p ON samePerson(c.img, p.img)",
+    )?;
+    println!(
+        "naive join:     {:>4} HITs  ${:>6.2}  {} matches",
+        naive.hits_posted,
+        naive.cost_dollars,
+        naive.relation.len()
+    );
+
+    // --- Optimized: NaiveBatch(5) + POSSIBLY feature filtering. ---
+    let (catalog, mut market, _) = build_world(11);
+    let mut executor = Executor::new(&catalog, &mut market);
+    executor.config = ExecConfig {
+        join: JoinOp {
+            strategy: JoinStrategy::NaiveBatch(5),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let optimized = executor.query_report(
+        "SELECT c.name, p.id FROM celeb c JOIN photos p ON samePerson(c.img, p.img) \
+         AND POSSIBLY gender(c.img) = gender(p.img) \
+         AND POSSIBLY hairColor(c.img) = hairColor(p.img) \
+         AND POSSIBLY skinColor(c.img) = skinColor(p.img)",
+    )?;
+    println!(
+        "optimized join: {:>4} HITs  ${:>6.2}  {} matches",
+        optimized.hits_posted,
+        optimized.cost_dollars,
+        optimized.relation.len()
+    );
+    println!(
+        "\ncost reduction: {:.1}x",
+        naive.cost_dollars / optimized.cost_dollars.max(0.01)
+    );
+    println!("\noptimized plan:\n{}", optimized.explain);
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Quickstart: the paper's first example (§2.1) end to end.
+//!
+//! Builds the `celeb(name, img)` table, registers the `isFemale`
+//! Filter task, and runs
+//!
+//! ```sql
+//! SELECT c.name FROM celeb AS c WHERE isFemale(c.img)
+//! ```
+//!
+//! against the simulated crowd, printing the survivors, the plan, and
+//! what the query cost.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qurk::prelude::*;
+use qurk_crowd::truth::PredicateTruth;
+use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Hidden ground truth: eight celebrities, half of them women.
+    //    Workers perceive this through ~3% answer noise.
+    let mut truth = GroundTruth::new();
+    let names = [
+        "Meryl Streep",
+        "Colin Firth",
+        "Natalie Portman",
+        "Jeff Bridges",
+        "Annette Bening",
+        "Jesse Eisenberg",
+        "Nicole Kidman",
+        "James Franco",
+    ];
+    let items = truth.new_items(names.len());
+    for (i, &item) in items.iter().enumerate() {
+        truth.set_predicate(
+            item,
+            "isFemale",
+            PredicateTruth {
+                value: i % 2 == 0,
+                error_rate: 0.03,
+            },
+        );
+    }
+
+    // 2. A simulated marketplace: 150 workers, $0.01/HIT + $0.005 fee,
+    //    5 assignments per HIT (the paper's defaults).
+    let mut market = Marketplace::new(&CrowdConfig::default(), truth);
+
+    // 3. The relational side: a table whose `img` column references the
+    //    crowd-visible items.
+    let mut celeb = Relation::new(Schema::new(&[
+        ("name", ValueType::Text),
+        ("img", ValueType::Item),
+    ]));
+    for (i, &item) in items.iter().enumerate() {
+        celeb.push(vec![Value::text(names[i]), Value::Item(item)])?;
+    }
+
+    let mut catalog = Catalog::new();
+    catalog.register_table("celeb", celeb);
+    catalog.define_tasks(
+        r#"TASK isFemale(field) TYPE Filter:
+            Prompt: "<table><tr><td><img src='%s'></td>
+                     <td>Is the person in the image a woman?</td></tr></table>", tuple[field]
+            YesText: "Yes"
+            NoText: "No"
+            Combiner: MajorityVote
+        "#,
+    )?;
+
+    // 4. Run the query.
+    let mut executor = Executor::new(&catalog, &mut market);
+    let report = executor.query_report("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")?;
+
+    println!("plan:\n{}", report.explain);
+    println!("result ({} rows):", report.relation.len());
+    for row in report.relation.rows() {
+        println!("  {}", row[0]);
+    }
+    println!(
+        "\ncrowd stats: {} HITs posted, ${:.3} spent, {:.2} virtual hours",
+        report.hits_posted,
+        report.cost_dollars,
+        market.now().hours()
+    );
+    Ok(())
+}

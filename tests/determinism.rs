@@ -1,0 +1,85 @@
+//! Integration tests for reproducibility: the entire pipeline —
+//! dataset generation, marketplace event loop, operators, combiners —
+//! is a pure function of the seed. This is what makes the experiment
+//! harness's numbers citable.
+
+use qurk::ops::join::{JoinOp, JoinStrategy};
+use qurk::ops::sort::{HybridSort, RateSort};
+use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
+use qurk_data::celebrity::{celebrity_dataset, CelebrityConfig};
+use qurk_data::squares::{squares_dataset, AREA};
+
+fn join_run(seed: u64) -> (Vec<(usize, usize)>, f64, u64) {
+    let mut gt = GroundTruth::new();
+    let ds = celebrity_dataset(&mut gt, &CelebrityConfig::default().with_celebrities(10));
+    let mut market = Marketplace::new(&CrowdConfig::default().with_seed(seed), gt);
+    let out = JoinOp {
+        strategy: JoinStrategy::NaiveBatch(5),
+        ..Default::default()
+    }
+    .run(&mut market, &ds.celeb_items, &ds.photo_items, None)
+    .unwrap();
+    (
+        out.matches,
+        market.now().secs(),
+        market.ledger.assignments_paid,
+    )
+}
+
+#[test]
+fn identical_seeds_identical_everything() {
+    let (m1, t1, a1) = join_run(42);
+    let (m2, t2, a2) = join_run(42);
+    assert_eq!(m1, m2);
+    assert_eq!(t1, t2);
+    assert_eq!(a1, a2);
+}
+
+#[test]
+fn different_seeds_different_timelines() {
+    let (_, t1, _) = join_run(1);
+    let (_, t2, _) = join_run(2);
+    assert_ne!(t1, t2, "different crowds should take different time");
+}
+
+#[test]
+fn sort_trajectories_are_reproducible() {
+    let run = |seed: u64| {
+        let mut gt = GroundTruth::new();
+        let ds = squares_dataset(&mut gt, 20);
+        let mut market = Marketplace::new(&CrowdConfig::default().with_seed(seed), gt);
+        let out = HybridSort::default()
+            .run(&mut market, &ds.items, AREA, 10)
+            .unwrap();
+        out.trajectory
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn rating_scores_are_reproducible() {
+    let run = |seed: u64| {
+        let mut gt = GroundTruth::new();
+        let ds = squares_dataset(&mut gt, 15);
+        let mut market = Marketplace::new(&CrowdConfig::default().with_seed(seed), gt);
+        RateSort::default()
+            .run(&mut market, &ds.items, AREA)
+            .unwrap()
+            .scores
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10));
+}
+
+#[test]
+fn dataset_generation_is_independent_of_market_seed() {
+    let mut gt1 = GroundTruth::new();
+    let a = celebrity_dataset(&mut gt1, &CelebrityConfig::default());
+    let mut gt2 = GroundTruth::new();
+    let b = celebrity_dataset(&mut gt2, &CelebrityConfig::default());
+    assert_eq!(a.photo_owner, b.photo_owner);
+    assert_eq!(
+        a.celebrities.iter().map(|c| c.skin).collect::<Vec<_>>(),
+        b.celebrities.iter().map(|c| c.skin).collect::<Vec<_>>()
+    );
+}

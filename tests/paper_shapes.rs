@@ -1,0 +1,207 @@
+//! Integration tests asserting the paper's *qualitative* findings hold
+//! end-to-end — the claims a reviewer would check before trusting the
+//! reproduction. These run the same code paths as the `repro` harness
+//! but with small inputs and generous bounds so they are stable in CI.
+
+use qurk::ops::join::feature_filter::{FeatureFilter, FeatureFilterConfig, FeatureSpec};
+use qurk::ops::join::{JoinOp, JoinStrategy};
+use qurk::ops::sort::{CompareSort, HybridSort, HybridStrategy, RateSort};
+use qurk::task::CombinerKind;
+use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
+use qurk_data::celebrity::{celebrity_dataset, CelebrityConfig, GENDER, HAIR, SKIN};
+use qurk_data::squares::{squares_dataset, AREA};
+use qurk_metrics::tau_between_orders;
+
+fn celebrity_market(n: usize, seed: u64) -> (Marketplace, qurk_data::celebrity::CelebrityDataset) {
+    let mut gt = GroundTruth::new();
+    let ds = celebrity_dataset(&mut gt, &CelebrityConfig::default().with_celebrities(n));
+    (
+        Marketplace::new(&CrowdConfig::default().with_seed(seed), gt),
+        ds,
+    )
+}
+
+/// §3.4: "batching is an effective technique … offering an
+/// order-of-magnitude reduction in overall cost" with a "small effect
+/// on result quality".
+#[test]
+fn batching_cuts_cost_an_order_of_magnitude_with_small_quality_cost() {
+    let (mut m1, ds) = celebrity_market(15, 21);
+    let simple = JoinOp {
+        strategy: JoinStrategy::Simple,
+        combiner: CombinerKind::QualityAdjust,
+        ..Default::default()
+    }
+    .run(&mut m1, &ds.celeb_items, &ds.photo_items, None)
+    .unwrap();
+    let (mut m2, ds2) = celebrity_market(15, 22);
+    let batched = JoinOp {
+        strategy: JoinStrategy::NaiveBatch(10),
+        combiner: CombinerKind::QualityAdjust,
+        ..Default::default()
+    }
+    .run(&mut m2, &ds2.celeb_items, &ds2.photo_items, None)
+    .unwrap();
+    assert_eq!(simple.hits_posted, 225);
+    assert_eq!(batched.hits_posted, simple.hits_posted.div_ceil(10));
+
+    let tp = |matches: &[(usize, usize)], ds: &qurk_data::celebrity::CelebrityDataset| {
+        matches
+            .iter()
+            .filter(|&&(i, j)| ds.photo_owner[j] == i)
+            .count()
+    };
+    let tp_simple = tp(&simple.matches, &ds);
+    let tp_batched = tp(&batched.matches, &ds2);
+    assert!(tp_simple >= 13, "simple tp={tp_simple}");
+    assert!(
+        tp_batched + 3 >= tp_simple,
+        "batched tp={tp_batched} vs simple {tp_simple}"
+    );
+}
+
+/// §3.4: "feature filtering offers significant cost savings when a
+/// good set of features can be identified" — and the auto-selection
+/// machinery (κ + selectivity tests) keeps the good ones.
+#[test]
+fn feature_filter_pipeline_prunes_without_losing_matches() {
+    let (mut market, ds) = celebrity_market(16, 23);
+    let ff = FeatureFilter::new(FeatureFilterConfig {
+        sample_fraction: 0.5,
+        ..Default::default()
+    });
+    let specs = vec![
+        FeatureSpec {
+            name: GENDER.into(),
+            num_options: 2,
+        },
+        FeatureSpec {
+            name: HAIR.into(),
+            num_options: 4,
+        },
+        FeatureSpec {
+            name: SKIN.into(),
+            num_options: 3,
+        },
+    ];
+    let out = ff
+        .run(&mut market, &specs, &ds.celeb_items, &ds.photo_items)
+        .unwrap();
+    // Gender must survive selection (κ high, selectivity ~0.5).
+    assert!(out.selected.contains(&0), "decisions={:?}", out.decisions);
+    // The cross product shrank.
+    assert!(
+        out.candidates.len() < 16 * 16 / 2,
+        "candidates={}",
+        out.candidates.len()
+    );
+    // Few true matches were lost.
+    let lost = (0..16)
+        .filter(|&i| {
+            let j = ds.photo_owner.iter().position(|&o| o == i).unwrap();
+            !out.candidates.contains(&(i, j))
+        })
+        .count();
+    assert!(lost <= 3, "lost={lost}");
+}
+
+/// §4.3: "ratings achieve sort orders close to but not as good as
+/// comparisons" at a fraction of the cost.
+#[test]
+fn compare_beats_rate_in_accuracy_rate_wins_on_cost() {
+    let mut gt = GroundTruth::new();
+    let ds = squares_dataset(&mut gt, 30);
+    let mut market = Marketplace::new(&CrowdConfig::default().with_seed(24), gt);
+    let cmp = CompareSort::default()
+        .run(&mut market, &ds.items, AREA)
+        .unwrap();
+    let rate = RateSort::default()
+        .run(&mut market, &ds.items, AREA)
+        .unwrap();
+    let truth_order = ds.true_order_desc();
+    let tau_cmp = tau_between_orders(&cmp.order, &truth_order).unwrap();
+    let tau_rate = tau_between_orders(&rate.order, &truth_order).unwrap();
+    assert!(tau_cmp > tau_rate, "cmp={tau_cmp} rate={tau_rate}");
+    assert!(tau_cmp > 0.95, "cmp={tau_cmp}");
+    assert!(tau_rate > 0.6, "rate={tau_rate}");
+    assert!(rate.hits_posted * 5 < cmp.hits_posted);
+}
+
+/// §4.3: the hybrid "was able to get similar (τ > .95) accuracy to
+/// sorts at less than one-third the cost".
+#[test]
+fn hybrid_reaches_high_tau_at_fraction_of_compare_cost() {
+    let mut gt = GroundTruth::new();
+    let ds = squares_dataset(&mut gt, 30);
+    let mut market = Marketplace::new(&CrowdConfig::default().with_seed(25), gt);
+    let truth_order = ds.true_order_desc();
+
+    let cmp = CompareSort::default()
+        .run(&mut market, &ds.items, AREA)
+        .unwrap();
+    let hybrid = HybridSort {
+        strategy: HybridStrategy::Window { t: 7 },
+        ..Default::default()
+    }
+    .run(&mut market, &ds.items, AREA, 18)
+    .unwrap();
+    let tau = tau_between_orders(hybrid.trajectory.last().unwrap(), &truth_order).unwrap();
+    assert!(tau > 0.93, "hybrid tau={tau}");
+    assert!(
+        hybrid.hits_posted * 2 < cmp.hits_posted,
+        "hybrid={} compare={}",
+        hybrid.hits_posted,
+        cmp.hits_posted
+    );
+}
+
+/// §3.4/§6: QualityAdjust "significantly improves result quality …
+/// because it effectively filters spammers" — MV can be badly skewed.
+#[test]
+fn quality_adjust_resists_spam_floods_where_mv_fails() {
+    let mut gt = GroundTruth::new();
+    let ds = celebrity_dataset(&mut gt, &CelebrityConfig::default().with_celebrities(10));
+    let mut cfg = CrowdConfig::default().with_seed(26);
+    cfg.workers.spammer_fraction = 0.35; // hostile marketplace
+    let mut market = Marketplace::new(&cfg, gt);
+    let mv = JoinOp {
+        strategy: JoinStrategy::SmartBatch { rows: 3, cols: 3 },
+        combiner: CombinerKind::MajorityVote,
+        ..Default::default()
+    }
+    .run(&mut market, &ds.celeb_items, &ds.photo_items, None)
+    .unwrap();
+    let qa = JoinOp {
+        strategy: JoinStrategy::SmartBatch { rows: 3, cols: 3 },
+        combiner: CombinerKind::QualityAdjust,
+        ..Default::default()
+    }
+    .run(&mut market, &ds.celeb_items, &ds.photo_items, None)
+    .unwrap();
+    let tp = |matches: &[(usize, usize)]| {
+        matches
+            .iter()
+            .filter(|&&(i, j)| ds.photo_owner[j] == i)
+            .count()
+    };
+    assert!(
+        tp(&qa.matches) >= tp(&mv.matches),
+        "QA {} vs MV {}",
+        tp(&qa.matches),
+        tp(&mv.matches)
+    );
+    assert!(tp(&qa.matches) >= 6, "qa tp={}", tp(&qa.matches));
+}
+
+/// §2.6/§3.3.2: the fixed-price economics — every assignment costs
+/// exactly $0.015, so HIT counts are the whole cost story.
+#[test]
+fn ledger_tracks_exactly_posted_assignments() {
+    let (mut market, ds) = celebrity_market(8, 27);
+    let out = JoinOp::default()
+        .run(&mut market, &ds.celeb_items, &ds.photo_items, None)
+        .unwrap();
+    let expected_assignments = out.hits_posted as u64 * 5;
+    assert_eq!(market.ledger.assignments_paid, expected_assignments);
+    assert!((market.ledger.total() - expected_assignments as f64 * 0.015).abs() < 1e-9);
+}
