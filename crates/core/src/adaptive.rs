@@ -11,8 +11,9 @@
 //!   change to latency and accuracy is observed" (§6).
 
 use qurk_crowd::question::{HitKind, Question};
-use qurk_crowd::{HitSpec, ItemId, Marketplace};
+use qurk_crowd::{HitSpec, ItemId};
 
+use crate::backend::CrowdBackend;
 use crate::error::Result;
 use crate::ops::common::{run_and_collect, DEFAULT_ROUND_LIMIT_SECS};
 
@@ -51,9 +52,15 @@ impl AdaptiveVotes {
     /// and dropping items once decided. Compared to a fixed 5-vote
     /// scheme this spends fewer assignments on easy items and more on
     /// contested ones.
-    pub fn run_filter(
+    ///
+    /// **Drive this against a non-caching backend.** Rounds after the
+    /// first post byte-identical specs for still-contested items, so a
+    /// [`crate::backend::CachingBackend`] would replay the previous
+    /// round's answers instead of collecting fresh votes — the margin
+    /// never grows and the same workers' votes are counted repeatedly.
+    pub fn run_filter<B: CrowdBackend + ?Sized>(
         &self,
-        market: &mut Marketplace,
+        backend: &mut B,
         predicate: &str,
         items: &[ItemId],
     ) -> Result<AdaptiveOutcome> {
@@ -79,13 +86,14 @@ impl AdaptiveVotes {
                 })
                 .collect();
             hits_posted += specs.len();
-            let group = market.post_group_with_assignments(specs, round_votes);
-            let by_hit = run_and_collect(market, group, DEFAULT_ROUND_LIMIT_SECS)?;
-            let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
-            hit_ids.sort_unstable();
-            for (k, hit_id) in hit_ids.into_iter().enumerate() {
+            let group = backend.post_group_with_assignments(specs, round_votes);
+            let by_hit = run_and_collect(backend, group, DEFAULT_ROUND_LIMIT_SECS)?;
+            for (k, hit_id) in backend.group_hits(group).into_iter().enumerate() {
                 let i = open[k];
-                for a in &by_hit[&hit_id] {
+                let Some(assignments) = by_hit.get(&hit_id) else {
+                    continue;
+                };
+                for a in assignments {
                     if let Some(b) = a.answers[0].as_bool() {
                         if b {
                             yes[i] += 1;
@@ -169,8 +177,8 @@ impl BatchSizeSearch {
     /// batch size and a virtual-time target (used by the ablation
     /// bench; §4.2.2's stalled group-size-20 experiment is exactly a
     /// failed probe).
-    pub fn probe_compare_batch(
-        market: &mut Marketplace,
+    pub fn probe_compare_batch<B: CrowdBackend + ?Sized>(
+        backend: &mut B,
         items: &[ItemId],
         dimension: &str,
         group_size: usize,
@@ -190,13 +198,13 @@ impl BatchSizeSearch {
             }],
             HitKind::SortCompare,
         );
-        let gid = market.post_group(vec![spec]);
+        let gid = backend.post_group(vec![spec]);
         // Run out the probe window; judge THIS group only — earlier
         // stalled probes (or unrelated groups) may legitimately remain
         // outstanding on the same marketplace.
-        let _ = market.run(target_secs);
+        let _ = backend.run(target_secs);
         ProbeResult {
-            completed: market.group_outstanding(gid) == 0,
+            completed: backend.group_outstanding(gid) == 0,
             accuracy: None,
         }
     }
@@ -206,7 +214,7 @@ impl BatchSizeSearch {
 mod tests {
     use super::*;
     use qurk_crowd::truth::{DimensionParams, PredicateTruth};
-    use qurk_crowd::{CrowdConfig, GroundTruth};
+    use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
 
     fn market(n: usize, err: f64) -> (Marketplace, Vec<ItemId>) {
         let mut gt = GroundTruth::new();

@@ -28,6 +28,13 @@ pub enum QurkError {
     Schema(String),
     /// The crowd did not complete the work (e.g. batch too large).
     CrowdIncomplete { outstanding: u32 },
+    /// A per-query dollar budget was exhausted before the next crowd
+    /// operator could start (see
+    /// [`QueryBuilder::budget_dollars`](crate::session::QueryBuilder::budget_dollars)).
+    BudgetExceeded {
+        budget_dollars: f64,
+        spent_dollars: f64,
+    },
     /// Anything else.
     Other(String),
 }
@@ -57,6 +64,15 @@ impl fmt::Display for QurkError {
                 write!(
                     f,
                     "crowd work incomplete: {outstanding} assignments outstanding"
+                )
+            }
+            QurkError::BudgetExceeded {
+                budget_dollars,
+                spent_dollars,
+            } => {
+                write!(
+                    f,
+                    "query budget exhausted: spent ${spent_dollars:.3} of ${budget_dollars:.3}"
                 )
             }
             QurkError::Other(m) => write!(f, "{m}"),

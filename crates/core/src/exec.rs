@@ -1,87 +1,54 @@
-//! The executor: runs logical plans against the crowd marketplace.
+//! The legacy executor — now a thin shim over [`crate::session`].
+//!
+//! [`Executor`] predates the [`Session`](crate::session::Session) /
+//! [`QueryBuilder`](crate::session::QueryBuilder) API and is kept so
+//! existing call sites compile unchanged; it delegates every query to
+//! a `Session` borrowing the same marketplace, so both paths produce
+//! identical results on the same workload. (One caveat: the session's
+//! cache dedupes whole HIT specs, where the old `TaskCache` cached
+//! per question — overlapping-but-differently-batched queries re-ask
+//! the crowd; exact re-runs stay free.) New code should use `Session`:
+//!
+//! ```text
+//! // old                                   // new
+//! let mut ex = Executor::new(&cat, &mut m);   let mut s = Session::builder()
+//! ex.config.sort = mode;                          .catalog(&cat).backend(m)
+//! ex.query(sql)?                                  .build();
+//!                                             s.query(sql).sort(mode).run()?
+//! ```
+//!
+//! `ExecConfig`, `SortMode` and `QueryReport` live in
+//! [`crate::session`] and are re-exported here under their historical
+//! paths.
 
-use std::collections::HashMap;
-
-use qurk_crowd::{ItemId, Marketplace};
+use qurk_crowd::Marketplace;
 
 use crate::catalog::Catalog;
-use crate::error::{QurkError, Result};
-use crate::hit::cache::TaskCache;
-use crate::lang::ast::{
-    CmpOp, Expr, Literal, OrderExpr, PossiblyClause, Predicate, SelectItem, UdfCall,
-};
-use crate::lang::parser::parse_query;
-use crate::ops::filter::FilterOp;
-use crate::ops::generative::GenerativeOp;
-use crate::ops::join::feature_filter::{FeatureFilter, FeatureFilterConfig, FeatureSpec};
-use crate::ops::join::JoinOp;
-use crate::ops::sort::{CompareSort, HybridSort, RateSort};
-use crate::plan::{plan_query, LogicalPlan};
+use crate::error::Result;
+use crate::plan::LogicalPlan;
 use crate::relation::Relation;
-use crate::schema::ValueType;
-use crate::task::TaskType;
-use crate::tuple::Tuple;
-use crate::value::Value;
+use crate::session::Session;
 
-/// Which sort implementation ORDER BY uses (§4.1).
-#[derive(Debug, Clone)]
-pub enum SortMode {
-    Compare(CompareSort),
-    Rate(RateSort),
-    /// Hybrid with a fixed comparison budget (§4.1.3: "the user can
-    /// control the resulting accuracy and cost by specifying the
-    /// number of iterations").
-    Hybrid(HybridSort, usize),
-}
-
-impl Default for SortMode {
-    fn default() -> Self {
-        SortMode::Compare(CompareSort::default())
-    }
-}
-
-/// Executor-wide configuration.
-#[derive(Debug, Clone, Default)]
-pub struct ExecConfig {
-    pub filter: FilterOp,
-    pub join: JoinOp,
-    pub feature_filter: FeatureFilterConfig,
-    pub sort: SortMode,
-    /// §2.6 *combining*: evaluate conjunctive WHERE filters in one HIT
-    /// per tuple instead of serially. Footnote 2: this does more
-    /// "work" (tuples the first filter would discard still reach the
-    /// second) but cuts the total HIT count whenever the first filter
-    /// passes anything.
-    pub combine_conjunct_filters: bool,
-}
-
-/// Per-query execution report.
-#[derive(Debug, Clone)]
-pub struct QueryReport {
-    pub relation: Relation,
-    /// HITs posted while executing this query.
-    pub hits_posted: usize,
-    /// Dollars spent on this query (assignments × price).
-    pub cost_dollars: f64,
-    /// EXPLAIN text of the executed plan.
-    pub explain: String,
-}
+pub use crate::session::{ExecConfig, QueryReport, SortMode};
 
 /// Runs queries for one catalog against one marketplace.
+#[deprecated(
+    since = "0.1.0",
+    note = "use session::Session with a CrowdBackend instead"
+)]
 pub struct Executor<'a> {
-    catalog: &'a Catalog,
-    market: &'a mut Marketplace,
+    session: Session<'a, &'a mut Marketplace>,
+    /// Executor-wide configuration; mutate freely between queries
+    /// (the `Session` API does this per query instead).
     pub config: ExecConfig,
-    pub cache: TaskCache,
 }
 
+#[allow(deprecated)]
 impl<'a> Executor<'a> {
     pub fn new(catalog: &'a Catalog, market: &'a mut Marketplace) -> Self {
         Executor {
-            catalog,
-            market,
+            session: Session::new(catalog, market),
             config: ExecConfig::default(),
-            cache: TaskCache::new(),
         }
     }
 
@@ -97,752 +64,23 @@ impl<'a> Executor<'a> {
 
     /// [`Self::query`] plus cost accounting and the plan explanation.
     pub fn query_report(&mut self, sql: &str) -> Result<QueryReport> {
-        let parsed = parse_query(sql)?;
-        let plan = plan_query(&parsed, self.catalog)?;
-        let hits_before = self.market.hits_posted();
-        let spend_before = self.market.ledger.total();
-        let relation = self.run_plan(&plan)?;
-        Ok(QueryReport {
-            relation,
-            hits_posted: self.market.hits_posted() - hits_before,
-            cost_dollars: self.market.ledger.total() - spend_before,
-            explain: plan.explain(),
-        })
+        self.session.execute(sql, &self.config, None)
     }
 
     /// Execute a logical plan.
     pub fn run_plan(&mut self, plan: &LogicalPlan) -> Result<Relation> {
-        match plan {
-            LogicalPlan::Scan { table, alias } => {
-                Ok(self.catalog.table(table)?.clone().qualified(alias))
-            }
-            LogicalPlan::MachineFilter { input, predicates } => {
-                let rel = self.run_plan(input)?;
-                self.machine_filter(rel, predicates)
-            }
-            LogicalPlan::CrowdFilter { input, conjuncts } => {
-                let mut rel = self.run_plan(input)?;
-                if self.config.combine_conjunct_filters && conjuncts.len() > 1 {
-                    rel = self.crowd_filter_combined(rel, conjuncts)?;
-                } else {
-                    // §2.5: conjuncts issue serially by default.
-                    for call in conjuncts {
-                        rel = self.crowd_filter(rel, call)?;
-                    }
-                }
-                Ok(rel)
-            }
-            LogicalPlan::CrowdFilterOr { input, groups } => {
-                let rel = self.run_plan(input)?;
-                self.crowd_filter_or(rel, groups)
-            }
-            LogicalPlan::Join {
-                left,
-                right,
-                clause,
-            } => {
-                let l = self.run_plan(left)?;
-                let r = self.run_plan(right)?;
-                self.crowd_join(l, r, clause)
-            }
-            LogicalPlan::OrderBy { input, keys } => {
-                let rel = self.run_plan(input)?;
-                self.order_by(rel, keys)
-            }
-            LogicalPlan::Limit { input, n } => {
-                // §2.3: "For MAX/MIN, we use an interface that extracts
-                // the best element from a batch at a time" — LIMIT 1
-                // over a single crowd sort key runs the tournament
-                // extraction instead of a full O(N²) sort.
-                if *n == 1 {
-                    if let LogicalPlan::OrderBy {
-                        input: sort_input,
-                        keys,
-                    } = input.as_ref()
-                    {
-                        if let [OrderExpr {
-                            expr: Expr::Udf(call),
-                            desc,
-                        }] = keys.as_slice()
-                        {
-                            let rel = self.run_plan(sort_input)?;
-                            return self.extract_extreme(rel, call, *desc);
-                        }
-                    }
-                }
-                let rel = self.run_plan(input)?;
-                let mut out = Relation::new(rel.schema().clone());
-                for row in rel.rows().iter().take(*n) {
-                    out.push_unchecked(row.clone());
-                }
-                Ok(out)
-            }
-            LogicalPlan::Project { input, items } => {
-                let rel = self.run_plan(input)?;
-                self.project(rel, items)
-            }
-        }
-    }
-
-    // ---------------- helpers ----------------
-
-    fn eval_expr(&self, rel: &Relation, row: &Tuple, e: &Expr) -> Result<Value> {
-        match e {
-            Expr::Column(name) => row
-                .field(rel.schema(), name)
-                .cloned()
-                .ok_or_else(|| QurkError::UnknownColumn(name.clone())),
-            Expr::Literal(Literal::Number(n)) => {
-                if n.fract() == 0.0 {
-                    Ok(Value::Int(*n as i64))
-                } else {
-                    Ok(Value::Float(*n))
-                }
-            }
-            Expr::Literal(Literal::Str(s)) => Ok(Value::text(s.clone())),
-            Expr::Udf(_) => Err(QurkError::Other(
-                "UDF calls cannot be evaluated by machine".into(),
-            )),
-        }
-    }
-
-    fn machine_filter(&self, rel: Relation, predicates: &[Predicate]) -> Result<Relation> {
-        let mut out = Relation::new(rel.schema().clone());
-        'rows: for row in rel.rows() {
-            for p in predicates {
-                let Predicate::Compare { left, op, right } = p else {
-                    return Err(QurkError::Other(
-                        "machine filter received a crowd predicate".into(),
-                    ));
-                };
-                let l = self.eval_expr(&rel, row, left)?;
-                let r = self.eval_expr(&rel, row, right)?;
-                match l.sql_cmp(&r) {
-                    Some(ord) if op.eval(ord) => {}
-                    _ => continue 'rows, // false or NULL
-                }
-            }
-            out.push_unchecked(row.clone());
-        }
-        Ok(out)
-    }
-
-    /// Resolve a UDF argument to an Item-typed column index.
-    fn resolve_item_col(&self, rel: &Relation, e: &Expr) -> Result<usize> {
-        let Expr::Column(name) = e else {
-            return Err(QurkError::Other(format!(
-                "crowd UDF argument must be a column, got {e:?}"
-            )));
-        };
-        if let Some(i) = rel.schema().resolve(name) {
-            if rel.schema().fields()[i].ty == ValueType::Item {
-                return Ok(i);
-            }
-        }
-        // Whole-tuple reference (`isFemale(c)`): the single Item column
-        // under that alias.
-        let prefix = format!("{name}.");
-        let candidates: Vec<usize> = rel
-            .schema()
-            .fields()
-            .iter()
-            .enumerate()
-            .filter(|(_, f)| f.ty == ValueType::Item && f.name.starts_with(&prefix))
-            .map(|(i, _)| i)
-            .collect();
-        if candidates.len() == 1 {
-            Ok(candidates[0])
-        } else {
-            Err(QurkError::UnknownColumn(name.clone()))
-        }
-    }
-
-    fn crowd_filter(&mut self, rel: Relation, call: &UdfCall) -> Result<Relation> {
-        let task = self.catalog.task(&call.name)?;
-        if task.ty != TaskType::Filter {
-            return Err(QurkError::TaskTypeMismatch {
-                task: call.name.clone(),
-                expected: "Filter",
-                found: task.ty.name(),
-            });
-        }
-        let arg = call
-            .args
-            .first()
-            .ok_or_else(|| QurkError::Other(format!("filter {} needs an argument", call.name)))?;
-        let col = self.resolve_item_col(&rel, arg)?;
-        // Rows with NULL items cannot be asked about and fail the
-        // filter.
-        let mut items = Vec::new();
-        let mut item_rows = Vec::new();
-        for (ri, row) in rel.rows().iter().enumerate() {
-            if let Some(item) = row[col].as_item() {
-                items.push(item);
-                item_rows.push(ri);
-            }
-        }
-        let op = FilterOp {
-            combiner: task.combiner,
-            ..self.config.filter.clone()
-        };
-        let mask = op.run(self.market, &mut self.cache, task.oracle_key(), &items)?;
-        let mut out = Relation::new(rel.schema().clone());
-        for (k, &ri) in item_rows.iter().enumerate() {
-            if mask[k] {
-                out.push_unchecked(rel.rows()[ri].clone());
-            }
-        }
-        Ok(out)
-    }
-
-    /// §2.6 combining: all conjunct filters of a tuple in one HIT.
-    fn crowd_filter_combined(&mut self, rel: Relation, conjuncts: &[UdfCall]) -> Result<Relation> {
-        // Resolve every task and argument column up front; all
-        // conjuncts must address the same Item column set per row.
-        let mut predicates: Vec<&str> = Vec::with_capacity(conjuncts.len());
-        let mut cols: Vec<usize> = Vec::with_capacity(conjuncts.len());
-        for call in conjuncts {
-            let task = self.catalog.task(&call.name)?;
-            if task.ty != TaskType::Filter {
-                return Err(QurkError::TaskTypeMismatch {
-                    task: call.name.clone(),
-                    expected: "Filter",
-                    found: task.ty.name(),
-                });
-            }
-            let arg = call.args.first().ok_or_else(|| {
-                QurkError::Other(format!("filter {} needs an argument", call.name))
-            })?;
-            cols.push(self.resolve_item_col(&rel, arg)?);
-            predicates.push(task.oracle_key());
-        }
-        // Combining requires one shared item per tuple (the paper
-        // combines tasks over "the same tuple"); fall back to the
-        // first column's item.
-        let col = cols[0];
-        let mut items = Vec::new();
-        let mut item_rows = Vec::new();
-        for (ri, row) in rel.rows().iter().enumerate() {
-            if let Some(item) = row[col].as_item() {
-                items.push(item);
-                item_rows.push(ri);
-            }
-        }
-        let op = FilterOp {
-            ..self.config.filter.clone()
-        };
-        let masks = op.run_combined(self.market, &mut self.cache, &predicates, &items)?;
-        let mut out = Relation::new(rel.schema().clone());
-        for (k, &ri) in item_rows.iter().enumerate() {
-            if masks[k].iter().all(|&b| b) {
-                out.push_unchecked(rel.rows()[ri].clone());
-            }
-        }
-        Ok(out)
-    }
-
-    fn crowd_filter_or(&mut self, rel: Relation, groups: &[Vec<Predicate>]) -> Result<Relation> {
-        // §2.5: disjuncts are issued in parallel; each group's verdict
-        // is the AND of its predicates, a row passes if any group does.
-        let mut keep = vec![false; rel.len()];
-        for group in groups {
-            let mut group_mask = vec![true; rel.len()];
-            for p in group {
-                match p {
-                    Predicate::Compare { left, op, right } => {
-                        for (ri, row) in rel.rows().iter().enumerate() {
-                            if group_mask[ri] {
-                                let l = self.eval_expr(&rel, row, left)?;
-                                let r = self.eval_expr(&rel, row, right)?;
-                                group_mask[ri] = matches!(
-                                    l.sql_cmp(&r),
-                                    Some(ord) if op.eval(ord)
-                                );
-                            }
-                        }
-                    }
-                    Predicate::Udf(call) => {
-                        let task = self.catalog.task(&call.name)?;
-                        let arg = call.args.first().ok_or_else(|| {
-                            QurkError::Other(format!("filter {} needs an argument", call.name))
-                        })?;
-                        let col = self.resolve_item_col(&rel, arg)?;
-                        let mut items = Vec::new();
-                        let mut rows = Vec::new();
-                        for (ri, row) in rel.rows().iter().enumerate() {
-                            if group_mask[ri] {
-                                match row[col].as_item() {
-                                    Some(it) => {
-                                        items.push(it);
-                                        rows.push(ri);
-                                    }
-                                    None => group_mask[ri] = false,
-                                }
-                            }
-                        }
-                        let op = FilterOp {
-                            combiner: task.combiner,
-                            ..self.config.filter.clone()
-                        };
-                        let mask =
-                            op.run(self.market, &mut self.cache, task.oracle_key(), &items)?;
-                        for (k, &ri) in rows.iter().enumerate() {
-                            group_mask[ri] = mask[k];
-                        }
-                    }
-                }
-            }
-            for (ri, &g) in group_mask.iter().enumerate() {
-                keep[ri] = keep[ri] || g;
-            }
-        }
-        let mut out = Relation::new(rel.schema().clone());
-        for (ri, row) in rel.rows().iter().enumerate() {
-            if keep[ri] {
-                out.push_unchecked(row.clone());
-            }
-        }
-        Ok(out)
-    }
-
-    fn crowd_join(
-        &mut self,
-        left: Relation,
-        right: Relation,
-        clause: &crate::lang::ast::JoinClause,
-    ) -> Result<Relation> {
-        let join_task = self.catalog.task(&clause.on.name)?;
-        if join_task.ty != TaskType::EquiJoin {
-            return Err(QurkError::TaskTypeMismatch {
-                task: clause.on.name.clone(),
-                expected: "EquiJoin",
-                found: join_task.ty.name(),
-            });
-        }
-        if clause.on.args.len() != 2 {
-            return Err(QurkError::Other(format!(
-                "join predicate {} needs two arguments",
-                clause.on.name
-            )));
-        }
-        // Which argument refers to which side?
-        let (lcol, rcol) = match (
-            self.resolve_item_col(&left, &clause.on.args[0]),
-            self.resolve_item_col(&right, &clause.on.args[1]),
-        ) {
-            (Ok(l), Ok(r)) => (l, r),
-            _ => {
-                // Swapped argument order.
-                let l = self.resolve_item_col(&left, &clause.on.args[1])?;
-                let r = self.resolve_item_col(&right, &clause.on.args[0])?;
-                (l, r)
-            }
-        };
-
-        // Literal POSSIBLY clauses prefilter one side (the §5 movie
-        // query's numInScene); equality clauses drive pairwise feature
-        // filtering.
-        let mut left_rel = left;
-        let mut right_rel = right;
-        let mut eq_specs: Vec<FeatureSpec> = Vec::new();
-        for p in &clause.possibly {
-            match p {
-                PossiblyClause::FeatureLit { call, op, value } => {
-                    let (is_left, moved) = {
-                        let arg = call.args.first().ok_or_else(|| {
-                            QurkError::Other("feature call needs an argument".into())
-                        })?;
-                        if let Ok(col) = self.resolve_item_col(&left_rel, arg) {
-                            (
-                                true,
-                                self.prefilter_literal(&left_rel, col, call, *op, value)?,
-                            )
-                        } else {
-                            let col = self.resolve_item_col(&right_rel, arg)?;
-                            (
-                                false,
-                                self.prefilter_literal(&right_rel, col, call, *op, value)?,
-                            )
-                        }
-                    };
-                    if is_left {
-                        left_rel = moved;
-                    } else {
-                        right_rel = moved;
-                    }
-                }
-                PossiblyClause::FeatureEq {
-                    left: lc,
-                    right: rc,
-                } => {
-                    let task = self.catalog.task(&lc.name)?;
-                    if rc.name != lc.name {
-                        return Err(QurkError::Other(format!(
-                            "POSSIBLY compares different features: {} vs {}",
-                            lc.name, rc.name
-                        )));
-                    }
-                    let (opts, _) = task.feature_options().ok_or_else(|| {
-                        QurkError::Other(format!(
-                            "feature task {} must have a Radio response",
-                            lc.name
-                        ))
-                    })?;
-                    eq_specs.push(FeatureSpec {
-                        name: task.oracle_key().to_owned(),
-                        num_options: opts.len(),
-                    });
-                }
-            }
-        }
-
-        let collect_items = |rel: &Relation, col: usize| -> Vec<ItemId> {
-            rel.rows()
-                .iter()
-                .map(|row| row[col].as_item().unwrap_or(ItemId(u64::MAX)))
-                .collect()
-        };
-        let left_items = collect_items(&left_rel, lcol);
-        let right_items = collect_items(&right_rel, rcol);
-
-        let candidates = if eq_specs.is_empty() {
-            None
-        } else {
-            let ff = FeatureFilter::new(self.config.feature_filter.clone());
-            let outcome = ff.run(self.market, &eq_specs, &left_items, &right_items)?;
-            Some(outcome.candidates)
-        };
-
-        let op = JoinOp {
-            combiner: join_task.combiner,
-            ..self.config.join.clone()
-        };
-        let outcome = op.run(self.market, &left_items, &right_items, candidates.as_ref())?;
-
-        let schema = left_rel.schema().join(right_rel.schema());
-        let mut out = Relation::new(schema);
-        for &(i, j) in &outcome.matches {
-            out.push_unchecked(left_rel.rows()[i].concat(&right_rel.rows()[j]));
-        }
-        Ok(out)
-    }
-
-    fn prefilter_literal(
-        &mut self,
-        rel: &Relation,
-        col: usize,
-        call: &UdfCall,
-        op: CmpOp,
-        value: &Literal,
-    ) -> Result<Relation> {
-        let task = self.catalog.task(&call.name)?;
-        let (opts, _) = task.feature_options().ok_or_else(|| {
-            QurkError::Other(format!("feature task {} must be categorical", call.name))
-        })?;
-        let items: Vec<ItemId> = rel.rows().iter().filter_map(|r| r[col].as_item()).collect();
-        let gen = GenerativeOp {
-            batch_size: self.config.feature_filter.batch_size,
-            combined_interface: false,
-            assignments: self.config.feature_filter.assignments,
-            limit_secs: self.config.feature_filter.limit_secs,
-        };
-        let outcome = gen.run(self.market, task, &items)?;
-        let want = match value {
-            Literal::Str(s) => s.clone(),
-            Literal::Number(n) => {
-                if n.fract() == 0.0 {
-                    format!("{}", *n as i64)
-                } else {
-                    format!("{n}")
-                }
-            }
-        };
-        let mut out = Relation::new(rel.schema().clone());
-        let mut k = 0usize;
-        for row in rel.rows() {
-            if row[col].as_item().is_none() {
-                continue;
-            }
-            let extracted = outcome.rows[k].get("value").cloned().unwrap_or(Value::Null);
-            k += 1;
-            let pass = match (&extracted, op) {
-                (Value::Null, _) => true, // UNKNOWN matches anything
-                (Value::Text(t), CmpOp::Eq) => *t == want,
-                (Value::Text(t), CmpOp::Ne) => *t != want,
-                (Value::Text(t), _) => {
-                    // Ordered comparison over the option order.
-                    let ti = opts.iter().position(|o| o == t);
-                    let wi = opts.iter().position(|o| *o == want);
-                    match (ti, wi) {
-                        (Some(a), Some(b)) => op.eval(a.cmp(&b)),
-                        _ => false,
-                    }
-                }
-                _ => false,
-            };
-            if pass {
-                out.push_unchecked(row.clone());
-            }
-        }
-        Ok(out)
-    }
-
-    /// MAX/MIN aggregate: tournament extraction of the single best
-    /// (DESC) or worst (ASC) row by a Rank task (§2.3).
-    fn extract_extreme(&mut self, rel: Relation, call: &UdfCall, desc: bool) -> Result<Relation> {
-        let task = self.catalog.task(&call.name)?;
-        if task.ty != TaskType::Rank {
-            return Err(QurkError::TaskTypeMismatch {
-                task: call.name.clone(),
-                expected: "Rank",
-                found: task.ty.name(),
-            });
-        }
-        let mut out = Relation::new(rel.schema().clone());
-        if rel.is_empty() {
-            return Ok(out);
-        }
-        let arg = call.args.first().ok_or_else(|| {
-            QurkError::Other(format!("rank task {} needs an argument", call.name))
-        })?;
-        let col = self.resolve_item_col(&rel, arg)?;
-        let items: Vec<ItemId> = rel.rows().iter().filter_map(|r| r[col].as_item()).collect();
-        if items.is_empty() {
-            return Ok(out);
-        }
-        // DESC LIMIT 1 = MAX ("most"); ASC LIMIT 1 = MIN ("least").
-        // Batches of 5, the paper's comparison group size.
-        let (best, _hits) =
-            crate::ops::sort::extract_best(self.market, &items, task.oracle_key(), 5, desc, None)?;
-        if let Some(row) = rel.rows().iter().find(|r| r[col].as_item() == Some(best)) {
-            out.push_unchecked(row.clone());
-        }
-        Ok(out)
-    }
-
-    fn order_by(&mut self, rel: Relation, keys: &[OrderExpr]) -> Result<Relation> {
-        // Split keys: machine columns first, then at most one Rank UDF.
-        let mut machine: Vec<(usize, bool)> = Vec::new();
-        let mut crowd: Option<(&UdfCall, bool)> = None;
-        for (ki, k) in keys.iter().enumerate() {
-            match &k.expr {
-                Expr::Column(name) => {
-                    if crowd.is_some() {
-                        return Err(QurkError::Other(
-                            "machine sort keys must precede the crowd key".into(),
-                        ));
-                    }
-                    let idx = rel
-                        .schema()
-                        .resolve(name)
-                        .ok_or_else(|| QurkError::UnknownColumn(name.clone()))?;
-                    machine.push((idx, k.desc));
-                }
-                Expr::Udf(call) => {
-                    if crowd.is_some() || ki != keys.len() - 1 {
-                        return Err(QurkError::Other(
-                            "only one crowd sort key is supported, and it must be last".into(),
-                        ));
-                    }
-                    crowd = Some((call, k.desc));
-                }
-                Expr::Literal(_) => {
-                    return Err(QurkError::Other("cannot order by a literal".into()))
-                }
-            }
-        }
-
-        // Machine sort (stable).
-        let mut order: Vec<usize> = (0..rel.len()).collect();
-        order.sort_by(|&a, &b| {
-            for &(col, desc) in &machine {
-                let va = &rel.rows()[a][col];
-                let vb = &rel.rows()[b][col];
-                let ord = va.sql_cmp(vb).unwrap_or(std::cmp::Ordering::Equal);
-                let ord = if desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-
-        if let Some((call, desc)) = crowd {
-            let task = self.catalog.task(&call.name)?;
-            if task.ty != TaskType::Rank {
-                return Err(QurkError::TaskTypeMismatch {
-                    task: call.name.clone(),
-                    expected: "Rank",
-                    found: task.ty.name(),
-                });
-            }
-            let arg = call.args.first().ok_or_else(|| {
-                QurkError::Other(format!("rank task {} needs an argument", call.name))
-            })?;
-            let col = self.resolve_item_col(&rel, arg)?;
-            let dimension = task.oracle_key().to_owned();
-
-            // Group rows sharing the machine-key prefix, sort each
-            // group with the crowd (§5's per-actor scene ordering).
-            let mut grouped: Vec<Vec<usize>> = Vec::new();
-            for &ri in &order {
-                let same_group = grouped.last().is_some_and(|g: &Vec<usize>| {
-                    machine
-                        .iter()
-                        .all(|&(c, _)| rel.rows()[g[0]][c].sql_eq(&rel.rows()[ri][c]) == Some(true))
-                });
-                if same_group {
-                    grouped.last_mut().unwrap().push(ri);
-                } else {
-                    grouped.push(vec![ri]);
-                }
-            }
-            let mut final_order = Vec::with_capacity(rel.len());
-            for group in grouped {
-                let items: Vec<ItemId> = group
-                    .iter()
-                    .filter_map(|&ri| rel.rows()[ri][col].as_item())
-                    .collect();
-                if items.len() <= 1 {
-                    final_order.extend(group);
-                    continue;
-                }
-                let sorted_items = match &self.config.sort {
-                    SortMode::Compare(op) => op.run(self.market, &items, &dimension)?.order,
-                    SortMode::Rate(op) => op.run(self.market, &items, &dimension)?.order,
-                    SortMode::Hybrid(op, iterations) => {
-                        let out = op.run(self.market, &items, &dimension, *iterations)?;
-                        out.trajectory.last().cloned().unwrap_or(out.initial.order)
-                    }
-                };
-                // Sort outcome is best-first ("Most" first); SQL ASC
-                // means least-first.
-                let item_rank: HashMap<ItemId, usize> = sorted_items
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &it)| (it, i))
-                    .collect();
-                let mut group_sorted = group.clone();
-                group_sorted.sort_by_key(|&ri| {
-                    rel.rows()[ri][col]
-                        .as_item()
-                        .and_then(|it| item_rank.get(&it).copied())
-                        .unwrap_or(usize::MAX)
-                });
-                if !desc {
-                    group_sorted.reverse();
-                }
-                final_order.extend(group_sorted);
-            }
-            order = final_order;
-        }
-
-        let mut out = Relation::new(rel.schema().clone());
-        for ri in order {
-            out.push_unchecked(rel.rows()[ri].clone());
-        }
-        Ok(out)
-    }
-
-    fn project(&mut self, rel: Relation, items: &[SelectItem]) -> Result<Relation> {
-        // Fast path: SELECT *.
-        if items.len() == 1 && matches!(items[0], SelectItem::Star) {
-            return Ok(rel);
-        }
-        let mut schema = crate::schema::Schema::default();
-        // Each output column: either a copy of an input column or a
-        // generative field.
-        enum Col {
-            Copy(usize),
-            Gen { values: Vec<Value> },
-        }
-        let mut cols: Vec<Col> = Vec::new();
-        // Cache generative runs per (task, arg) to avoid re-asking for
-        // each selected field (the Fields mechanism answers them all at
-        // once, §2.2).
-        let mut gen_cache: HashMap<String, Vec<crate::ops::generative::GenRow>> = HashMap::new();
-
-        for item in items {
-            match item {
-                SelectItem::Star => {
-                    for (i, f) in rel.schema().fields().iter().enumerate() {
-                        schema.push_field(&f.name, f.ty);
-                        cols.push(Col::Copy(i));
-                    }
-                }
-                SelectItem::Column(name) => {
-                    let idx = rel
-                        .schema()
-                        .resolve(name)
-                        .ok_or_else(|| QurkError::UnknownColumn(name.clone()))?;
-                    let f = &rel.schema().fields()[idx];
-                    let out_name = if schema.index_of(name).is_none() {
-                        name.clone()
-                    } else {
-                        format!("{name}#{}", cols.len())
-                    };
-                    schema.push_field(&out_name, f.ty);
-                    cols.push(Col::Copy(idx));
-                }
-                SelectItem::Udf { call, field } => {
-                    let task = self.catalog.task(&call.name)?;
-                    if task.ty != TaskType::Generative {
-                        return Err(QurkError::TaskTypeMismatch {
-                            task: call.name.clone(),
-                            expected: "Generative",
-                            found: task.ty.name(),
-                        });
-                    }
-                    let key = format!("{call:?}");
-                    if !gen_cache.contains_key(&key) {
-                        let arg = call.args.first().ok_or_else(|| {
-                            QurkError::Other(format!("task {} needs an argument", call.name))
-                        })?;
-                        let col = self.resolve_item_col(&rel, arg)?;
-                        let items_vec: Vec<ItemId> = rel
-                            .rows()
-                            .iter()
-                            .map(|r| r[col].as_item().unwrap_or(ItemId(u64::MAX)))
-                            .collect();
-                        let gen = GenerativeOp::default();
-                        let out = gen.run(self.market, task, &items_vec)?;
-                        gen_cache.insert(key.clone(), out.rows);
-                    }
-                    let rows = &gen_cache[&key];
-                    let fname = field.clone().unwrap_or_else(|| "value".to_owned());
-                    let out_name = match field {
-                        Some(f) => format!("{}.{f}", call.name),
-                        None => call.name.clone(),
-                    };
-                    let values: Vec<Value> = rows
-                        .iter()
-                        .map(|r| r.get(&fname).cloned().unwrap_or(Value::Null))
-                        .collect();
-                    schema.push_field(&out_name, ValueType::Text);
-                    cols.push(Col::Gen { values });
-                }
-            }
-        }
-
-        let mut out = Relation::new(schema);
-        for (ri, row) in rel.rows().iter().enumerate() {
-            let values: Vec<Value> = cols
-                .iter()
-                .map(|c| match c {
-                    Col::Copy(i) => row[*i].clone(),
-                    Col::Gen { values } => values.get(ri).cloned().unwrap_or(Value::Null),
-                })
-                .collect();
-            out.push_unchecked(Tuple::new(values));
-        }
-        Ok(out)
+        self.session.execute_plan(plan, &self.config, None)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::schema::Schema;
+    use crate::error::QurkError;
+    use crate::relation::Relation;
+    use crate::schema::{Schema, ValueType};
+    use crate::value::Value;
     use qurk_crowd::truth::{DimensionParams, PredicateTruth};
     use qurk_crowd::{CrowdConfig, EntityId, GroundTruth};
 
@@ -1057,12 +295,26 @@ mod tests {
         assert!(ids.contains(&0) && ids.contains(&1), "ids={ids:?}");
         assert!(ids.iter().filter(|&&i| i >= 5).count() >= 4);
     }
+
+    #[test]
+    fn executor_and_session_agree() {
+        // The deprecated path must produce the same rows as Session on
+        // the same seeded world.
+        let sql = "SELECT p.id FROM people p WHERE isTall(p.img) ORDER BY p.id";
+        let (catalog, mut market) = setup();
+        let via_executor = Executor::new(&catalog, &mut market).query(sql).unwrap();
+        let (catalog2, market2) = setup();
+        let via_session = Session::new(&catalog2, market2).run(sql).unwrap();
+        assert_eq!(via_executor, via_session);
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod edge_tests {
     use super::*;
-    use crate::schema::Schema;
+    use crate::schema::{Schema, ValueType};
+    use crate::value::Value;
     use qurk_crowd::truth::PredicateTruth;
     use qurk_crowd::{CrowdConfig, GroundTruth};
 
@@ -1106,6 +358,7 @@ mod edge_tests {
             let rel = ex.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
             assert_eq!(rel.len(), 0, "{sql}");
         }
+        drop(ex);
         assert_eq!(market.hits_posted(), 0, "empty inputs must not post HITs");
     }
 
@@ -1178,9 +431,11 @@ mod edge_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod max_min_tests {
     use super::*;
-    use crate::schema::Schema;
+    use crate::schema::{Schema, ValueType};
+    use crate::value::Value;
     use qurk_crowd::truth::DimensionParams;
     use qurk_crowd::{CrowdConfig, GroundTruth};
 
@@ -1313,9 +568,11 @@ mod ban_tests {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod combining_tests {
     use super::*;
-    use crate::schema::Schema;
+    use crate::schema::{Schema, ValueType};
+    use crate::value::Value;
     use qurk_crowd::truth::PredicateTruth;
     use qurk_crowd::{CrowdConfig, GroundTruth};
 

@@ -4,13 +4,12 @@
 //!   forms Qurk posted to MTurk (Figure 2 / Figure 5 interfaces).
 //! * [`batch`] — the two batching transformations: *merging* (one HIT,
 //!   many tuples) and *combining* (one HIT, many tasks per tuple).
-//! * [`cache`] — the Task Cache of Figure 1: identical questions are
-//!   answered once and reused.
+//!
+//! The Task Cache of Figure 1 now lives at the backend boundary: see
+//! [`crate::backend::CachingBackend`].
 
 pub mod batch;
-pub mod cache;
 pub mod compiler;
 
 pub use batch::{combine_questions, merge_into_hits};
-pub use cache::TaskCache;
 pub use compiler::HitCompiler;

@@ -5,21 +5,26 @@
 //! Madden, Miller — VLDB 2011).
 //!
 //! Qurk runs SQL-style queries whose filter, join, sort and generative
-//! operators are executed by crowd workers. This crate implements the
-//! full pipeline against the simulated marketplace in `qurk-crowd`:
+//! operators are executed by crowd workers. Operators are generic over
+//! a [`backend::CrowdBackend`] — *what* is asked is decoupled from
+//! *where* the HITs run — and every [`session::Session`] stacks
+//! metering and caching decorators over the backend you give it:
 //!
 //! ```text
 //!  query text ──lang::parser──▶ AST ──plan──▶ logical plan
 //!      │                                        │
 //!  TASK DSL ──catalog (task templates)──────────┤
 //!                                               ▼
-//!                                       exec::Executor
+//!                             session::Session / QueryBuilder
+//!                             (exec::Executor = deprecated shim)
 //!                                               │
-//!                 ops::{filter, generative, join, sort}
+//!                 ops::{filter, generative, join, sort}   [generic over B]
 //!                                               │
-//!                 hit::{batch, compiler, cache} │
+//!                 hit::{batch, compiler}        │
 //!                                               ▼
-//!                              qurk_crowd::Marketplace (HIT groups)
+//!                  backend::MeteringBackend     per-query accounting
+//!                    └─ backend::CachingBackend Task Cache (Figure 1)
+//!                         └─ B: CrowdBackend    Marketplace | Replay | …
 //! ```
 //!
 //! ## The paper's contributions, mapped
@@ -28,6 +33,7 @@
 //! |---|---|
 //! | §2.1 query language + task templates | [`lang`], [`task`], [`catalog`] |
 //! | §2.5 HIT generation / plan rules | [`plan`], [`hit`] |
+//! | §2.6 Task Cache / MTurk boundary | [`backend`] |
 //! | §3.1 SimpleJoin / NaiveBatch / SmartBatch | [`ops::join`] |
 //! | §3.2 POSSIBLY feature filtering + κ/selectivity/leave-one-out | [`ops::join::feature_filter`] |
 //! | §4.1 Compare / Rate / Hybrid sorts | [`ops::sort`] |
@@ -49,7 +55,7 @@
 //!         qurk_crowd::truth::PredicateTruth { value: i % 2 == 0, error_rate: 0.03 },
 //!     );
 //! }
-//! let mut market = qurk_crowd::Marketplace::new(&qurk_crowd::CrowdConfig::default(), truth);
+//! let market = qurk_crowd::Marketplace::new(&qurk_crowd::CrowdConfig::default(), truth);
 //!
 //! // A table whose `img` column references crowd-visible items.
 //! let mut celeb = Relation::new(Schema::new(&[
@@ -60,7 +66,7 @@
 //!     celeb.push(vec![Value::text(format!("celeb{i}")), Value::Item(it)]).unwrap();
 //! }
 //!
-//! // Register the table + a Filter task, then run a query.
+//! // Register the table + a Filter task, then open a session.
 //! let mut catalog = Catalog::new();
 //! catalog.register_table("celeb", celeb);
 //! catalog
@@ -73,13 +79,28 @@
 //!         "#,
 //!     )
 //!     .unwrap();
-//! let result = Executor::new(&catalog, &mut market)
+//! let mut session = Session::builder().catalog(&catalog).backend(market).build();
+//!
+//! // Fluent per-query configuration; overrides never leak between
+//! // queries on the same session.
+//! let report = session
 //!     .query("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")
+//!     .budget_dollars(1.0)
+//!     .report()
 //!     .unwrap();
-//! assert_eq!(result.len(), 2);
+//! assert_eq!(report.relation.len(), 2);
+//! assert!(report.cost_dollars > 0.0);
+//!
+//! // Identical re-runs are answered from the session's cache.
+//! let again = session
+//!     .query("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")
+//!     .report()
+//!     .unwrap();
+//! assert_eq!(again.hits_posted, 0);
 //! ```
 
 pub mod adaptive;
+pub mod backend;
 pub mod catalog;
 pub mod error;
 pub mod exec;
@@ -89,24 +110,34 @@ pub mod ops;
 pub mod plan;
 pub mod relation;
 pub mod schema;
+pub mod session;
 pub mod task;
 pub mod tuple;
 pub mod value;
 
 /// Convenient re-exports for typical use.
 pub mod prelude {
+    pub use crate::backend::{CachingBackend, CrowdBackend, MeteringBackend, ReplayBackend};
     pub use crate::catalog::Catalog;
     pub use crate::error::QurkError;
+    #[allow(deprecated)]
     pub use crate::exec::Executor;
     pub use crate::relation::Relation;
     pub use crate::schema::{Schema, ValueType};
+    pub use crate::session::{ExecConfig, QueryReport, Session, SessionBuilder, SortMode};
     pub use crate::value::Value;
 }
 
+pub use backend::{
+    BackendUsage, CachingBackend, CrowdBackend, MeteringBackend, RecordingBackend, ReplayBackend,
+    ReplayTrace,
+};
 pub use catalog::Catalog;
 pub use error::QurkError;
+#[allow(deprecated)]
 pub use exec::Executor;
 pub use relation::Relation;
 pub use schema::{Schema, ValueType};
+pub use session::{ExecConfig, QueryBuilder, QueryReport, Session, SessionBuilder, SortMode};
 pub use tuple::Tuple;
 pub use value::Value;

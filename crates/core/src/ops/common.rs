@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 
 use qurk_crowd::market::{Assignment, HitGroupId, HitId, RunOutcome};
-use qurk_crowd::{Marketplace, WorkerId};
+use qurk_crowd::WorkerId;
 
+use crate::backend::CrowdBackend;
 use crate::error::{QurkError, Result};
 
 /// Default virtual-time budget for one operator round: the paper's
@@ -12,24 +13,24 @@ use crate::error::{QurkError, Result};
 /// abandoned this work" (oversized batches).
 pub const DEFAULT_ROUND_LIMIT_SECS: f64 = 7.0 * 24.0 * 3600.0;
 
-/// Run the marketplace until the posted group completes and gather its
+/// Run the backend until the posted group completes and gather its
 /// assignments grouped by HIT.
-pub fn run_and_collect(
-    market: &mut Marketplace,
+pub fn run_and_collect<B: CrowdBackend + ?Sized>(
+    backend: &mut B,
     group: HitGroupId,
     limit_secs: f64,
 ) -> Result<HashMap<HitId, Vec<Assignment>>> {
-    match market.run(limit_secs) {
+    match backend.run(limit_secs) {
         RunOutcome::Completed => {}
         RunOutcome::TimedOut => {
             return Err(QurkError::CrowdIncomplete {
-                outstanding: market.group_outstanding(group),
+                outstanding: backend.group_outstanding(group),
             })
         }
     }
     let mut by_hit: HashMap<HitId, Vec<Assignment>> = HashMap::new();
-    for a in market.assignments(group) {
-        by_hit.entry(a.hit).or_default().push(a.clone());
+    for a in backend.assignments(group) {
+        by_hit.entry(a.hit).or_default().push(a);
     }
     Ok(by_hit)
 }

@@ -4,17 +4,21 @@
 //! per HIT (*merging*) and, via [`FilterOp::run_combined`], multiple
 //! predicates per tuple (*combining*). Answers are fused by
 //! MajorityVote or QualityAdjust.
+//!
+//! Re-ask avoidance is no longer this operator's job: wrap the backend
+//! in a [`crate::backend::CachingBackend`] and identical filter HITs
+//! are answered from the cache across queries.
 
 use std::collections::HashMap;
 
 use qurk_combine::em::{LabelObservation, QualityAdjust, QualityAdjustConfig};
 use qurk_combine::majority_vote_bool;
 use qurk_crowd::question::{HitKind, Question};
-use qurk_crowd::{ItemId, Marketplace};
+use qurk_crowd::ItemId;
 
+use crate::backend::CrowdBackend;
 use crate::error::Result;
 use crate::hit::batch::{combine_questions, merge_into_hits};
-use crate::hit::cache::TaskCache;
 use crate::ops::common::{run_and_collect, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
 use crate::task::CombinerKind;
 
@@ -24,7 +28,7 @@ pub struct FilterOp {
     /// Tuples per HIT (merging batch size).
     pub batch_size: usize,
     pub combiner: CombinerKind,
-    /// Assignments per HIT; `None` uses the marketplace default.
+    /// Assignments per HIT; `None` uses the backend default.
     pub assignments: Option<u32>,
     /// Virtual-time budget.
     pub limit_secs: f64,
@@ -42,105 +46,72 @@ impl Default for FilterOp {
 }
 
 impl FilterOp {
-    /// Evaluate `predicate` on each item; returns pass/fail per input,
-    /// consulting and populating the task cache.
-    pub fn run(
+    /// Evaluate `predicate` on each item; returns pass/fail per input.
+    pub fn run<B: CrowdBackend + ?Sized>(
         &self,
-        market: &mut Marketplace,
-        cache: &mut TaskCache,
+        backend: &mut B,
         predicate: &str,
         items: &[ItemId],
     ) -> Result<Vec<bool>> {
-        let results = self.run_combined(market, cache, &[predicate], items)?;
+        let results = self.run_combined(backend, &[predicate], items)?;
         Ok(results.into_iter().map(|mut v| v.pop().unwrap()).collect())
     }
 
     /// Evaluate several predicates on each item with *combining*: all
     /// predicates for a tuple share a HIT. Returns
     /// `out[item_idx][predicate_idx]`.
-    pub fn run_combined(
+    pub fn run_combined<B: CrowdBackend + ?Sized>(
         &self,
-        market: &mut Marketplace,
-        cache: &mut TaskCache,
+        backend: &mut B,
         predicates: &[&str],
         items: &[ItemId],
     ) -> Result<Vec<Vec<bool>>> {
         assert!(!predicates.is_empty(), "need at least one predicate");
         let mut out = vec![vec![false; predicates.len()]; items.len()];
-
-        // Cache pass: figure out which (item, predicate) cells still
-        // need crowd work.
-        let mut needed: Vec<usize> = Vec::new(); // item indices with >=1 uncached predicate
-        let mut cached: HashMap<(usize, usize), bool> = HashMap::new();
-        for (ii, &item) in items.iter().enumerate() {
-            let mut all_cached = true;
-            for (pi, &p) in predicates.iter().enumerate() {
-                let q = Question::Filter {
-                    item,
-                    predicate: p.to_owned(),
-                };
-                match cache.get(&q).and_then(|a| a.as_bool()) {
-                    Some(b) => {
-                        cached.insert((ii, pi), b);
-                    }
-                    None => all_cached = false,
-                }
-            }
-            if !all_cached {
-                needed.push(ii);
-            }
+        if items.is_empty() {
+            return Ok(out);
         }
 
-        if !needed.is_empty() {
-            let streams: Vec<Vec<Question>> = predicates
-                .iter()
-                .map(|&p| {
-                    needed
-                        .iter()
-                        .map(|&ii| Question::Filter {
-                            item: items[ii],
-                            predicate: p.to_owned(),
-                        })
-                        .collect()
-                })
-                .collect();
-            let specs = if predicates.len() == 1 {
-                merge_into_hits(
-                    streams.into_iter().next().unwrap(),
-                    self.batch_size,
-                    HitKind::Filter,
-                )
-            } else {
-                combine_questions(streams, self.batch_size, HitKind::Filter)
-            };
-            let group = match self.assignments {
-                Some(n) => market.post_group_with_assignments(specs.clone(), n),
-                None => market.post_group(specs.clone()),
-            };
-            let by_hit = run_and_collect(market, group, self.limit_secs)?;
-
-            // Gather votes per (item_idx, predicate_idx).
-            let mut votes: HashMap<(usize, usize), Vec<(usize, bool)>> = HashMap::new();
-            let mut interner = WorkerInterner::new();
-            // Reconstruct question positions: specs preserve order.
-            let hit_ids: Vec<_> = {
-                let mut ids: Vec<_> = by_hit.keys().copied().collect();
-                ids.sort_unstable();
-                ids
-            };
-            // Map flattened question order -> (item_idx, predicate_idx).
-            let flat: Vec<(usize, usize)> = if predicates.len() == 1 {
-                needed.iter().map(|&ii| (ii, 0usize)).collect()
-            } else {
-                needed
+        let streams: Vec<Vec<Question>> = predicates
+            .iter()
+            .map(|&p| {
+                items
                     .iter()
-                    .flat_map(|&ii| (0..predicates.len()).map(move |pi| (ii, pi)))
+                    .map(|&item| Question::Filter {
+                        item,
+                        predicate: p.to_owned(),
+                    })
                     .collect()
-            };
-            let mut qcursor = 0usize;
-            for hit_id in hit_ids {
-                let assignments = &by_hit[&hit_id];
-                let nq = market.hit(hit_id).questions.len();
+            })
+            .collect();
+        let specs = if predicates.len() == 1 {
+            merge_into_hits(
+                streams.into_iter().next().unwrap(),
+                self.batch_size,
+                HitKind::Filter,
+            )
+        } else {
+            combine_questions(streams, self.batch_size, HitKind::Filter)
+        };
+        let group = backend.post(specs, self.assignments);
+        let by_hit = run_and_collect(backend, group, self.limit_secs)?;
+
+        // Gather votes per (item_idx, predicate_idx). The group's HITs
+        // in spec order carry the flattened question stream.
+        let mut votes: HashMap<(usize, usize), Vec<(usize, bool)>> = HashMap::new();
+        let mut interner = WorkerInterner::new();
+        // Map flattened question order -> (item_idx, predicate_idx).
+        let flat: Vec<(usize, usize)> = if predicates.len() == 1 {
+            (0..items.len()).map(|ii| (ii, 0usize)).collect()
+        } else {
+            (0..items.len())
+                .flat_map(|ii| (0..predicates.len()).map(move |pi| (ii, pi)))
+                .collect()
+        };
+        let mut qcursor = 0usize;
+        for hit_id in backend.group_hits(group) {
+            let nq = backend.hit_question_count(hit_id);
+            if let Some(assignments) = by_hit.get(&hit_id) {
                 for a in assignments {
                     let w = interner.intern(a.worker);
                     for (qi, ans) in a.answers.iter().enumerate() {
@@ -150,55 +121,38 @@ impl FilterOp {
                         }
                     }
                 }
-                qcursor += nq;
             }
-
-            match self.combiner {
-                CombinerKind::MajorityVote => {
-                    for (&(ii, pi), vs) in &votes {
-                        let bools: Vec<bool> = vs.iter().map(|&(_, b)| b).collect();
-                        cached.insert((ii, pi), majority_vote_bool(&bools));
-                    }
-                }
-                CombinerKind::QualityAdjust => {
-                    // One EM run over all cells: cells are "items".
-                    let mut cell_ids: HashMap<(usize, usize), usize> = HashMap::new();
-                    let mut obs = Vec::new();
-                    for (&cell, vs) in &votes {
-                        let next = cell_ids.len();
-                        let id = *cell_ids.entry(cell).or_insert(next);
-                        for &(w, b) in vs {
-                            obs.push(LabelObservation {
-                                worker: w,
-                                item: id,
-                                label: usize::from(b),
-                            });
-                        }
-                    }
-                    let qa = QualityAdjust::new(QualityAdjustConfig::categorical(2));
-                    let result = qa.run(&obs);
-                    for (cell, id) in cell_ids {
-                        cached.insert(cell, result.decision_bool(id));
-                    }
-                }
-            }
-
-            // Populate cache with the fresh combined answers.
-            for &ii in &needed {
-                for (pi, &p) in predicates.iter().enumerate() {
-                    if let Some(&b) = cached.get(&(ii, pi)) {
-                        let q = Question::Filter {
-                            item: items[ii],
-                            predicate: p.to_owned(),
-                        };
-                        cache.put(&q, qurk_crowd::Answer::Bool(b));
-                    }
-                }
-            }
+            qcursor += nq;
         }
 
-        for ((ii, pi), b) in cached {
-            out[ii][pi] = b;
+        match self.combiner {
+            CombinerKind::MajorityVote => {
+                for (&(ii, pi), vs) in &votes {
+                    let bools: Vec<bool> = vs.iter().map(|&(_, b)| b).collect();
+                    out[ii][pi] = majority_vote_bool(&bools);
+                }
+            }
+            CombinerKind::QualityAdjust => {
+                // One EM run over all cells: cells are "items".
+                let mut cell_ids: HashMap<(usize, usize), usize> = HashMap::new();
+                let mut obs = Vec::new();
+                for (&cell, vs) in &votes {
+                    let next = cell_ids.len();
+                    let id = *cell_ids.entry(cell).or_insert(next);
+                    for &(w, b) in vs {
+                        obs.push(LabelObservation {
+                            worker: w,
+                            item: id,
+                            label: usize::from(b),
+                        });
+                    }
+                }
+                let qa = QualityAdjust::new(QualityAdjustConfig::categorical(2));
+                let result = qa.run(&obs);
+                for ((ii, pi), id) in cell_ids {
+                    out[ii][pi] = result.decision_bool(id);
+                }
+            }
         }
         Ok(out)
     }
@@ -207,8 +161,9 @@ impl FilterOp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::CachingBackend;
     use qurk_crowd::truth::PredicateTruth;
-    use qurk_crowd::{CrowdConfig, GroundTruth};
+    use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
 
     type PredSpec<'a> = &'a [(&'a str, fn(usize) -> bool)];
 
@@ -233,9 +188,8 @@ mod tests {
     #[test]
     fn filters_match_truth() {
         let (mut m, items) = market_with(20, &[("even", |i| i % 2 == 0)]);
-        let mut cache = TaskCache::new();
         let op = FilterOp::default();
-        let out = op.run(&mut m, &mut cache, "even", &items).unwrap();
+        let out = op.run(&mut m, "even", &items).unwrap();
         let correct = out
             .iter()
             .enumerate()
@@ -247,26 +201,22 @@ mod tests {
     #[test]
     fn merging_reduces_hits() {
         let (mut m, items) = market_with(20, &[("p", |_| true)]);
-        let mut cache = TaskCache::new();
         let op = FilterOp {
             batch_size: 5,
             ..Default::default()
         };
-        op.run(&mut m, &mut cache, "p", &items).unwrap();
+        op.run(&mut m, "p", &items).unwrap();
         assert_eq!(m.hits_posted(), 4); // 20/5
     }
 
     #[test]
     fn combining_shares_hits_across_predicates() {
         let (mut m, items) = market_with(10, &[("a", |_| true), ("b", |i| i < 5)]);
-        let mut cache = TaskCache::new();
         let op = FilterOp {
             batch_size: 5,
             ..Default::default()
         };
-        let out = op
-            .run_combined(&mut m, &mut cache, &["a", "b"], &items)
-            .unwrap();
+        let out = op.run_combined(&mut m, &["a", "b"], &items).unwrap();
         // 10 tuples x 2 predicates, 5 tuples per HIT -> 2 HITs.
         assert_eq!(m.hits_posted(), 2);
         let a_pass = out.iter().filter(|r| r[0]).count();
@@ -276,15 +226,15 @@ mod tests {
     }
 
     #[test]
-    fn cache_avoids_reposting() {
-        let (mut m, items) = market_with(10, &[("p", |i| i % 3 == 0)]);
-        let mut cache = TaskCache::new();
+    fn caching_backend_avoids_reposting() {
+        let (m, items) = market_with(10, &[("p", |i| i % 3 == 0)]);
+        let mut backend = CachingBackend::new(m);
         let op = FilterOp::default();
-        let first = op.run(&mut m, &mut cache, "p", &items).unwrap();
-        let hits_after_first = m.hits_posted();
-        let second = op.run(&mut m, &mut cache, "p", &items).unwrap();
+        let first = op.run(&mut backend, "p", &items).unwrap();
+        let hits_after_first = backend.hits_posted();
+        let second = op.run(&mut backend, "p", &items).unwrap();
         assert_eq!(
-            m.hits_posted(),
+            backend.hits_posted(),
             hits_after_first,
             "second run should be free"
         );
@@ -294,12 +244,11 @@ mod tests {
     #[test]
     fn quality_adjust_combiner_works() {
         let (mut m, items) = market_with(20, &[("p", |i| i % 2 == 0)]);
-        let mut cache = TaskCache::new();
         let op = FilterOp {
             combiner: CombinerKind::QualityAdjust,
             ..Default::default()
         };
-        let out = op.run(&mut m, &mut cache, "p", &items).unwrap();
+        let out = op.run(&mut m, "p", &items).unwrap();
         let correct = out
             .iter()
             .enumerate()
@@ -311,9 +260,8 @@ mod tests {
     #[test]
     fn empty_input_is_noop() {
         let (mut m, _) = market_with(1, &[("p", |_| true)]);
-        let mut cache = TaskCache::new();
         let op = FilterOp::default();
-        let out = op.run(&mut m, &mut cache, "p", &[]).unwrap();
+        let out = op.run(&mut m, "p", &[]).unwrap();
         assert!(out.is_empty());
         assert_eq!(m.hits_posted(), 0);
     }

@@ -10,8 +10,9 @@ use std::collections::HashMap;
 use qurk_combine::em::{LabelObservation, QualityAdjust, QualityAdjustConfig};
 use qurk_combine::majority_vote;
 use qurk_crowd::question::{HitKind, Question, UNKNOWN};
-use qurk_crowd::{ItemId, Marketplace};
+use qurk_crowd::ItemId;
 
+use crate::backend::CrowdBackend;
 use crate::error::Result;
 use crate::hit::batch::combine_questions;
 use crate::lang::ast::ResponseSpec;
@@ -65,9 +66,9 @@ pub struct GenOutcome {
 impl GenerativeOp {
     /// Run `task` (type Generative) over `items`.
     #[allow(clippy::needless_range_loop)] // ii indexes parallel rows/votes/items arrays
-    pub fn run(
+    pub fn run<B: CrowdBackend + ?Sized>(
         &self,
-        market: &mut Marketplace,
+        backend: &mut B,
         task: &TaskDef,
         items: &[ItemId],
     ) -> Result<GenOutcome> {
@@ -128,11 +129,8 @@ impl GenerativeOp {
             all
         };
         let num_specs = specs.len();
-        let group = match self.assignments {
-            Some(n) => market.post_group_with_assignments(specs, n),
-            None => market.post_group(specs),
-        };
-        let by_hit = run_and_collect(market, group, self.limit_secs)?;
+        let group = backend.post(specs, self.assignments);
+        let by_hit = run_and_collect(backend, group, self.limit_secs)?;
 
         // Flattened question order -> (item_idx, field_idx).
         let nf = task.fields.len();
@@ -150,23 +148,23 @@ impl GenerativeOp {
         let mut text_votes: HashMap<(usize, usize), Vec<String>> = HashMap::new();
         let mut cat_votes: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
         let mut interner = WorkerInterner::new();
-        let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
-        hit_ids.sort_unstable();
         let mut qcursor = 0usize;
-        for hit_id in hit_ids {
-            let nq = market.hit(hit_id).questions.len();
-            for a in &by_hit[&hit_id] {
-                let w = interner.intern(a.worker);
-                for (qi, ans) in a.answers.iter().enumerate() {
-                    let cell = flat[qcursor + qi];
-                    match ans {
-                        qurk_crowd::Answer::Text(t) => {
-                            text_votes.entry(cell).or_default().push(t.clone())
+        for hit_id in backend.group_hits(group) {
+            let nq = backend.hit_question_count(hit_id);
+            if let Some(assignments) = by_hit.get(&hit_id) {
+                for a in assignments {
+                    let w = interner.intern(a.worker);
+                    for (qi, ans) in a.answers.iter().enumerate() {
+                        let cell = flat[qcursor + qi];
+                        match ans {
+                            qurk_crowd::Answer::Text(t) => {
+                                text_votes.entry(cell).or_default().push(t.clone())
+                            }
+                            qurk_crowd::Answer::Category(c) => {
+                                cat_votes.entry(cell).or_default().push((w, *c))
+                            }
+                            _ => {}
                         }
-                        qurk_crowd::Answer::Category(c) => {
-                            cat_votes.entry(cell).or_default().push((w, *c))
-                        }
-                        _ => {}
                     }
                 }
             }
@@ -274,7 +272,7 @@ mod tests {
     use super::*;
     use crate::lang::parser::parse_tasks;
     use qurk_crowd::truth::TextTruth;
-    use qurk_crowd::{CrowdConfig, GroundTruth};
+    use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
 
     fn task(src: &str) -> TaskDef {
         TaskDef::from_ast(&parse_tasks(src).unwrap()[0]).unwrap()

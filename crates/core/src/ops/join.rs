@@ -19,8 +19,9 @@ use std::collections::{HashMap, HashSet};
 use qurk_combine::em::{LabelObservation, QualityAdjust, QualityAdjustConfig};
 use qurk_combine::majority_vote_bool;
 use qurk_crowd::question::{HitKind, Question};
-use qurk_crowd::{HitSpec, ItemId, Marketplace, WorkerId};
+use qurk_crowd::{HitSpec, ItemId, WorkerId};
 
+use crate::backend::CrowdBackend;
 use crate::error::Result;
 use crate::ops::common::{run_and_collect, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
 use crate::task::CombinerKind;
@@ -81,9 +82,9 @@ pub struct JoinOutcome {
 impl JoinOp {
     /// Join `left` × `right`, optionally restricted to `candidates`
     /// (pairs that passed feature filtering). Returns combined matches.
-    pub fn run(
+    pub fn run<B: CrowdBackend + ?Sized>(
         &self,
-        market: &mut Marketplace,
+        backend: &mut B,
         left: &[ItemId],
         right: &[ItemId],
         candidates: Option<&HashSet<(usize, usize)>>,
@@ -104,17 +105,15 @@ impl JoinOp {
         // question addresses.
         let (specs, layout) = self.compile(left, right, &pairs);
         let num_hits = specs.len();
-        let group = match self.assignments {
-            Some(n) => market.post_group_with_assignments(specs, n),
-            None => market.post_group(specs),
-        };
-        let by_hit = run_and_collect(market, group, self.limit_secs)?;
+        let group = backend.post(specs, self.assignments);
+        let by_hit = run_and_collect(backend, group, self.limit_secs)?;
 
         let mut pair_votes: HashMap<(usize, usize), Vec<(WorkerId, bool)>> = HashMap::new();
-        let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
-        hit_ids.sort_unstable();
-        for (spec_idx, hit_id) in hit_ids.into_iter().enumerate() {
-            for a in &by_hit[&hit_id] {
+        for (spec_idx, hit_id) in backend.group_hits(group).into_iter().enumerate() {
+            let Some(assignments) = by_hit.get(&hit_id) else {
+                continue;
+            };
+            for a in assignments {
                 for (qi, ans) in a.answers.iter().enumerate() {
                     if let Some(b) = ans.as_bool() {
                         let pair = layout[spec_idx][qi];
@@ -260,7 +259,7 @@ impl JoinOp {
 /// QualityAdjust EM (§6: the QA output "is able to effectively
 /// eliminate and identify workers who generate spam answers"; in a
 /// non-experimental deployment these workers are banned via
-/// `Marketplace::ban_workers`).
+/// [`CrowdBackend::ban_workers`]).
 pub fn identify_spammers(
     pair_votes: &HashMap<(usize, usize), Vec<(WorkerId, bool)>>,
     threshold: f64,
@@ -400,9 +399,9 @@ pub mod feature_filter {
         }
 
         /// Extract `features` for every item of one table.
-        pub fn extract(
+        pub fn extract<B: CrowdBackend + ?Sized>(
             &self,
-            market: &mut Marketplace,
+            backend: &mut B,
             features: &[FeatureSpec],
             items: &[ItemId],
         ) -> Result<(Extraction, usize)> {
@@ -441,11 +440,8 @@ pub mod feature_filter {
                 all
             };
             let hits_posted = specs.len();
-            let group = match self.config.assignments {
-                Some(n) => market.post_group_with_assignments(specs, n),
-                None => market.post_group(specs),
-            };
-            let by_hit = run_and_collect(market, group, self.config.limit_secs)?;
+            let group = backend.post(specs, self.config.assignments);
+            let by_hit = run_and_collect(backend, group, self.config.limit_secs)?;
 
             // Flattened question order -> (item_idx, feature_idx).
             let nf = features.len();
@@ -460,17 +456,17 @@ pub mod feature_filter {
             };
 
             let mut votes: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); nf]; items.len()];
-            let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
-            hit_ids.sort_unstable();
             let mut qcursor = 0usize;
-            for hit_id in hit_ids {
-                let nq = market.hit(hit_id).questions.len();
-                for a in &by_hit[&hit_id] {
-                    for (qi, ans) in a.answers.iter().enumerate() {
-                        if let Some(c) = ans.as_category() {
-                            let (ii, fi) = flat[qcursor + qi];
-                            let k = features[fi].num_options;
-                            votes[ii][fi].push(if c == UNKNOWN { k } else { c });
+            for hit_id in backend.group_hits(group) {
+                let nq = backend.hit_question_count(hit_id);
+                if let Some(assignments) = by_hit.get(&hit_id) {
+                    for a in assignments {
+                        for (qi, ans) in a.answers.iter().enumerate() {
+                            if let Some(c) = ans.as_category() {
+                                let (ii, fi) = flat[qcursor + qi];
+                                let k = features[fi].num_options;
+                                votes[ii][fi].push(if c == UNKNOWN { k } else { c });
+                            }
                         }
                     }
                 }
@@ -576,9 +572,9 @@ pub mod feature_filter {
         /// Run the full pipeline: sample-extract, test features
         /// (κ, selectivity, optional leave-one-out), extract the
         /// survivors on the full tables, and compute candidates.
-        pub fn run(
+        pub fn run<B: CrowdBackend + ?Sized>(
             &self,
-            market: &mut Marketplace,
+            backend: &mut B,
             features: &[FeatureSpec],
             left_items: &[ItemId],
             right_items: &[ItemId],
@@ -591,8 +587,8 @@ pub mod feature_filter {
             };
             let ls = &left_items[..sample_n(left_items.len())];
             let rs = &right_items[..sample_n(right_items.len())];
-            let (left_sample, h1) = self.extract(market, features, ls)?;
-            let (right_sample, h2) = self.extract(market, features, rs)?;
+            let (left_sample, h1) = self.extract(backend, features, ls)?;
+            let (right_sample, h2) = self.extract(backend, features, rs)?;
             hits_posted += h1 + h2;
 
             // --- Phase 2: per-feature tests. ---
@@ -637,7 +633,7 @@ pub mod feature_filter {
                     let others: Vec<usize> =
                         selected.iter().copied().filter(|&x| x != fi).collect();
                     let cand_minus = Self::candidates(&others, &left_sample, &right_sample);
-                    let out = join.run(market, ls, rs, Some(&cand_minus))?;
+                    let out = join.run(backend, ls, rs, Some(&cand_minus))?;
                     hits_posted += out.hits_posted;
                     let j_minus: HashSet<(usize, usize)> = out.matches.iter().copied().collect();
                     if j_minus.is_empty() {
@@ -669,8 +665,8 @@ pub mod feature_filter {
             // --- Phase 4: full extraction of surviving features. ---
             let survivors: Vec<FeatureSpec> =
                 selected.iter().map(|&fi| features[fi].clone()).collect();
-            let (mut left_full, h3) = self.extract(market, &survivors, left_items)?;
-            let (mut right_full, h4) = self.extract(market, &survivors, right_items)?;
+            let (mut left_full, h3) = self.extract(backend, &survivors, left_items)?;
+            let (mut right_full, h4) = self.extract(backend, &survivors, right_items)?;
             hits_posted += h3 + h4;
 
             // Re-map survivor columns back to original feature indices
@@ -708,7 +704,7 @@ pub mod feature_filter {
 mod tests {
     use super::feature_filter::*;
     use super::*;
-    use qurk_crowd::{CrowdConfig, EntityId, GroundTruth};
+    use qurk_crowd::{CrowdConfig, EntityId, GroundTruth, Marketplace};
 
     /// Two tables of n items each, where left[i] matches right[i].
     fn join_market(n: usize, seed: u64) -> (Marketplace, Vec<ItemId>, Vec<ItemId>) {

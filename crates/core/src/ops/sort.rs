@@ -23,8 +23,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use qurk_crowd::question::{HitKind, Question};
-use qurk_crowd::{HitSpec, ItemId, Marketplace};
+use qurk_crowd::{HitSpec, ItemId};
 
+use crate::backend::CrowdBackend;
 use crate::error::Result;
 use crate::ops::common::{run_and_collect, DEFAULT_ROUND_LIMIT_SECS};
 
@@ -142,9 +143,9 @@ impl CompareSort {
     }
 
     /// Sort `items` along `dimension`.
-    pub fn run(
+    pub fn run<B: CrowdBackend + ?Sized>(
         &self,
-        market: &mut Marketplace,
+        backend: &mut B,
         items: &[ItemId],
         dimension: &str,
     ) -> Result<SortOutcome> {
@@ -171,11 +172,8 @@ impl CompareSort {
             HitKind::SortCompare,
         );
         let hits_posted = specs.len();
-        let group_id = match self.assignments {
-            Some(n) => market.post_group_with_assignments(specs, n),
-            None => market.post_group(specs),
-        };
-        let by_hit = run_and_collect(market, group_id, self.limit_secs)?;
+        let group_id = backend.post(specs, self.assignments);
+        let by_hit = run_and_collect(backend, group_id, self.limit_secs)?;
 
         // Accumulate pairwise wins from every ordering answer.
         let index: HashMap<ItemId, usize> =
@@ -360,9 +358,9 @@ impl Default for RateSort {
 
 impl RateSort {
     /// Sort `items` along `dimension` by mean rating.
-    pub fn run(
+    pub fn run<B: CrowdBackend + ?Sized>(
         &self,
-        market: &mut Marketplace,
+        backend: &mut B,
         items: &[ItemId],
         dimension: &str,
     ) -> Result<SortOutcome> {
@@ -398,23 +396,20 @@ impl RateSort {
         let specs =
             crate::hit::batch::merge_into_hits(questions, self.batch_size, HitKind::SortRate);
         let hits_posted = specs.len();
-        let group = match self.assignments {
-            Some(n) => market.post_group_with_assignments(specs, n),
-            None => market.post_group(specs),
-        };
-        let by_hit = run_and_collect(market, group, self.limit_secs)?;
+        let group = backend.post(specs, self.assignments);
+        let by_hit = run_and_collect(backend, group, self.limit_secs)?;
 
         // Per-item rating samples. Question order is items order.
         let mut ratings: Vec<Vec<f64>> = vec![Vec::new(); items.len()];
-        let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
-        hit_ids.sort_unstable();
         let mut qcursor = 0usize;
-        for hit_id in hit_ids {
-            let nq = market.hit(hit_id).questions.len();
-            for a in &by_hit[&hit_id] {
-                for (qi, ans) in a.answers.iter().enumerate() {
-                    if let Some(r) = ans.as_rating() {
-                        ratings[qcursor + qi].push(r as f64);
+        for hit_id in backend.group_hits(group) {
+            let nq = backend.hit_question_count(hit_id);
+            if let Some(assignments) = by_hit.get(&hit_id) {
+                for a in assignments {
+                    for (qi, ans) in a.answers.iter().enumerate() {
+                        if let Some(r) = ans.as_rating() {
+                            ratings[qcursor + qi].push(r as f64);
+                        }
                     }
                 }
             }
@@ -494,14 +489,14 @@ impl Default for HybridSort {
 impl HybridSort {
     /// Run: rating pass, then `iterations` single-window comparison
     /// HITs, re-sorting the touched positions after each.
-    pub fn run(
+    pub fn run<B: CrowdBackend + ?Sized>(
         &self,
-        market: &mut Marketplace,
+        backend: &mut B,
         items: &[ItemId],
         dimension: &str,
         iterations: usize,
     ) -> Result<HybridOutcome> {
-        let initial = self.rate.run(market, items, dimension)?;
+        let initial = self.rate.run(backend, items, dimension)?;
         let mut hits_posted = initial.hits_posted;
         let n = items.len();
         if n <= 1 || iterations == 0 {
@@ -575,11 +570,8 @@ impl HybridSort {
                 }],
                 HitKind::SortCompare,
             );
-            let gid = match self.assignments {
-                Some(nn) => market.post_group_with_assignments(vec![spec], nn),
-                None => market.post_group(vec![spec]),
-            };
-            let by_hit = run_and_collect(market, gid, self.limit_secs)?;
+            let gid = backend.post(vec![spec], self.assignments);
+            let by_hit = run_and_collect(backend, gid, self.limit_secs)?;
             hits_posted += 1;
             for assignments in by_hit.values() {
                 for a in assignments {
@@ -642,8 +634,8 @@ impl HybridSort {
 /// Tournament-style MAX/MIN extraction (§2.3): batches of `batch_size`
 /// items, each HIT picks the best (or worst), winners advance.
 /// Returns the final pick and the number of HITs used.
-pub fn extract_best(
-    market: &mut Marketplace,
+pub fn extract_best<B: CrowdBackend + ?Sized>(
+    backend: &mut B,
     items: &[ItemId],
     dimension: &str,
     batch_size: usize,
@@ -669,17 +661,15 @@ pub fn extract_best(
             })
             .collect();
         hits += specs.len();
-        let group = match assignments {
-            Some(n) => market.post_group_with_assignments(specs, n),
-            None => market.post_group(specs),
-        };
-        let by_hit = run_and_collect(market, group, DEFAULT_ROUND_LIMIT_SECS)?;
+        let group = backend.post(specs, assignments);
+        let by_hit = run_and_collect(backend, group, DEFAULT_ROUND_LIMIT_SECS)?;
         let mut winners: Vec<ItemId> = Vec::new();
-        let mut hit_ids: Vec<_> = by_hit.keys().copied().collect();
-        hit_ids.sort_unstable();
-        for hit_id in hit_ids {
+        for hit_id in backend.group_hits(group) {
+            let Some(assignments) = by_hit.get(&hit_id) else {
+                continue;
+            };
             // Majority vote over the assignment picks.
-            let picks: Vec<ItemId> = by_hit[&hit_id]
+            let picks: Vec<ItemId> = assignments
                 .iter()
                 .flat_map(|a| a.answers.iter().filter_map(|x| x.as_pick()))
                 .collect();
@@ -698,7 +688,7 @@ pub fn extract_best(
 mod tests {
     use super::*;
     use qurk_crowd::truth::DimensionParams;
-    use qurk_crowd::{CrowdConfig, GroundTruth};
+    use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
     use qurk_metrics::tau_between_orders;
 
     fn sort_market(n: usize, ambiguity: f64, seed: u64) -> (Marketplace, Vec<ItemId>) {

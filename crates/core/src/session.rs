@@ -1,0 +1,1274 @@
+//! The `Session` / `QueryBuilder` execution API.
+//!
+//! A [`Session`] binds a [`Catalog`] to any [`CrowdBackend`] and runs
+//! queries against it. Internally every session stacks two backend
+//! decorators over the one you supply:
+//!
+//! ```text
+//!   Session
+//!     └─ MeteringBackend      per-query HIT/assignment/$ accounting
+//!          └─ CachingBackend  Figure 1's Task Cache, at the HIT level
+//!               └─ B          your backend (Marketplace, Replay, …)
+//! ```
+//!
+//! Queries are configured fluently and per query — overrides never
+//! touch the session's defaults, so concurrent callers (or sequential
+//! queries) cannot leak configuration into each other:
+//!
+//! ```no_run
+//! # use qurk::prelude::*;
+//! # use qurk::exec::SortMode;
+//! # use qurk::ops::sort::{HybridSort, RateSort};
+//! # fn demo(catalog: &Catalog, market: qurk_crowd::Marketplace) -> Result<(), QurkError> {
+//! let mut session = Session::builder().catalog(catalog).backend(market).build();
+//! let report = session
+//!     .query("SELECT p.name FROM people p WHERE isCool(p.img) ORDER BY byHeight(p.img)")
+//!     .sort(SortMode::Hybrid(HybridSort::default(), 12))
+//!     .combine_filters(true)
+//!     .budget_dollars(5.0)
+//!     .report()?;
+//! println!("{} rows for ${:.2}", report.relation.len(), report.cost_dollars);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use qurk_crowd::ItemId;
+
+use crate::backend::{BackendUsage, CachingBackend, CrowdBackend, MeteringBackend};
+use crate::catalog::Catalog;
+use crate::error::{QurkError, Result};
+use crate::lang::ast::{
+    CmpOp, Expr, Literal, OrderExpr, PossiblyClause, Predicate, SelectItem, UdfCall,
+};
+use crate::lang::parser::parse_query;
+use crate::ops::filter::FilterOp;
+use crate::ops::generative::GenerativeOp;
+use crate::ops::join::feature_filter::{FeatureFilter, FeatureFilterConfig, FeatureSpec};
+use crate::ops::join::JoinOp;
+use crate::ops::sort::{CompareSort, HybridSort, RateSort};
+use crate::plan::{plan_query, LogicalPlan};
+use crate::relation::Relation;
+use crate::schema::ValueType;
+use crate::task::TaskType;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Which sort implementation ORDER BY uses (§4.1).
+#[derive(Debug, Clone)]
+pub enum SortMode {
+    Compare(CompareSort),
+    Rate(RateSort),
+    /// Hybrid with a fixed comparison budget (§4.1.3: "the user can
+    /// control the resulting accuracy and cost by specifying the
+    /// number of iterations").
+    Hybrid(HybridSort, usize),
+}
+
+impl Default for SortMode {
+    fn default() -> Self {
+        SortMode::Compare(CompareSort::default())
+    }
+}
+
+/// Default operator configuration, shared by every query of a session
+/// unless overridden per query via [`QueryBuilder`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecConfig {
+    pub filter: FilterOp,
+    pub join: JoinOp,
+    pub feature_filter: FeatureFilterConfig,
+    pub sort: SortMode,
+    /// §2.6 *combining*: evaluate conjunctive WHERE filters in one HIT
+    /// per tuple instead of serially. Footnote 2: this does more
+    /// "work" (tuples the first filter would discard still reach the
+    /// second) but cuts the total HIT count whenever the first filter
+    /// passes anything.
+    pub combine_conjunct_filters: bool,
+}
+
+/// Per-query execution report, with resource numbers produced by the
+/// session's [`MeteringBackend`].
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    pub relation: Relation,
+    /// HITs posted to the real crowd while executing this query (cache
+    /// hits cost none).
+    pub hits_posted: usize,
+    /// Dollars spent on this query.
+    pub cost_dollars: f64,
+    /// Assignments paid for by this query.
+    pub assignments: u64,
+    /// Virtual time this query took (seconds).
+    pub elapsed_secs: f64,
+    /// EXPLAIN text of the executed plan.
+    pub explain: String,
+}
+
+/// A catalog bound to a backend: the entry point for running queries.
+///
+/// Construct with [`Session::builder`] (or [`Session::new`] for the
+/// defaults). The backend is owned; pass `&mut market` if you need the
+/// marketplace back afterwards — `&mut B` implements [`CrowdBackend`].
+pub struct Session<'c, B: CrowdBackend> {
+    catalog: &'c Catalog,
+    backend: MeteringBackend<CachingBackend<B>>,
+    config: ExecConfig,
+}
+
+/// Builder for [`Session`]: `Session::builder().catalog(..).backend(..).build()`.
+pub struct SessionBuilder<'c, B: CrowdBackend> {
+    catalog: Option<&'c Catalog>,
+    backend: Option<B>,
+    config: ExecConfig,
+}
+
+impl<'c, B: CrowdBackend> Default for SessionBuilder<'c, B> {
+    fn default() -> Self {
+        SessionBuilder {
+            catalog: None,
+            backend: None,
+            config: ExecConfig::default(),
+        }
+    }
+}
+
+impl<'c, B: CrowdBackend> SessionBuilder<'c, B> {
+    pub fn catalog(mut self, catalog: &'c Catalog) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    pub fn backend(mut self, backend: B) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Session-wide default operator configuration.
+    pub fn config(mut self, config: ExecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Session-wide default sort mode.
+    pub fn sort(mut self, mode: SortMode) -> Self {
+        self.config.sort = mode;
+        self
+    }
+
+    /// Session-wide default for §2.6 filter combining.
+    pub fn combine_filters(mut self, on: bool) -> Self {
+        self.config.combine_conjunct_filters = on;
+        self
+    }
+
+    /// # Panics
+    /// Panics if `catalog` or `backend` was not provided.
+    pub fn build(self) -> Session<'c, B> {
+        let catalog = self.catalog.expect("SessionBuilder: missing .catalog(..)");
+        let backend = self.backend.expect("SessionBuilder: missing .backend(..)");
+        Session {
+            catalog,
+            backend: MeteringBackend::new(CachingBackend::new(backend)),
+            config: self.config,
+        }
+    }
+}
+
+impl<'c, B: CrowdBackend> Session<'c, B> {
+    pub fn builder() -> SessionBuilder<'c, B> {
+        SessionBuilder::default()
+    }
+
+    /// A session with default configuration.
+    pub fn new(catalog: &'c Catalog, backend: B) -> Self {
+        Session::builder().catalog(catalog).backend(backend).build()
+    }
+
+    /// Session-wide default configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Mutate the session-wide defaults (prefer per-query overrides on
+    /// [`QueryBuilder`]).
+    pub fn config_mut(&mut self) -> &mut ExecConfig {
+        &mut self.config
+    }
+
+    /// The session's backend stack (metering over caching over yours).
+    pub fn backend(&self) -> &MeteringBackend<CachingBackend<B>> {
+        &self.backend
+    }
+
+    pub fn backend_mut(&mut self) -> &mut MeteringBackend<CachingBackend<B>> {
+        &mut self.backend
+    }
+
+    /// Per-query resource usage, oldest first (one entry per completed
+    /// `run()`/`report()` call, including failed queries).
+    pub fn usage_history(&self) -> &[BackendUsage] {
+        self.backend.history()
+    }
+
+    /// (cache hits, cache misses) across all queries of this session.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.backend.inner().stats()
+    }
+
+    /// Start building a query. Nothing executes until
+    /// [`QueryBuilder::run`] / [`QueryBuilder::report`].
+    pub fn query<'s>(&'s mut self, sql: &str) -> QueryBuilder<'s, 'c, B> {
+        QueryBuilder {
+            config: self.config.clone(),
+            session: self,
+            sql: sql.to_owned(),
+            budget_dollars: None,
+        }
+    }
+
+    /// Parse, plan and execute with the session's default config.
+    pub fn run(&mut self, sql: &str) -> Result<Relation> {
+        self.query(sql).run()
+    }
+
+    /// Execute with an explicit config (the shim and QueryBuilder
+    /// funnel through here).
+    pub(crate) fn execute(
+        &mut self,
+        sql: &str,
+        config: &ExecConfig,
+        budget_dollars: Option<f64>,
+    ) -> Result<QueryReport> {
+        let parsed = parse_query(sql)?;
+        let plan = plan_query(&parsed, self.catalog)?;
+        self.backend.begin_epoch();
+        let outcome = self.execute_plan(&plan, config, budget_dollars);
+        let usage = self.backend.end_epoch();
+        Ok(QueryReport {
+            relation: outcome?,
+            hits_posted: usage.hits_posted,
+            cost_dollars: usage.dollars,
+            assignments: usage.assignments,
+            elapsed_secs: usage.elapsed_secs,
+            explain: plan.explain(),
+        })
+    }
+
+    /// Execute an already-built logical plan.
+    pub(crate) fn execute_plan(
+        &mut self,
+        plan: &LogicalPlan,
+        config: &ExecConfig,
+        budget_dollars: Option<f64>,
+    ) -> Result<Relation> {
+        let budget = budget_dollars.map(|limit| BudgetGuard {
+            limit,
+            start_spend: self.backend.spend_dollars(),
+        });
+        let mut runner = PlanRunner {
+            catalog: self.catalog,
+            backend: &mut self.backend,
+            config,
+            budget,
+        };
+        runner.run_plan(plan)
+    }
+}
+
+/// A fluent, per-query configuration handle. Overrides apply to this
+/// query only; the session's defaults are untouched.
+pub struct QueryBuilder<'s, 'c, B: CrowdBackend> {
+    session: &'s mut Session<'c, B>,
+    sql: String,
+    config: ExecConfig,
+    budget_dollars: Option<f64>,
+}
+
+impl<B: CrowdBackend> QueryBuilder<'_, '_, B> {
+    /// Replace the whole per-query configuration.
+    pub fn config(mut self, config: ExecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sort implementation for ORDER BY (§4.1).
+    pub fn sort(mut self, mode: SortMode) -> Self {
+        self.config.sort = mode;
+        self
+    }
+
+    /// Crowd filter operator settings.
+    pub fn filter(mut self, op: FilterOp) -> Self {
+        self.config.filter = op;
+        self
+    }
+
+    /// Crowd join operator settings (strategy, combiner, …).
+    pub fn join(mut self, op: JoinOp) -> Self {
+        self.config.join = op;
+        self
+    }
+
+    /// POSSIBLY-clause feature filtering settings (§3.2).
+    pub fn feature_filter(mut self, config: FeatureFilterConfig) -> Self {
+        self.config.feature_filter = config;
+        self
+    }
+
+    /// §2.6 combining for conjunctive WHERE filters.
+    pub fn combine_filters(mut self, on: bool) -> Self {
+        self.config.combine_conjunct_filters = on;
+        self
+    }
+
+    /// Assignments requested per HIT, applied to every operator of
+    /// this query (`None` fields use the backend default).
+    pub fn assignments(mut self, n: u32) -> Self {
+        self.config.filter.assignments = Some(n);
+        self.config.join.assignments = Some(n);
+        self.config.feature_filter.assignments = Some(n);
+        match &mut self.config.sort {
+            SortMode::Compare(op) => op.assignments = Some(n),
+            SortMode::Rate(op) => op.assignments = Some(n),
+            SortMode::Hybrid(op, _) => {
+                op.assignments = Some(n);
+                op.rate.assignments = Some(n);
+            }
+        }
+        self
+    }
+
+    /// Hard dollar budget for this query: once the query's spend
+    /// reaches the budget, the next crowd operator refuses to start
+    /// and the query fails with [`QurkError::BudgetExceeded`]. Work
+    /// already in flight is not interrupted, so the final spend can
+    /// overshoot by at most one operator round.
+    pub fn budget_dollars(mut self, dollars: f64) -> Self {
+        self.budget_dollars = Some(dollars);
+        self
+    }
+
+    /// Execute and return the result relation.
+    pub fn run(self) -> Result<Relation> {
+        Ok(self.report()?.relation)
+    }
+
+    /// Execute and return the result plus cost accounting.
+    pub fn report(self) -> Result<QueryReport> {
+        let QueryBuilder {
+            session,
+            sql,
+            config,
+            budget_dollars,
+        } = self;
+        session.execute(&sql, &config, budget_dollars)
+    }
+
+    /// Parse and plan without posting any crowd work; returns the
+    /// EXPLAIN text.
+    pub fn explain(self) -> Result<String> {
+        let parsed = parse_query(&self.sql)?;
+        let plan = plan_query(&parsed, self.session.catalog)?;
+        Ok(plan.explain())
+    }
+}
+
+// ---------------------------------------------------------------- engine
+
+struct BudgetGuard {
+    limit: f64,
+    start_spend: f64,
+}
+
+/// Executes one logical plan against a backend with a fixed config.
+/// (This is the code that used to live inside `exec::Executor`.)
+struct PlanRunner<'r, B: CrowdBackend> {
+    catalog: &'r Catalog,
+    backend: &'r mut B,
+    config: &'r ExecConfig,
+    budget: Option<BudgetGuard>,
+}
+
+impl<B: CrowdBackend> PlanRunner<'_, B> {
+    /// Refuse to start new crowd work once the budget is spent.
+    fn charge_gate(&mut self) -> Result<()> {
+        if let Some(b) = &self.budget {
+            let spent = self.backend.spend_dollars() - b.start_spend;
+            if spent >= b.limit {
+                return Err(QurkError::BudgetExceeded {
+                    budget_dollars: b.limit,
+                    spent_dollars: spent,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn run_plan(&mut self, plan: &LogicalPlan) -> Result<Relation> {
+        match plan {
+            LogicalPlan::Scan { table, alias } => {
+                Ok(self.catalog.table(table)?.clone().qualified(alias))
+            }
+            LogicalPlan::MachineFilter { input, predicates } => {
+                let rel = self.run_plan(input)?;
+                self.machine_filter(rel, predicates)
+            }
+            LogicalPlan::CrowdFilter { input, conjuncts } => {
+                let mut rel = self.run_plan(input)?;
+                if self.config.combine_conjunct_filters && conjuncts.len() > 1 {
+                    rel = self.crowd_filter_combined(rel, conjuncts)?;
+                } else {
+                    // §2.5: conjuncts issue serially by default.
+                    for call in conjuncts {
+                        rel = self.crowd_filter(rel, call)?;
+                    }
+                }
+                Ok(rel)
+            }
+            LogicalPlan::CrowdFilterOr { input, groups } => {
+                let rel = self.run_plan(input)?;
+                self.crowd_filter_or(rel, groups)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                clause,
+            } => {
+                let l = self.run_plan(left)?;
+                let r = self.run_plan(right)?;
+                self.crowd_join(l, r, clause)
+            }
+            LogicalPlan::OrderBy { input, keys } => {
+                let rel = self.run_plan(input)?;
+                self.order_by(rel, keys)
+            }
+            LogicalPlan::Limit { input, n } => {
+                // §2.3: "For MAX/MIN, we use an interface that extracts
+                // the best element from a batch at a time" — LIMIT 1
+                // over a single crowd sort key runs the tournament
+                // extraction instead of a full O(N²) sort.
+                if *n == 1 {
+                    if let LogicalPlan::OrderBy {
+                        input: sort_input,
+                        keys,
+                    } = input.as_ref()
+                    {
+                        if let [OrderExpr {
+                            expr: Expr::Udf(call),
+                            desc,
+                        }] = keys.as_slice()
+                        {
+                            let rel = self.run_plan(sort_input)?;
+                            return self.extract_extreme(rel, call, *desc);
+                        }
+                    }
+                }
+                let rel = self.run_plan(input)?;
+                let mut out = Relation::new(rel.schema().clone());
+                for row in rel.rows().iter().take(*n) {
+                    out.push_unchecked(row.clone());
+                }
+                Ok(out)
+            }
+            LogicalPlan::Project { input, items } => {
+                let rel = self.run_plan(input)?;
+                self.project(rel, items)
+            }
+        }
+    }
+
+    // ---------------- helpers ----------------
+
+    fn eval_expr(&self, rel: &Relation, row: &Tuple, e: &Expr) -> Result<Value> {
+        match e {
+            Expr::Column(name) => row
+                .field(rel.schema(), name)
+                .cloned()
+                .ok_or_else(|| QurkError::UnknownColumn(name.clone())),
+            Expr::Literal(Literal::Number(n)) => {
+                if n.fract() == 0.0 {
+                    Ok(Value::Int(*n as i64))
+                } else {
+                    Ok(Value::Float(*n))
+                }
+            }
+            Expr::Literal(Literal::Str(s)) => Ok(Value::text(s.clone())),
+            Expr::Udf(_) => Err(QurkError::Other(
+                "UDF calls cannot be evaluated by machine".into(),
+            )),
+        }
+    }
+
+    fn machine_filter(&self, rel: Relation, predicates: &[Predicate]) -> Result<Relation> {
+        let mut out = Relation::new(rel.schema().clone());
+        'rows: for row in rel.rows() {
+            for p in predicates {
+                let Predicate::Compare { left, op, right } = p else {
+                    return Err(QurkError::Other(
+                        "machine filter received a crowd predicate".into(),
+                    ));
+                };
+                let l = self.eval_expr(&rel, row, left)?;
+                let r = self.eval_expr(&rel, row, right)?;
+                match l.sql_cmp(&r) {
+                    Some(ord) if op.eval(ord) => {}
+                    _ => continue 'rows, // false or NULL
+                }
+            }
+            out.push_unchecked(row.clone());
+        }
+        Ok(out)
+    }
+
+    /// Resolve a UDF argument to an Item-typed column index.
+    fn resolve_item_col(&self, rel: &Relation, e: &Expr) -> Result<usize> {
+        let Expr::Column(name) = e else {
+            return Err(QurkError::Other(format!(
+                "crowd UDF argument must be a column, got {e:?}"
+            )));
+        };
+        if let Some(i) = rel.schema().resolve(name) {
+            if rel.schema().fields()[i].ty == ValueType::Item {
+                return Ok(i);
+            }
+        }
+        // Whole-tuple reference (`isFemale(c)`): the single Item column
+        // under that alias.
+        let prefix = format!("{name}.");
+        let candidates: Vec<usize> = rel
+            .schema()
+            .fields()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.ty == ValueType::Item && f.name.starts_with(&prefix))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.len() == 1 {
+            Ok(candidates[0])
+        } else {
+            Err(QurkError::UnknownColumn(name.clone()))
+        }
+    }
+
+    fn crowd_filter(&mut self, rel: Relation, call: &UdfCall) -> Result<Relation> {
+        self.charge_gate()?;
+        let task = self.catalog.task(&call.name)?;
+        if task.ty != TaskType::Filter {
+            return Err(QurkError::TaskTypeMismatch {
+                task: call.name.clone(),
+                expected: "Filter",
+                found: task.ty.name(),
+            });
+        }
+        let arg = call
+            .args
+            .first()
+            .ok_or_else(|| QurkError::Other(format!("filter {} needs an argument", call.name)))?;
+        let col = self.resolve_item_col(&rel, arg)?;
+        // Rows with NULL items cannot be asked about and fail the
+        // filter.
+        let mut items = Vec::new();
+        let mut item_rows = Vec::new();
+        for (ri, row) in rel.rows().iter().enumerate() {
+            if let Some(item) = row[col].as_item() {
+                items.push(item);
+                item_rows.push(ri);
+            }
+        }
+        let op = FilterOp {
+            combiner: task.combiner,
+            ..self.config.filter.clone()
+        };
+        let mask = op.run(self.backend, task.oracle_key(), &items)?;
+        let mut out = Relation::new(rel.schema().clone());
+        for (k, &ri) in item_rows.iter().enumerate() {
+            if mask[k] {
+                out.push_unchecked(rel.rows()[ri].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// §2.6 combining: all conjunct filters of a tuple in one HIT.
+    fn crowd_filter_combined(&mut self, rel: Relation, conjuncts: &[UdfCall]) -> Result<Relation> {
+        self.charge_gate()?;
+        // Resolve every task and argument column up front; all
+        // conjuncts must address the same Item column set per row.
+        let mut predicates: Vec<&str> = Vec::with_capacity(conjuncts.len());
+        let mut cols: Vec<usize> = Vec::with_capacity(conjuncts.len());
+        for call in conjuncts {
+            let task = self.catalog.task(&call.name)?;
+            if task.ty != TaskType::Filter {
+                return Err(QurkError::TaskTypeMismatch {
+                    task: call.name.clone(),
+                    expected: "Filter",
+                    found: task.ty.name(),
+                });
+            }
+            let arg = call.args.first().ok_or_else(|| {
+                QurkError::Other(format!("filter {} needs an argument", call.name))
+            })?;
+            cols.push(self.resolve_item_col(&rel, arg)?);
+            predicates.push(task.oracle_key());
+        }
+        // Combining requires one shared item per tuple (the paper
+        // combines tasks over "the same tuple"); fall back to the
+        // first column's item.
+        let col = cols[0];
+        let mut items = Vec::new();
+        let mut item_rows = Vec::new();
+        for (ri, row) in rel.rows().iter().enumerate() {
+            if let Some(item) = row[col].as_item() {
+                items.push(item);
+                item_rows.push(ri);
+            }
+        }
+        // Unlike the serial path, combining keeps the configured
+        // combiner for every conjunct (per-task combiners cannot be
+        // honored inside one shared HIT).
+        let op = self.config.filter.clone();
+        let masks = op.run_combined(self.backend, &predicates, &items)?;
+        let mut out = Relation::new(rel.schema().clone());
+        for (k, &ri) in item_rows.iter().enumerate() {
+            if masks[k].iter().all(|&b| b) {
+                out.push_unchecked(rel.rows()[ri].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn crowd_filter_or(&mut self, rel: Relation, groups: &[Vec<Predicate>]) -> Result<Relation> {
+        // §2.5: disjuncts are issued in parallel; each group's verdict
+        // is the AND of its predicates, a row passes if any group does.
+        let mut keep = vec![false; rel.len()];
+        for group in groups {
+            let mut group_mask = vec![true; rel.len()];
+            for p in group {
+                match p {
+                    Predicate::Compare { left, op, right } => {
+                        for (ri, row) in rel.rows().iter().enumerate() {
+                            if group_mask[ri] {
+                                let l = self.eval_expr(&rel, row, left)?;
+                                let r = self.eval_expr(&rel, row, right)?;
+                                group_mask[ri] = matches!(
+                                    l.sql_cmp(&r),
+                                    Some(ord) if op.eval(ord)
+                                );
+                            }
+                        }
+                    }
+                    Predicate::Udf(call) => {
+                        self.charge_gate()?;
+                        let task = self.catalog.task(&call.name)?;
+                        let arg = call.args.first().ok_or_else(|| {
+                            QurkError::Other(format!("filter {} needs an argument", call.name))
+                        })?;
+                        let col = self.resolve_item_col(&rel, arg)?;
+                        let mut items = Vec::new();
+                        let mut rows = Vec::new();
+                        for (ri, row) in rel.rows().iter().enumerate() {
+                            if group_mask[ri] {
+                                match row[col].as_item() {
+                                    Some(it) => {
+                                        items.push(it);
+                                        rows.push(ri);
+                                    }
+                                    None => group_mask[ri] = false,
+                                }
+                            }
+                        }
+                        let op = FilterOp {
+                            combiner: task.combiner,
+                            ..self.config.filter.clone()
+                        };
+                        let mask = op.run(self.backend, task.oracle_key(), &items)?;
+                        for (k, &ri) in rows.iter().enumerate() {
+                            group_mask[ri] = mask[k];
+                        }
+                    }
+                }
+            }
+            for (ri, &g) in group_mask.iter().enumerate() {
+                keep[ri] = keep[ri] || g;
+            }
+        }
+        let mut out = Relation::new(rel.schema().clone());
+        for (ri, row) in rel.rows().iter().enumerate() {
+            if keep[ri] {
+                out.push_unchecked(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn crowd_join(
+        &mut self,
+        left: Relation,
+        right: Relation,
+        clause: &crate::lang::ast::JoinClause,
+    ) -> Result<Relation> {
+        self.charge_gate()?;
+        let join_task = self.catalog.task(&clause.on.name)?;
+        if join_task.ty != TaskType::EquiJoin {
+            return Err(QurkError::TaskTypeMismatch {
+                task: clause.on.name.clone(),
+                expected: "EquiJoin",
+                found: join_task.ty.name(),
+            });
+        }
+        if clause.on.args.len() != 2 {
+            return Err(QurkError::Other(format!(
+                "join predicate {} needs two arguments",
+                clause.on.name
+            )));
+        }
+        // Which argument refers to which side?
+        let (lcol, rcol) = match (
+            self.resolve_item_col(&left, &clause.on.args[0]),
+            self.resolve_item_col(&right, &clause.on.args[1]),
+        ) {
+            (Ok(l), Ok(r)) => (l, r),
+            _ => {
+                // Swapped argument order.
+                let l = self.resolve_item_col(&left, &clause.on.args[1])?;
+                let r = self.resolve_item_col(&right, &clause.on.args[0])?;
+                (l, r)
+            }
+        };
+
+        // Literal POSSIBLY clauses prefilter one side (the §5 movie
+        // query's numInScene); equality clauses drive pairwise feature
+        // filtering.
+        let mut left_rel = left;
+        let mut right_rel = right;
+        let mut eq_specs: Vec<FeatureSpec> = Vec::new();
+        for p in &clause.possibly {
+            match p {
+                PossiblyClause::FeatureLit { call, op, value } => {
+                    let (is_left, moved) = {
+                        let arg = call.args.first().ok_or_else(|| {
+                            QurkError::Other("feature call needs an argument".into())
+                        })?;
+                        if let Ok(col) = self.resolve_item_col(&left_rel, arg) {
+                            (
+                                true,
+                                self.prefilter_literal(&left_rel, col, call, *op, value)?,
+                            )
+                        } else {
+                            let col = self.resolve_item_col(&right_rel, arg)?;
+                            (
+                                false,
+                                self.prefilter_literal(&right_rel, col, call, *op, value)?,
+                            )
+                        }
+                    };
+                    if is_left {
+                        left_rel = moved;
+                    } else {
+                        right_rel = moved;
+                    }
+                }
+                PossiblyClause::FeatureEq {
+                    left: lc,
+                    right: rc,
+                } => {
+                    let task = self.catalog.task(&lc.name)?;
+                    if rc.name != lc.name {
+                        return Err(QurkError::Other(format!(
+                            "POSSIBLY compares different features: {} vs {}",
+                            lc.name, rc.name
+                        )));
+                    }
+                    let (opts, _) = task.feature_options().ok_or_else(|| {
+                        QurkError::Other(format!(
+                            "feature task {} must have a Radio response",
+                            lc.name
+                        ))
+                    })?;
+                    eq_specs.push(FeatureSpec {
+                        name: task.oracle_key().to_owned(),
+                        num_options: opts.len(),
+                    });
+                }
+            }
+        }
+
+        let collect_items = |rel: &Relation, col: usize| -> Vec<ItemId> {
+            rel.rows()
+                .iter()
+                .map(|row| row[col].as_item().unwrap_or(ItemId(u64::MAX)))
+                .collect()
+        };
+        let left_items = collect_items(&left_rel, lcol);
+        let right_items = collect_items(&right_rel, rcol);
+
+        let candidates = if eq_specs.is_empty() {
+            None
+        } else {
+            let ff = FeatureFilter::new(self.config.feature_filter.clone());
+            let outcome = ff.run(self.backend, &eq_specs, &left_items, &right_items)?;
+            Some(outcome.candidates)
+        };
+
+        let op = JoinOp {
+            combiner: join_task.combiner,
+            ..self.config.join.clone()
+        };
+        let outcome = op.run(self.backend, &left_items, &right_items, candidates.as_ref())?;
+
+        let schema = left_rel.schema().join(right_rel.schema());
+        let mut out = Relation::new(schema);
+        for &(i, j) in &outcome.matches {
+            out.push_unchecked(left_rel.rows()[i].concat(&right_rel.rows()[j]));
+        }
+        Ok(out)
+    }
+
+    fn prefilter_literal(
+        &mut self,
+        rel: &Relation,
+        col: usize,
+        call: &UdfCall,
+        op: CmpOp,
+        value: &Literal,
+    ) -> Result<Relation> {
+        self.charge_gate()?;
+        let task = self.catalog.task(&call.name)?;
+        let (opts, _) = task.feature_options().ok_or_else(|| {
+            QurkError::Other(format!("feature task {} must be categorical", call.name))
+        })?;
+        let items: Vec<ItemId> = rel.rows().iter().filter_map(|r| r[col].as_item()).collect();
+        let gen = GenerativeOp {
+            batch_size: self.config.feature_filter.batch_size,
+            combined_interface: false,
+            assignments: self.config.feature_filter.assignments,
+            limit_secs: self.config.feature_filter.limit_secs,
+        };
+        let outcome = gen.run(self.backend, task, &items)?;
+        let want = match value {
+            Literal::Str(s) => s.clone(),
+            Literal::Number(n) => {
+                if n.fract() == 0.0 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+        };
+        let mut out = Relation::new(rel.schema().clone());
+        let mut k = 0usize;
+        for row in rel.rows() {
+            if row[col].as_item().is_none() {
+                continue;
+            }
+            let extracted = outcome.rows[k].get("value").cloned().unwrap_or(Value::Null);
+            k += 1;
+            let pass = match (&extracted, op) {
+                (Value::Null, _) => true, // UNKNOWN matches anything
+                (Value::Text(t), CmpOp::Eq) => *t == want,
+                (Value::Text(t), CmpOp::Ne) => *t != want,
+                (Value::Text(t), _) => {
+                    // Ordered comparison over the option order.
+                    let ti = opts.iter().position(|o| o == t);
+                    let wi = opts.iter().position(|o| *o == want);
+                    match (ti, wi) {
+                        (Some(a), Some(b)) => op.eval(a.cmp(&b)),
+                        _ => false,
+                    }
+                }
+                _ => false,
+            };
+            if pass {
+                out.push_unchecked(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// MAX/MIN aggregate: tournament extraction of the single best
+    /// (DESC) or worst (ASC) row by a Rank task (§2.3).
+    fn extract_extreme(&mut self, rel: Relation, call: &UdfCall, desc: bool) -> Result<Relation> {
+        let task = self.catalog.task(&call.name)?;
+        if task.ty != TaskType::Rank {
+            return Err(QurkError::TaskTypeMismatch {
+                task: call.name.clone(),
+                expected: "Rank",
+                found: task.ty.name(),
+            });
+        }
+        let mut out = Relation::new(rel.schema().clone());
+        if rel.is_empty() {
+            return Ok(out);
+        }
+        self.charge_gate()?;
+        let arg = call.args.first().ok_or_else(|| {
+            QurkError::Other(format!("rank task {} needs an argument", call.name))
+        })?;
+        let col = self.resolve_item_col(&rel, arg)?;
+        let items: Vec<ItemId> = rel.rows().iter().filter_map(|r| r[col].as_item()).collect();
+        if items.is_empty() {
+            return Ok(out);
+        }
+        // DESC LIMIT 1 = MAX ("most"); ASC LIMIT 1 = MIN ("least").
+        // Batches of 5, the paper's comparison group size.
+        let (best, _hits) =
+            crate::ops::sort::extract_best(self.backend, &items, task.oracle_key(), 5, desc, None)?;
+        if let Some(row) = rel.rows().iter().find(|r| r[col].as_item() == Some(best)) {
+            out.push_unchecked(row.clone());
+        }
+        Ok(out)
+    }
+
+    fn order_by(&mut self, rel: Relation, keys: &[OrderExpr]) -> Result<Relation> {
+        // Split keys: machine columns first, then at most one Rank UDF.
+        let mut machine: Vec<(usize, bool)> = Vec::new();
+        let mut crowd: Option<(&UdfCall, bool)> = None;
+        for (ki, k) in keys.iter().enumerate() {
+            match &k.expr {
+                Expr::Column(name) => {
+                    if crowd.is_some() {
+                        return Err(QurkError::Other(
+                            "machine sort keys must precede the crowd key".into(),
+                        ));
+                    }
+                    let idx = rel
+                        .schema()
+                        .resolve(name)
+                        .ok_or_else(|| QurkError::UnknownColumn(name.clone()))?;
+                    machine.push((idx, k.desc));
+                }
+                Expr::Udf(call) => {
+                    if crowd.is_some() || ki != keys.len() - 1 {
+                        return Err(QurkError::Other(
+                            "only one crowd sort key is supported, and it must be last".into(),
+                        ));
+                    }
+                    crowd = Some((call, k.desc));
+                }
+                Expr::Literal(_) => {
+                    return Err(QurkError::Other("cannot order by a literal".into()))
+                }
+            }
+        }
+
+        // Machine sort (stable).
+        let mut order: Vec<usize> = (0..rel.len()).collect();
+        order.sort_by(|&a, &b| {
+            for &(col, desc) in &machine {
+                let va = &rel.rows()[a][col];
+                let vb = &rel.rows()[b][col];
+                let ord = va.sql_cmp(vb).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+
+        if let Some((call, desc)) = crowd {
+            let task = self.catalog.task(&call.name)?;
+            if task.ty != TaskType::Rank {
+                return Err(QurkError::TaskTypeMismatch {
+                    task: call.name.clone(),
+                    expected: "Rank",
+                    found: task.ty.name(),
+                });
+            }
+            let arg = call.args.first().ok_or_else(|| {
+                QurkError::Other(format!("rank task {} needs an argument", call.name))
+            })?;
+            let col = self.resolve_item_col(&rel, arg)?;
+            let dimension = task.oracle_key().to_owned();
+
+            // Group rows sharing the machine-key prefix, sort each
+            // group with the crowd (§5's per-actor scene ordering).
+            let mut grouped: Vec<Vec<usize>> = Vec::new();
+            for &ri in &order {
+                let same_group = grouped.last().is_some_and(|g: &Vec<usize>| {
+                    machine
+                        .iter()
+                        .all(|&(c, _)| rel.rows()[g[0]][c].sql_eq(&rel.rows()[ri][c]) == Some(true))
+                });
+                if same_group {
+                    grouped.last_mut().unwrap().push(ri);
+                } else {
+                    grouped.push(vec![ri]);
+                }
+            }
+            let mut final_order = Vec::with_capacity(rel.len());
+            for group in grouped {
+                let items: Vec<ItemId> = group
+                    .iter()
+                    .filter_map(|&ri| rel.rows()[ri][col].as_item())
+                    .collect();
+                if items.len() <= 1 {
+                    final_order.extend(group);
+                    continue;
+                }
+                self.charge_gate()?;
+                let sorted_items = match &self.config.sort {
+                    SortMode::Compare(op) => op.run(self.backend, &items, &dimension)?.order,
+                    SortMode::Rate(op) => op.run(self.backend, &items, &dimension)?.order,
+                    SortMode::Hybrid(op, iterations) => {
+                        let out = op.run(self.backend, &items, &dimension, *iterations)?;
+                        out.trajectory.last().cloned().unwrap_or(out.initial.order)
+                    }
+                };
+                // Sort outcome is best-first ("Most" first); SQL ASC
+                // means least-first.
+                let item_rank: HashMap<ItemId, usize> = sorted_items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &it)| (it, i))
+                    .collect();
+                let mut group_sorted = group.clone();
+                group_sorted.sort_by_key(|&ri| {
+                    rel.rows()[ri][col]
+                        .as_item()
+                        .and_then(|it| item_rank.get(&it).copied())
+                        .unwrap_or(usize::MAX)
+                });
+                if !desc {
+                    group_sorted.reverse();
+                }
+                final_order.extend(group_sorted);
+            }
+            order = final_order;
+        }
+
+        let mut out = Relation::new(rel.schema().clone());
+        for ri in order {
+            out.push_unchecked(rel.rows()[ri].clone());
+        }
+        Ok(out)
+    }
+
+    fn project(&mut self, rel: Relation, items: &[SelectItem]) -> Result<Relation> {
+        // Fast path: SELECT *.
+        if items.len() == 1 && matches!(items[0], SelectItem::Star) {
+            return Ok(rel);
+        }
+        let mut schema = crate::schema::Schema::default();
+        // Each output column: either a copy of an input column or a
+        // generative field.
+        enum Col {
+            Copy(usize),
+            Gen { values: Vec<Value> },
+        }
+        let mut cols: Vec<Col> = Vec::new();
+        // Cache generative runs per (task, arg) to avoid re-asking for
+        // each selected field (the Fields mechanism answers them all at
+        // once, §2.2).
+        let mut gen_cache: HashMap<String, Vec<crate::ops::generative::GenRow>> = HashMap::new();
+
+        for item in items {
+            match item {
+                SelectItem::Star => {
+                    for (i, f) in rel.schema().fields().iter().enumerate() {
+                        schema.push_field(&f.name, f.ty);
+                        cols.push(Col::Copy(i));
+                    }
+                }
+                SelectItem::Column(name) => {
+                    let idx = rel
+                        .schema()
+                        .resolve(name)
+                        .ok_or_else(|| QurkError::UnknownColumn(name.clone()))?;
+                    let f = &rel.schema().fields()[idx];
+                    let out_name = if schema.index_of(name).is_none() {
+                        name.clone()
+                    } else {
+                        format!("{name}#{}", cols.len())
+                    };
+                    schema.push_field(&out_name, f.ty);
+                    cols.push(Col::Copy(idx));
+                }
+                SelectItem::Udf { call, field } => {
+                    let task = self.catalog.task(&call.name)?;
+                    if task.ty != TaskType::Generative {
+                        return Err(QurkError::TaskTypeMismatch {
+                            task: call.name.clone(),
+                            expected: "Generative",
+                            found: task.ty.name(),
+                        });
+                    }
+                    let key = format!("{call:?}");
+                    if !gen_cache.contains_key(&key) {
+                        self.charge_gate()?;
+                        let arg = call.args.first().ok_or_else(|| {
+                            QurkError::Other(format!("task {} needs an argument", call.name))
+                        })?;
+                        let col = self.resolve_item_col(&rel, arg)?;
+                        let items_vec: Vec<ItemId> = rel
+                            .rows()
+                            .iter()
+                            .map(|r| r[col].as_item().unwrap_or(ItemId(u64::MAX)))
+                            .collect();
+                        let gen = GenerativeOp::default();
+                        let out = gen.run(self.backend, task, &items_vec)?;
+                        gen_cache.insert(key.clone(), out.rows);
+                    }
+                    let rows = &gen_cache[&key];
+                    let fname = field.clone().unwrap_or_else(|| "value".to_owned());
+                    let out_name = match field {
+                        Some(f) => format!("{}.{f}", call.name),
+                        None => call.name.clone(),
+                    };
+                    let values: Vec<Value> = rows
+                        .iter()
+                        .map(|r| r.get(&fname).cloned().unwrap_or(Value::Null))
+                        .collect();
+                    schema.push_field(&out_name, ValueType::Text);
+                    cols.push(Col::Gen { values });
+                }
+            }
+        }
+
+        let mut out = Relation::new(schema);
+        for (ri, row) in rel.rows().iter().enumerate() {
+            let values: Vec<Value> = cols
+                .iter()
+                .map(|c| match c {
+                    Col::Copy(i) => row[*i].clone(),
+                    Col::Gen { values } => values.get(ri).cloned().unwrap_or(Value::Null),
+                })
+                .collect();
+            out.push_unchecked(Tuple::new(values));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+    use qurk_crowd::truth::{DimensionParams, PredicateTruth};
+    use qurk_crowd::{CrowdConfig, EntityId, GroundTruth, Marketplace};
+
+    fn setup() -> (Catalog, Marketplace) {
+        let mut gt = GroundTruth::new();
+        gt.define_dimension("height", DimensionParams::crisp(0.02));
+        let items = gt.new_items(10);
+        for (i, &it) in items.iter().enumerate() {
+            gt.set_predicate(
+                it,
+                "isTall",
+                PredicateTruth {
+                    value: i >= 5,
+                    error_rate: 0.03,
+                },
+            );
+            gt.set_score(it, "height", i as f64);
+            gt.set_entity(it, EntityId(i as u64));
+        }
+        let market = Marketplace::new(&CrowdConfig::default(), gt);
+
+        let mut catalog = Catalog::new();
+        let mut rel = Relation::new(Schema::new(&[
+            ("id", ValueType::Int),
+            ("img", ValueType::Item),
+        ]));
+        for (i, &it) in items.iter().enumerate() {
+            rel.push(vec![Value::Int(i as i64), Value::Item(it)])
+                .unwrap();
+        }
+        catalog.register_table("people", rel);
+        catalog
+            .define_tasks(
+                r#"TASK isTall(field) TYPE Filter:
+                    Prompt: "<img src='%s'> Tall?", tuple[field]
+                   TASK byHeight(field) TYPE Rank:
+                    OrderDimensionName: "height"
+                    Html: "<img src='%s'>", tuple[field]
+                "#,
+            )
+            .unwrap();
+        (catalog, market)
+    }
+
+    #[test]
+    fn builder_runs_query_and_reports_costs() {
+        let (catalog, market) = setup();
+        let mut session = Session::builder().catalog(&catalog).backend(market).build();
+        let report = session
+            .query("SELECT id FROM people WHERE isTall(people.img)")
+            .report()
+            .unwrap();
+        // 10 items / batch 5 = 2 HITs x 5 assignments x $0.015.
+        assert_eq!(report.hits_posted, 2);
+        assert_eq!(report.assignments, 10);
+        assert!((report.cost_dollars - 10.0 * 0.015).abs() < 1e-9);
+        assert!(report.elapsed_secs > 0.0);
+        assert!(report.explain.contains("CrowdFilter"));
+        assert_eq!(session.usage_history().len(), 1);
+    }
+
+    #[test]
+    fn session_caches_repeat_queries() {
+        let (catalog, market) = setup();
+        let mut session = Session::new(&catalog, market);
+        let first = session
+            .query("SELECT id FROM people WHERE isTall(people.img)")
+            .report()
+            .unwrap();
+        let second = session
+            .query("SELECT id FROM people WHERE isTall(people.img)")
+            .report()
+            .unwrap();
+        assert!(first.hits_posted > 0);
+        assert_eq!(second.hits_posted, 0, "repeat query must be cached");
+        assert_eq!(second.cost_dollars, 0.0);
+        assert_eq!(first.relation, second.relation);
+    }
+
+    #[test]
+    fn borrowed_marketplace_backend_works() {
+        let (catalog, mut market) = setup();
+        {
+            let mut session = Session::new(&catalog, &mut market);
+            session
+                .run("SELECT id FROM people WHERE isTall(people.img)")
+                .unwrap();
+        }
+        // The marketplace is accessible again after the session ends.
+        assert!(market.hits_posted() > 0);
+    }
+
+    #[test]
+    fn budget_stops_new_crowd_work() {
+        let (catalog, market) = setup();
+        let mut session = Session::new(&catalog, market);
+        let err = session
+            .query("SELECT id FROM people WHERE isTall(people.img)")
+            .budget_dollars(0.0)
+            .run();
+        assert!(
+            matches!(err, Err(QurkError::BudgetExceeded { .. })),
+            "{err:?}"
+        );
+        // No crowd work was posted.
+        assert_eq!(session.backend().hits_posted(), 0);
+        // The session remains usable without a budget.
+        let rel = session
+            .run("SELECT id FROM people WHERE isTall(people.img)")
+            .unwrap();
+        assert!(rel.len() >= 4);
+    }
+
+    #[test]
+    fn explain_costs_nothing() {
+        let (catalog, market) = setup();
+        let mut session = Session::new(&catalog, market);
+        let plan = session
+            .query("SELECT id FROM people ORDER BY byHeight(people.img)")
+            .explain()
+            .unwrap();
+        assert!(plan.contains("OrderBy"), "{plan}");
+        assert_eq!(session.backend().hits_posted(), 0);
+    }
+}

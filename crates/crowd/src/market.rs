@@ -314,6 +314,11 @@ impl Marketplace {
             .collect()
     }
 
+    /// The HITs of a group, in the order their specs were posted.
+    pub fn group_hits(&self, group: HitGroupId) -> Vec<HitId> {
+        self.groups[group.0].hits.clone()
+    }
+
     /// Number of outstanding assignments in a group.
     pub fn group_outstanding(&self, group: HitGroupId) -> u32 {
         self.groups[group.0]

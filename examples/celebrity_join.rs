@@ -8,7 +8,6 @@
 //!
 //! Run with: `cargo run --release --example celebrity_join`
 
-use qurk::exec::ExecConfig;
 use qurk::ops::join::{JoinOp, JoinStrategy};
 use qurk::prelude::*;
 use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
@@ -79,18 +78,15 @@ fn build_world(seed: u64) -> (Catalog, Marketplace, Vec<(String, u64)>) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Naive: SimpleJoin over the full cross product. ---
-    let (catalog, mut market, _) = build_world(11);
-    let mut executor = Executor::new(&catalog, &mut market);
-    executor.config = ExecConfig {
-        join: JoinOp {
+    let (catalog, market, _) = build_world(11);
+    let mut session = Session::builder().catalog(&catalog).backend(market).build();
+    let naive = session
+        .query("SELECT c.name, p.id FROM celeb c JOIN photos p ON samePerson(c.img, p.img)")
+        .join(JoinOp {
             strategy: JoinStrategy::Simple,
             ..Default::default()
-        },
-        ..Default::default()
-    };
-    let naive = executor.query_report(
-        "SELECT c.name, p.id FROM celeb c JOIN photos p ON samePerson(c.img, p.img)",
-    )?;
+        })
+        .report()?;
     println!(
         "naive join:     {:>4} HITs  ${:>6.2}  {} matches",
         naive.hits_posted,
@@ -99,21 +95,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Optimized: NaiveBatch(5) + POSSIBLY feature filtering. ---
-    let (catalog, mut market, _) = build_world(11);
-    let mut executor = Executor::new(&catalog, &mut market);
-    executor.config = ExecConfig {
-        join: JoinOp {
+    // A fresh world (same seed) so both plans face the same crowd; the
+    // join strategy is a per-query override on the new session.
+    let (catalog, market, _) = build_world(11);
+    let mut session = Session::builder().catalog(&catalog).backend(market).build();
+    let optimized = session
+        .query(
+            "SELECT c.name, p.id FROM celeb c JOIN photos p ON samePerson(c.img, p.img) \
+             AND POSSIBLY gender(c.img) = gender(p.img) \
+             AND POSSIBLY hairColor(c.img) = hairColor(p.img) \
+             AND POSSIBLY skinColor(c.img) = skinColor(p.img)",
+        )
+        .join(JoinOp {
             strategy: JoinStrategy::NaiveBatch(5),
             ..Default::default()
-        },
-        ..Default::default()
-    };
-    let optimized = executor.query_report(
-        "SELECT c.name, p.id FROM celeb c JOIN photos p ON samePerson(c.img, p.img) \
-         AND POSSIBLY gender(c.img) = gender(p.img) \
-         AND POSSIBLY hairColor(c.img) = hairColor(p.img) \
-         AND POSSIBLY skinColor(c.img) = skinColor(p.img)",
-    )?;
+        })
+        .report()?;
     println!(
         "optimized join: {:>4} HITs  ${:>6.2}  {} matches",
         optimized.hits_posted,

@@ -15,7 +15,6 @@
 //!
 //! Run with: `cargo run --release --example end_to_end_movie`
 
-use qurk::exec::{ExecConfig, SortMode};
 use qurk::ops::join::{JoinOp, JoinStrategy};
 use qurk::ops::sort::RateSort;
 use qurk::prelude::*;
@@ -45,7 +44,7 @@ TASK quality(field) TYPE Rank:
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut truth = GroundTruth::new();
     let ds = movie_dataset(&mut truth, &MovieConfig::default());
-    let mut market = Marketplace::new(&CrowdConfig::default(), truth);
+    let market = Marketplace::new(&CrowdConfig::default(), truth);
 
     let mut actors = Relation::new(Schema::new(&[
         ("name", ValueType::Text),
@@ -68,22 +67,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     catalog.define_tasks(TASKS)?;
 
     // The paper's winning configuration: SmartBatch 5x5 join + Rate
-    // batch 5 sort (Table 5's 77-HIT plan).
-    let mut executor = Executor::new(&catalog, &mut market);
-    executor.config = ExecConfig {
-        join: JoinOp {
+    // batch 5 sort (Table 5's 77-HIT plan), set per query on the
+    // session.
+    let mut session = Session::builder().catalog(&catalog).backend(market).build();
+    let report = session
+        .query(
+            "SELECT a.name, s.id FROM actors a JOIN scenes s ON inScene(a.img, s.img) \
+             AND POSSIBLY numInScene(s.img) = \"1\" \
+             ORDER BY a.name, quality(s.img) DESC",
+        )
+        .join(JoinOp {
             strategy: JoinStrategy::SmartBatch { rows: 5, cols: 5 },
             ..Default::default()
-        },
-        sort: SortMode::Rate(RateSort::default()),
-        ..Default::default()
-    };
-
-    let report = executor.query_report(
-        "SELECT a.name, s.id FROM actors a JOIN scenes s ON inScene(a.img, s.img) \
-         AND POSSIBLY numInScene(s.img) = \"1\" \
-         ORDER BY a.name, quality(s.img) DESC",
-    )?;
+        })
+        .sort(SortMode::Rate(RateSort::default()))
+        .report()?;
 
     println!("plan:\n{}", report.explain);
     println!(

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. A simulated marketplace: 150 workers, $0.01/HIT + $0.005 fee,
     //    5 assignments per HIT (the paper's defaults).
-    let mut market = Marketplace::new(&CrowdConfig::default(), truth);
+    let market = Marketplace::new(&CrowdConfig::default(), truth);
 
     // 3. The relational side: a table whose `img` column references the
     //    crowd-visible items.
@@ -68,9 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "#,
     )?;
 
-    // 4. Run the query.
-    let mut executor = Executor::new(&catalog, &mut market);
-    let report = executor.query_report("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")?;
+    // 4. Open a session (catalog + backend) and run the query with a
+    //    dollar budget. The session meters every query and caches
+    //    identical HITs across queries.
+    let mut session = Session::builder().catalog(&catalog).backend(market).build();
+    let report = session
+        .query("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")
+        .budget_dollars(1.0)
+        .report()?;
 
     println!("plan:\n{}", report.explain);
     println!("result ({} rows):", report.relation.len());
@@ -78,10 +83,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {}", row[0]);
     }
     println!(
-        "\ncrowd stats: {} HITs posted, ${:.3} spent, {:.2} virtual hours",
+        "\ncrowd stats: {} HITs posted, {} assignments, ${:.3} spent, {:.2} virtual hours",
         report.hits_posted,
+        report.assignments,
         report.cost_dollars,
-        market.now().hours()
+        report.elapsed_secs / 3600.0
     );
+
+    // Re-running the same query is answered from the session cache.
+    let again = session
+        .query("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")
+        .report()?;
+    println!("re-run: {} HITs posted (cached)", again.hits_posted);
     Ok(())
 }

@@ -1,0 +1,18 @@
+//! Workspace root for the Qurk reproduction (*Human-powered Sorts and
+//! Joins*, Marcus et al., VLDB 2011).
+//!
+//! This crate exists to host the repo-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the engine itself
+//! lives in the member crates:
+//!
+//! * [`qurk`] — query language, planner, operators, `Session` API.
+//! * [`qurk_crowd`] — the simulated marketplace.
+//! * [`qurk_combine`] — answer combiners (MajorityVote, QualityAdjust).
+//! * [`qurk_metrics`] — τ, κ, regression and summary statistics.
+//! * [`qurk_data`] — the paper's synthetic datasets.
+
+pub use qurk;
+pub use qurk_combine;
+pub use qurk_crowd;
+pub use qurk_data;
+pub use qurk_metrics;

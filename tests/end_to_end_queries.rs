@@ -1,7 +1,6 @@
 //! Integration tests: full SQL queries through parser → planner →
-//! executor → simulated marketplace, spanning every crate.
+//! session → simulated marketplace, spanning every crate.
 
-use qurk::exec::{ExecConfig, SortMode};
 use qurk::ops::join::{JoinOp, JoinStrategy};
 use qurk::ops::sort::RateSort;
 use qurk::prelude::*;
@@ -105,10 +104,10 @@ fn world(seed: u64) -> (Catalog, Marketplace) {
 
 #[test]
 fn filter_and_machine_predicate_compose() {
-    let (catalog, mut market) = world(1);
-    let mut ex = Executor::new(&catalog, &mut market);
-    let rel = ex
-        .query("SELECT p.id FROM people p WHERE isFemale(p.img) AND p.id < 6")
+    let (catalog, market) = world(1);
+    let mut session = Session::new(&catalog, market);
+    let rel = session
+        .run("SELECT p.id FROM people p WHERE isFemale(p.img) AND p.id < 6")
         .unwrap();
     let ids: Vec<i64> = rel.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
     // Expect mostly {0, 2, 4}.
@@ -121,14 +120,15 @@ fn filter_and_machine_predicate_compose() {
 
 #[test]
 fn join_with_possibly_feature_filtering() {
-    let (catalog, mut market) = world(2);
-    let mut ex = Executor::new(&catalog, &mut market);
-    let report = ex
-        .query_report(
+    let (catalog, market) = world(2);
+    let mut session = Session::new(&catalog, market);
+    let report = session
+        .query(
             "SELECT p.id, ph.pid FROM people p JOIN photos ph \
              ON samePerson(p.img, ph.img) \
              AND POSSIBLY gender(p.img) = gender(ph.img)",
         )
+        .report()
         .unwrap();
     // Most of the 12 true matches found, few mistakes.
     let correct = report
@@ -147,10 +147,10 @@ fn join_with_possibly_feature_filtering() {
 
 #[test]
 fn order_by_with_limit_returns_top_k() {
-    let (catalog, mut market) = world(3);
-    let mut ex = Executor::new(&catalog, &mut market);
-    let rel = ex
-        .query("SELECT p.id FROM people p ORDER BY byHeight(p.img) DESC LIMIT 3")
+    let (catalog, market) = world(3);
+    let mut session = Session::new(&catalog, market);
+    let rel = session
+        .run("SELECT p.id FROM people p ORDER BY byHeight(p.img) DESC LIMIT 3")
         .unwrap();
     let ids: Vec<i64> = rel.rows().iter().map(|r| r[0].as_int().unwrap()).collect();
     assert_eq!(ids.len(), 3);
@@ -162,10 +162,10 @@ fn order_by_with_limit_returns_top_k() {
 
 #[test]
 fn generative_select_produces_normalized_text() {
-    let (catalog, mut market) = world(4);
-    let mut ex = Executor::new(&catalog, &mut market);
-    let rel = ex
-        .query("SELECT p.id, nameOf(p.img).common FROM people p WHERE p.id < 4")
+    let (catalog, market) = world(4);
+    let mut session = Session::new(&catalog, market);
+    let rel = session
+        .run("SELECT p.id, nameOf(p.img).common FROM people p WHERE p.id < 4")
         .unwrap();
     assert_eq!(rel.len(), 4);
     for row in rel.rows() {
@@ -180,32 +180,35 @@ fn generative_select_produces_normalized_text() {
 
 #[test]
 fn task_cache_makes_repeat_queries_free() {
-    let (catalog, mut market) = world(5);
-    let mut ex = Executor::new(&catalog, &mut market);
-    let first = ex
-        .query_report("SELECT p.id FROM people p WHERE isFemale(p.img)")
+    let (catalog, market) = world(5);
+    let mut session = Session::new(&catalog, market);
+    let first = session
+        .query("SELECT p.id FROM people p WHERE isFemale(p.img)")
+        .report()
         .unwrap();
     assert!(first.hits_posted > 0);
-    let second = ex
-        .query_report("SELECT p.id FROM people p WHERE isFemale(p.img)")
+    let second = session
+        .query("SELECT p.id FROM people p WHERE isFemale(p.img)")
+        .report()
         .unwrap();
     assert_eq!(second.hits_posted, 0, "cached re-run must cost nothing");
     assert_eq!(first.relation, second.relation);
+    let (cache_hits, _) = session.cache_stats();
+    assert!(cache_hits > 0);
 }
 
 #[test]
-fn executor_config_controls_join_strategy_cost() {
+fn query_builder_controls_join_strategy_cost() {
     let run = |strategy: JoinStrategy| {
-        let (catalog, mut market) = world(6);
-        let mut ex = Executor::new(&catalog, &mut market);
-        ex.config = ExecConfig {
-            join: JoinOp {
+        let (catalog, market) = world(6);
+        let mut session = Session::new(&catalog, market);
+        session
+            .query("SELECT p.id FROM people p JOIN photos ph ON samePerson(p.img, ph.img)")
+            .join(JoinOp {
                 strategy,
                 ..Default::default()
-            },
-            ..Default::default()
-        };
-        ex.query_report("SELECT p.id FROM people p JOIN photos ph ON samePerson(p.img, ph.img)")
+            })
+            .report()
             .unwrap()
             .hits_posted
     };
@@ -220,10 +223,12 @@ fn executor_config_controls_join_strategy_cost() {
 #[test]
 fn rate_sort_mode_is_cheaper_than_compare() {
     let run = |sort: SortMode| {
-        let (catalog, mut market) = world(7);
-        let mut ex = Executor::new(&catalog, &mut market);
-        ex.config.sort = sort;
-        ex.query_report("SELECT p.id FROM people p ORDER BY byHeight(p.img)")
+        let (catalog, market) = world(7);
+        let mut session = Session::new(&catalog, market);
+        session
+            .query("SELECT p.id FROM people p ORDER BY byHeight(p.img)")
+            .sort(sort)
+            .report()
             .unwrap()
             .hits_posted
     };
@@ -237,26 +242,66 @@ fn rate_sort_mode_is_cheaper_than_compare() {
 
 #[test]
 fn bad_queries_surface_errors_not_panics() {
-    let (catalog, mut market) = world(8);
-    let mut ex = Executor::new(&catalog, &mut market);
-    assert!(ex.query("SELECT FROM nope").is_err());
-    assert!(ex.query("SELECT x FROM missing_table").is_err());
-    assert!(ex
-        .query("SELECT p.id FROM people p WHERE notATask(p.img)")
+    let (catalog, market) = world(8);
+    let mut session = Session::new(&catalog, market);
+    assert!(session.run("SELECT FROM nope").is_err());
+    assert!(session.run("SELECT x FROM missing_table").is_err());
+    assert!(session
+        .run("SELECT p.id FROM people p WHERE notATask(p.img)")
         .is_err());
-    assert!(ex
-        .query("SELECT p.id FROM people p ORDER BY isFemale(p.img)")
+    assert!(session
+        .run("SELECT p.id FROM people p ORDER BY isFemale(p.img)")
         .is_err());
 }
 
 #[test]
 fn cost_accounting_matches_ledger_arithmetic() {
-    let (catalog, mut market) = world(9);
-    let mut ex = Executor::new(&catalog, &mut market);
-    let report = ex
-        .query_report("SELECT p.id FROM people p WHERE isFemale(p.img)")
+    let (catalog, market) = world(9);
+    let mut session = Session::new(&catalog, market);
+    let report = session
+        .query("SELECT p.id FROM people p WHERE isFemale(p.img)")
+        .report()
         .unwrap();
     // 12 items / batch 5 = 3 HITs x 5 assignments x $0.015.
     assert_eq!(report.hits_posted, 3);
+    assert_eq!(report.assignments, 15);
     assert!((report.cost_dollars - 3.0 * 5.0 * 0.015).abs() < 1e-9);
+    // The metering numbers agree with the marketplace's own ledger.
+    let market = session.backend().inner().inner();
+    assert_eq!(market.ledger.assignments_paid, 15);
+    assert!((market.ledger.total() - report.cost_dollars).abs() < 1e-9);
+}
+
+/// The deprecated `Executor` path must keep compiling and return the
+/// same rows and cost numbers as the `Session` path on the same
+/// seeded world.
+#[test]
+#[allow(deprecated)]
+fn executor_shim_matches_session_path() {
+    for (seed, sql) in [
+        (10, "SELECT p.id FROM people p WHERE isFemale(p.img)"),
+        (
+            11,
+            "SELECT p.id FROM people p ORDER BY byHeight(p.img) DESC LIMIT 3",
+        ),
+        (
+            12,
+            "SELECT p.id, ph.pid FROM people p JOIN photos ph ON samePerson(p.img, ph.img)",
+        ),
+    ] {
+        let (catalog, mut market) = world(seed);
+        let mut ex = Executor::new(&catalog, &mut market);
+        let old = ex.query_report(sql).unwrap();
+        let (catalog2, market2) = world(seed);
+        let mut session = Session::new(&catalog2, market2);
+        let new = session.query(sql).report().unwrap();
+        assert_eq!(old.relation, new.relation, "{sql}");
+        assert_eq!(old.hits_posted, new.hits_posted, "{sql}");
+        assert!(
+            (old.cost_dollars - new.cost_dollars).abs() < 1e-9,
+            "{sql}: {} vs {}",
+            old.cost_dollars,
+            new.cost_dollars
+        );
+    }
 }

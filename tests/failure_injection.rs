@@ -3,7 +3,6 @@
 //! errors, never hang or panic — §4.2.2's stalled group-size-20
 //! experiment is a *normal* outcome on a real marketplace.
 
-use qurk::exec::SortMode;
 use qurk::ops::filter::FilterOp;
 use qurk::ops::sort::CompareSort;
 use qurk::prelude::*;
@@ -49,15 +48,17 @@ fn sortable_world(n: usize) -> (Catalog, Marketplace) {
 
 #[test]
 fn oversized_compare_groups_error_cleanly_through_sql() {
-    let (catalog, mut market) = sortable_world(25);
-    let mut ex = Executor::new(&catalog, &mut market);
+    let (catalog, market) = sortable_world(25);
+    let mut session = Session::new(&catalog, market);
     // Group size 25 => ~120 work units: nobody accepts. Budget 6 h.
-    ex.config.sort = SortMode::Compare(CompareSort {
-        group_size: 25,
-        limit_secs: 6.0 * 3600.0,
-        ..Default::default()
-    });
-    let err = ex.query("SELECT id FROM t ORDER BY byD(t.img)");
+    let err = session
+        .query("SELECT id FROM t ORDER BY byD(t.img)")
+        .sort(SortMode::Compare(CompareSort {
+            group_size: 25,
+            limit_secs: 6.0 * 3600.0,
+            ..Default::default()
+        }))
+        .run();
     assert!(
         matches!(err, Err(QurkError::CrowdIncomplete { outstanding }) if outstanding > 0),
         "expected CrowdIncomplete, got {err:?}"
@@ -66,13 +67,15 @@ fn oversized_compare_groups_error_cleanly_through_sql() {
 
 #[test]
 fn zero_time_budget_times_out_not_hangs() {
-    let (catalog, mut market) = sortable_world(10);
-    let mut ex = Executor::new(&catalog, &mut market);
-    ex.config.filter = FilterOp {
-        limit_secs: 1.0, // one virtual second
-        ..Default::default()
-    };
-    let err = ex.query("SELECT id FROM t WHERE p(t.img)");
+    let (catalog, market) = sortable_world(10);
+    let mut session = Session::new(&catalog, market);
+    let err = session
+        .query("SELECT id FROM t WHERE p(t.img)")
+        .filter(FilterOp {
+            limit_secs: 1.0, // one virtual second
+            ..Default::default()
+        })
+        .run();
     assert!(
         matches!(err, Err(QurkError::CrowdIncomplete { .. })),
         "{err:?}"
@@ -85,16 +88,18 @@ fn market_recovers_after_a_timed_out_group() {
     // work still completes (the stalled HITs stay outstanding).
     let (catalog, mut market) = sortable_world(12);
     {
-        let mut ex = Executor::new(&catalog, &mut market);
-        ex.config.sort = SortMode::Compare(CompareSort {
-            group_size: 12,
-            limit_secs: 2.0 * 3600.0,
-            ..Default::default()
-        });
-        let _ = ex.query("SELECT id FROM t ORDER BY byD(t.img)");
+        let mut session = Session::new(&catalog, &mut market);
+        let _ = session
+            .query("SELECT id FROM t ORDER BY byD(t.img)")
+            .sort(SortMode::Compare(CompareSort {
+                group_size: 12,
+                limit_secs: 2.0 * 3600.0,
+                ..Default::default()
+            }))
+            .run();
     }
-    let mut ex = Executor::new(&catalog, &mut market);
-    let out = ex.query("SELECT id FROM t WHERE p(t.img)").unwrap();
+    let mut session = Session::new(&catalog, &mut market);
+    let out = session.run("SELECT id FROM t WHERE p(t.img)").unwrap();
     assert!(out.len() >= 11, "filter after stall found {}", out.len());
 }
 
@@ -149,8 +154,7 @@ fn tiny_pool_still_completes_with_matching_assignments() {
     cfg.workers.num_workers = 6; // barely enough distinct workers
     let mut market = Marketplace::new(&cfg, gt);
     let op = FilterOp::default();
-    let mut cache = qurk::hit::TaskCache::new();
-    let out = op.run(&mut market, &mut cache, "p", &items).unwrap();
+    let out = op.run(&mut market, "p", &items).unwrap();
     assert_eq!(out.len(), 6);
     assert!(out.iter().filter(|&&b| b).count() >= 5);
 }
@@ -163,9 +167,6 @@ fn unregistered_ground_truth_degrades_to_noise_not_panic() {
     let items = gt.new_items(8);
     let mut market = Marketplace::new(&CrowdConfig::default(), gt);
     let op = FilterOp::default();
-    let mut cache = qurk::hit::TaskCache::new();
-    let out = op
-        .run(&mut market, &mut cache, "never_registered", &items)
-        .unwrap();
+    let out = op.run(&mut market, "never_registered", &items).unwrap();
     assert_eq!(out.len(), 8);
 }
