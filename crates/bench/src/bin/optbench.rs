@@ -1,0 +1,37 @@
+//! `optbench` — the optimizer-vs-as-written bench smoke job.
+//!
+//! Runs the cost-based optimizer against the as-written plans on the
+//! celebrity-join, squares-sort and movie-filters workloads, prints
+//! the comparison table, and writes `BENCH_optimizer.json` (HITs, $,
+//! latency per strategy, plus the cost model's estimates vs replayed
+//! actuals) for the CI artifact.
+//!
+//! ```text
+//! cargo run --release -p qurk-bench --bin optbench [-- <output.json>]
+//! ```
+
+use qurk_bench::opt_exps;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_optimizer.json".to_owned());
+    let t0 = std::time::Instant::now();
+    let results = opt_exps::compare_workloads();
+    opt_exps::comparison_table(&results).print();
+    for r in &results {
+        for d in &r.decisions {
+            println!("[{}] {}", r.workload, d);
+        }
+    }
+    match opt_exps::write_json(&results, &path) {
+        Ok(()) => eprintln!(
+            "[optbench] wrote {path} in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        ),
+        Err(e) => {
+            eprintln!("[optbench] failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -22,9 +22,10 @@
 //!   --fig7-animals        hybrid on animals Q2
 //!   --table5              end-to-end query
 //!   --costs               cost narrative arithmetic
+//!   --optimizer           cost-based optimizer vs as-written plans
 //!   --ablations           DESIGN.md Sec.5 design-choice ablations
 
-use qurk_bench::{ablations, end_to_end, feature_exps, join_exps, sort_exps};
+use qurk_bench::{ablations, end_to_end, feature_exps, join_exps, opt_exps, sort_exps};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,6 +89,9 @@ fn main() {
     }
     if has("--costs") {
         end_to_end::costs().print();
+    }
+    if has("--optimizer") {
+        opt_exps::comparison_table(&opt_exps::compare_workloads()).print();
     }
     if has("--ablations") {
         ablations::spam_sweep().print();

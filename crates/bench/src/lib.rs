@@ -15,6 +15,7 @@
 //! | [`feature_exps`] | Table 2, Table 3, Table 4 |
 //! | [`sort_exps`] | §4.2.2 microbenchmarks, Figure 6, Figure 7, §4.2.4 |
 //! | [`end_to_end`] | Table 5, §3.3.2/§3.4 cost arithmetic |
+//! | [`opt_exps`] | cost-based optimizer vs as-written plans (ISSUE 2) |
 //! | [`ablations`] | DESIGN.md §5 design-choice ablations |
 //! | [`world`] | shared dataset/marketplace builders |
 //! | [`report`] | table/series formatting |
@@ -23,6 +24,7 @@ pub mod ablations;
 pub mod end_to_end;
 pub mod feature_exps;
 pub mod join_exps;
+pub mod opt_exps;
 pub mod report;
 pub mod sort_exps;
 pub mod world;

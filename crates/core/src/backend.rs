@@ -101,6 +101,13 @@ pub trait CrowdBackend {
     /// Total assignments paid for since construction.
     fn assignments_completed(&self) -> u64;
 
+    /// Assignments requested per HIT when [`Self::post_group`] is
+    /// used without an override (the paper's 5 unless the backend
+    /// says otherwise). Used for accounting, not enforcement.
+    fn default_assignments(&self) -> u32 {
+        5
+    }
+
     /// Post with an optional assignment override (`None` = default).
     fn post(&mut self, specs: Vec<HitSpec>, assignments: Option<u32>) -> HitGroupId {
         match assignments {
@@ -113,6 +120,10 @@ pub trait CrowdBackend {
 impl CrowdBackend for Marketplace {
     fn post_group(&mut self, specs: Vec<HitSpec>) -> HitGroupId {
         Marketplace::post_group(self, specs)
+    }
+
+    fn default_assignments(&self) -> u32 {
+        Marketplace::default_assignments(self)
     }
 
     fn post_group_with_assignments(&mut self, specs: Vec<HitSpec>, assignments: u32) -> HitGroupId {
@@ -167,6 +178,10 @@ impl CrowdBackend for Marketplace {
 impl<B: CrowdBackend + ?Sized> CrowdBackend for &mut B {
     fn post_group(&mut self, specs: Vec<HitSpec>) -> HitGroupId {
         (**self).post_group(specs)
+    }
+
+    fn default_assignments(&self) -> u32 {
+        (**self).default_assignments()
     }
 
     fn post_group_with_assignments(&mut self, specs: Vec<HitSpec>, assignments: u32) -> HitGroupId {
@@ -487,6 +502,10 @@ impl<B: CrowdBackend> CrowdBackend for CachingBackend<B> {
         self.post_impl(specs, None)
     }
 
+    fn default_assignments(&self) -> u32 {
+        self.inner.default_assignments()
+    }
+
     fn post_group_with_assignments(&mut self, specs: Vec<HitSpec>, assignments: u32) -> HitGroupId {
         self.post_impl(specs, Some(assignments))
     }
@@ -581,6 +600,18 @@ impl<B: CrowdBackend> CrowdBackend for CachingBackend<B> {
 
 // ------------------------------------------------------------ metering
 
+/// One HIT group's observed round: size, effort, and completion time.
+/// The raw material of the optimizer's latency model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundObservation {
+    /// HITs in the group.
+    pub hits: usize,
+    /// Total worker effort: Σ spec work-units × assignments per HIT.
+    pub work_units: f64,
+    /// Seconds from posting to the last completed assignment.
+    pub secs: f64,
+}
+
 /// Resource usage over one metering epoch (typically one query).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BackendUsage {
@@ -609,6 +640,11 @@ pub struct MeteringBackend<B> {
     inner: B,
     epoch_start: Option<MeterSnapshot>,
     history: Vec<BackendUsage>,
+    /// Groups posted during the open epoch (with their total
+    /// assignment work-units), for per-round latency observation.
+    epoch_groups: Vec<(HitGroupId, f64)>,
+    /// Observed rounds of the last closed epoch.
+    last_epoch_groups: Vec<RoundObservation>,
 }
 
 impl<B: CrowdBackend> MeteringBackend<B> {
@@ -617,6 +653,8 @@ impl<B: CrowdBackend> MeteringBackend<B> {
             inner,
             epoch_start: None,
             history: Vec::new(),
+            epoch_groups: Vec::new(),
+            last_epoch_groups: Vec::new(),
         }
     }
 
@@ -644,10 +682,19 @@ impl<B: CrowdBackend> MeteringBackend<B> {
     /// Open a new epoch (discarding any currently open one).
     pub fn begin_epoch(&mut self) {
         self.epoch_start = Some(self.snapshot());
+        self.epoch_groups.clear();
     }
 
     /// Usage since [`Self::begin_epoch`] (or since construction if no
     /// epoch is open).
+    ///
+    /// An epoch that posted no HITs and completed no assignments is a
+    /// **zero-cost epoch**: its elapsed time is reported as 0 even if
+    /// the backend's clock moved. The clock can tick inside such an
+    /// epoch only on behalf of *other* work (stale outstanding HITs
+    /// from an earlier timed-out query, queued arrival events), and
+    /// charging those ticks to a machine-only or fully-cached query
+    /// would double-count them across epochs.
     pub fn epoch_usage(&self) -> BackendUsage {
         let start = self.epoch_start.unwrap_or(MeterSnapshot {
             hits: 0,
@@ -656,11 +703,17 @@ impl<B: CrowdBackend> MeteringBackend<B> {
             at: 0.0,
         });
         let end = self.snapshot();
+        let hits_posted = end.hits - start.hits;
+        let assignments = end.assignments - start.assignments;
         BackendUsage {
-            hits_posted: end.hits - start.hits,
-            assignments: end.assignments - start.assignments,
+            hits_posted,
+            assignments,
             dollars: end.dollars - start.dollars,
-            elapsed_secs: end.at - start.at,
+            elapsed_secs: if hits_posted == 0 && assignments == 0 {
+                0.0
+            } else {
+                end.at - start.at
+            },
         }
     }
 
@@ -669,7 +722,32 @@ impl<B: CrowdBackend> MeteringBackend<B> {
         let usage = self.epoch_usage();
         self.epoch_start = None;
         self.history.push(usage);
+        // Per-round observations: the raw material of the optimizer's
+        // latency model (round time ≈ α + β · work-units).
+        self.last_epoch_groups = self
+            .epoch_groups
+            .drain(..)
+            .map(|(g, work_units)| {
+                let hits = self.inner.group_hits(g).len();
+                let secs = self
+                    .inner
+                    .group_latencies(g)
+                    .into_iter()
+                    .fold(0.0f64, f64::max);
+                RoundObservation {
+                    hits,
+                    work_units,
+                    secs,
+                }
+            })
+            .collect();
         usage
+    }
+
+    /// Observed rounds of the most recently closed epoch, in posting
+    /// order. Groups with no completed assignments report 0 seconds.
+    pub fn last_epoch_groups(&self) -> &[RoundObservation] {
+        &self.last_epoch_groups
     }
 
     /// Usage of every closed epoch, in order.
@@ -678,13 +756,27 @@ impl<B: CrowdBackend> MeteringBackend<B> {
     }
 }
 
+fn specs_work_units(specs: &[HitSpec], assignments: u32) -> f64 {
+    specs.iter().map(HitSpec::work_units).sum::<f64>() * f64::from(assignments)
+}
+
 impl<B: CrowdBackend> CrowdBackend for MeteringBackend<B> {
     fn post_group(&mut self, specs: Vec<HitSpec>) -> HitGroupId {
-        self.inner.post_group(specs)
+        let units = specs_work_units(&specs, self.inner.default_assignments());
+        let g = self.inner.post_group(specs);
+        self.epoch_groups.push((g, units));
+        g
     }
 
     fn post_group_with_assignments(&mut self, specs: Vec<HitSpec>, assignments: u32) -> HitGroupId {
-        self.inner.post_group_with_assignments(specs, assignments)
+        let units = specs_work_units(&specs, assignments);
+        let g = self.inner.post_group_with_assignments(specs, assignments);
+        self.epoch_groups.push((g, units));
+        g
+    }
+
+    fn default_assignments(&self) -> u32 {
+        self.inner.default_assignments()
     }
 
     fn run(&mut self, limit_secs: f64) -> RunOutcome {
@@ -842,6 +934,10 @@ impl<B: CrowdBackend> CrowdBackend for RecordingBackend<B> {
         self.post_impl(specs, None)
     }
 
+    fn default_assignments(&self) -> u32 {
+        self.inner.default_assignments()
+    }
+
     fn post_group_with_assignments(&mut self, specs: Vec<HitSpec>, assignments: u32) -> HitGroupId {
         self.post_impl(specs, Some(assignments))
     }
@@ -987,6 +1083,10 @@ impl ReplayBackend {
 impl CrowdBackend for ReplayBackend {
     fn post_group(&mut self, specs: Vec<HitSpec>) -> HitGroupId {
         self.post_impl(specs, None)
+    }
+
+    fn default_assignments(&self) -> u32 {
+        self.default_assignments
     }
 
     fn post_group_with_assignments(&mut self, specs: Vec<HitSpec>, assignments: u32) -> HitGroupId {
@@ -1247,6 +1347,43 @@ mod tests {
         let idle = b.end_epoch();
         assert_eq!(idle, BackendUsage::default());
         assert_eq!(b.history().len(), 2);
+    }
+
+    /// Regression: an epoch that posts no HITs must report zero
+    /// elapsed time even when the backend's clock advances on behalf
+    /// of stale work from an earlier epoch (previously the same ticks
+    /// were charged to every subsequent zero-HIT query).
+    #[test]
+    fn zero_hit_epoch_reports_zero_elapsed() {
+        // A replay backend with an empty trace: any posted spec stays
+        // outstanding forever and every `run` call advances the clock
+        // to its deadline.
+        let (m, items) = market(2);
+        let mut rec = RecordingBackend::new(m);
+        let g = rec.post_group(filter_specs(&items[..1]));
+        rec.run_to_completion();
+        let _ = rec.assignments(g);
+        let mut replay = ReplayBackend::from_trace(rec.into_trace());
+
+        // Epoch 1: post a spec the trace cannot answer; it times out.
+        let mut b = MeteringBackend::new(&mut replay);
+        b.begin_epoch();
+        let _stuck = b.post_group(filter_specs(&items[1..]));
+        assert_eq!(b.run(500.0), RunOutcome::TimedOut);
+        let first = b.end_epoch();
+        assert_eq!(first.hits_posted, 1);
+
+        // Epoch 2: no new work, but running (as any crowd operator
+        // would) advances the clock chasing epoch 1's stuck HIT.
+        b.begin_epoch();
+        assert_eq!(b.run(500.0), RunOutcome::TimedOut);
+        let idle = b.end_epoch();
+        assert_eq!(idle.hits_posted, 0);
+        assert_eq!(idle.assignments, 0);
+        assert_eq!(
+            idle.elapsed_secs, 0.0,
+            "stale clock ticks must not be charged to a zero-HIT epoch"
+        );
     }
 
     #[test]

@@ -15,12 +15,18 @@
 //!      │                                        │
 //!  TASK DSL ──catalog (task templates)──────────┤
 //!                                               ▼
+//!                  opt::physical::compile       OPTIMIZER: cost-based
+//!                    ├─ opt::stats              physical plan selection
+//!                    ├─ opt::cost               (HIT/$/latency model;
+//!                    └─ opt::explain            as-written fallback)
+//!                                               │ physical plan
+//!                                               ▼
 //!                             session::Session / QueryBuilder
 //!                             (exec::Executor = deprecated shim)
 //!                                               │
 //!                 ops::{filter, generative, join, sort}   [generic over B]
-//!                                               │
-//!                 hit::{batch, compiler}        │
+//!                                               │        └──▶ opt::stats
+//!                 hit::{batch, compiler}        │         (learned σ/κ/latency)
 //!                                               ▼
 //!                  backend::MeteringBackend     per-query accounting
 //!                    └─ backend::CachingBackend Task Cache (Figure 1)
@@ -38,6 +44,7 @@
 //! | §3.2 POSSIBLY feature filtering + κ/selectivity/leave-one-out | [`ops::join::feature_filter`] |
 //! | §4.1 Compare / Rate / Hybrid sorts | [`ops::sort`] |
 //! | §2.1 MajorityVote / QualityAdjust | re-exported from `qurk-combine` |
+//! | §2.5 "lacks selectivity estimation" (closed) | [`opt`] |
 //! | §6 adaptive assignment & batch sizing (future work) | [`adaptive`] |
 //!
 //! ## Quickstart
@@ -107,6 +114,7 @@ pub mod exec;
 pub mod hit;
 pub mod lang;
 pub mod ops;
+pub mod opt;
 pub mod plan;
 pub mod relation;
 pub mod schema;
@@ -122,6 +130,7 @@ pub mod prelude {
     pub use crate::error::QurkError;
     #[allow(deprecated)]
     pub use crate::exec::Executor;
+    pub use crate::opt::{CostEstimate, OptimizeMode, StatisticsStore};
     pub use crate::relation::Relation;
     pub use crate::schema::{Schema, ValueType};
     pub use crate::session::{ExecConfig, QueryReport, Session, SessionBuilder, SortMode};
@@ -136,6 +145,7 @@ pub use catalog::Catalog;
 pub use error::QurkError;
 #[allow(deprecated)]
 pub use exec::Executor;
+pub use opt::{CostEstimate, CostModel, OptimizeMode, PlanReport, StatisticsStore};
 pub use relation::Relation;
 pub use schema::{Schema, ValueType};
 pub use session::{ExecConfig, QueryBuilder, QueryReport, Session, SessionBuilder, SortMode};

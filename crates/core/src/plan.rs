@@ -65,13 +65,21 @@ pub enum LogicalPlan {
     },
 }
 
-impl LogicalPlan {
-    /// Pretty-print the plan tree (the §6 "iterative debugging"
-    /// EXPLAIN-style view).
-    pub fn explain(&self) -> String {
+impl std::fmt::Display for LogicalPlan {
+    /// Indented plan-tree rendering (the §6 "iterative debugging"
+    /// EXPLAIN-style view); also reused verbatim in
+    /// [`QueryReport::explain_full`](crate::session::QueryReport::explain_full).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut out = String::new();
         self.explain_into(&mut out, 0);
-        out
+        f.write_str(&out)
+    }
+}
+
+impl LogicalPlan {
+    /// Pretty-print the plan tree (equivalent to `to_string()`).
+    pub fn explain(&self) -> String {
+        self.to_string()
     }
 
     fn explain_into(&self, out: &mut String, depth: usize) {
@@ -332,7 +340,8 @@ mod tests {
             ("img", ValueType::Item),
         ]);
         c.register_table("celeb", Relation::new(schema.clone()));
-        c.register_table("photos", Relation::new(schema));
+        c.register_table("photos", Relation::new(schema.clone()));
+        c.register_table("scenes", Relation::new(schema));
         c.define_tasks(
             r#"TASK isFemale(field) TYPE Filter:
                 Prompt: "%s?", tuple[field]
@@ -471,5 +480,28 @@ mod tests {
                 .unwrap()
         };
         assert!(depth("Scan") > depth("CrowdJoin"));
+    }
+
+    /// Golden rendering of a 2-join + OR-filter query: `Display` is
+    /// the EXPLAIN surface, so its exact shape is pinned.
+    #[test]
+    fn display_golden_two_joins_with_or_filter() {
+        let p = plan(
+            "SELECT c.name FROM celeb c \
+             JOIN photos p ON samePerson(c.img, p.img) \
+             JOIN scenes s ON samePerson(c.img, s.img) \
+             WHERE isFemale(c.img) OR c.id < 3",
+        );
+        let expected = "\
+Project [1 columns]
+  CrowdFilterOr [2 groups]
+    CrowdJoin ON samePerson [0 POSSIBLY]
+      CrowdJoin ON samePerson [0 POSSIBLY]
+        Scan celeb AS c
+        Scan photos AS p
+      Scan scenes AS s
+";
+        assert_eq!(p.to_string(), expected);
+        assert_eq!(p.explain(), p.to_string());
     }
 }

@@ -2,18 +2,23 @@
 //!
 //! A [`Session`] binds a [`Catalog`] to any [`CrowdBackend`] and runs
 //! queries against it. Internally every session stacks two backend
-//! decorators over the one you supply:
+//! decorators over the one you supply, plus a cross-query
+//! [`StatisticsStore`] feeding the cost-based optimizer:
 //!
 //! ```text
-//!   Session
-//!     └─ MeteringBackend      per-query HIT/assignment/$ accounting
+//!   Session ── StatisticsStore (selectivities, κ/σ, latency)
+//!     └─ MeteringBackend      per-query HIT/assignment/$ epochs
 //!          └─ CachingBackend  Figure 1's Task Cache, at the HIT level
 //!               └─ B          your backend (Marketplace, Replay, …)
 //! ```
 //!
-//! Queries are configured fluently and per query — overrides never
-//! touch the session's defaults, so concurrent callers (or sequential
-//! queries) cannot leak configuration into each other:
+//! Each query is planned logically ([`crate::plan`]), lowered to a
+//! physical plan by the optimizer ([`crate::opt::physical`]) — cost
+//! based by default, degrading to the as-written plan while no
+//! statistics exist — and executed. Queries are configured fluently
+//! and per query; overrides never touch the session's defaults, and
+//! explicitly-set operators are *pinned* (the optimizer will not
+//! override them):
 //!
 //! ```no_run
 //! # use qurk::prelude::*;
@@ -28,6 +33,7 @@
 //!     .budget_dollars(5.0)
 //!     .report()?;
 //! println!("{} rows for ${:.2}", report.relation.len(), report.cost_dollars);
+//! println!("{}", report.explain_full()); // plan + estimated vs actual
 //! # Ok(())
 //! # }
 //! ```
@@ -47,7 +53,10 @@ use crate::ops::filter::FilterOp;
 use crate::ops::generative::GenerativeOp;
 use crate::ops::join::feature_filter::{FeatureFilter, FeatureFilterConfig, FeatureSpec};
 use crate::ops::join::JoinOp;
-use crate::ops::sort::{CompareSort, HybridSort, RateSort};
+use crate::ops::sort::{CompareSort, HybridSort, PairTally, RateSort, SortOutcome};
+use crate::opt::explain::PlanReport;
+use crate::opt::physical::{compile, OptimizeMode, PhysNode, PhysicalPlan, PinSet};
+use crate::opt::stats::StatisticsStore;
 use crate::plan::{plan_query, LogicalPlan};
 use crate::relation::Relation;
 use crate::schema::ValueType;
@@ -86,10 +95,17 @@ pub struct ExecConfig {
     /// second) but cuts the total HIT count whenever the first filter
     /// passes anything.
     pub combine_conjunct_filters: bool,
+    /// How the optimizer lowers logical plans. The cost-based default
+    /// reproduces the as-written plan exactly until the session has
+    /// learned statistics.
+    pub optimize: OptimizeMode,
+    /// Which operator choices were set explicitly (fluent setters set
+    /// these); the optimizer never overrides a pinned choice.
+    pub pins: PinSet,
 }
 
 /// Per-query execution report, with resource numbers produced by the
-/// session's [`MeteringBackend`].
+/// session's [`MeteringBackend`] and the optimizer's plan report.
 #[derive(Debug, Clone)]
 pub struct QueryReport {
     pub relation: Relation,
@@ -102,8 +118,30 @@ pub struct QueryReport {
     pub assignments: u64,
     /// Virtual time this query took (seconds).
     pub elapsed_secs: f64,
-    /// EXPLAIN text of the executed plan.
+    /// EXPLAIN text of the logical plan.
     pub explain: String,
+    /// The optimizer's chosen physical plan, decision log, and cost
+    /// estimate.
+    pub plan: PlanReport,
+}
+
+impl QueryReport {
+    /// This query's measured resource usage in [`BackendUsage`] form.
+    pub fn actual_usage(&self) -> BackendUsage {
+        BackendUsage {
+            hits_posted: self.hits_posted,
+            assignments: self.assignments,
+            dollars: self.cost_dollars,
+            elapsed_secs: self.elapsed_secs,
+        }
+    }
+
+    /// Full EXPLAIN block: logical plan, chosen physical plan,
+    /// optimizer decisions, and estimated vs actual HITs/$/latency.
+    pub fn explain_full(&self) -> String {
+        self.plan
+            .render_with_logical(&self.explain, Some(&self.actual_usage()))
+    }
 }
 
 /// A catalog bound to a backend: the entry point for running queries.
@@ -115,6 +153,7 @@ pub struct Session<'c, B: CrowdBackend> {
     catalog: &'c Catalog,
     backend: MeteringBackend<CachingBackend<B>>,
     config: ExecConfig,
+    stats: StatisticsStore,
 }
 
 /// Builder for [`Session`]: `Session::builder().catalog(..).backend(..).build()`.
@@ -122,6 +161,7 @@ pub struct SessionBuilder<'c, B: CrowdBackend> {
     catalog: Option<&'c Catalog>,
     backend: Option<B>,
     config: ExecConfig,
+    stats: StatisticsStore,
 }
 
 impl<'c, B: CrowdBackend> Default for SessionBuilder<'c, B> {
@@ -130,6 +170,7 @@ impl<'c, B: CrowdBackend> Default for SessionBuilder<'c, B> {
             catalog: None,
             backend: None,
             config: ExecConfig::default(),
+            stats: StatisticsStore::new(),
         }
     }
 }
@@ -151,15 +192,31 @@ impl<'c, B: CrowdBackend> SessionBuilder<'c, B> {
         self
     }
 
-    /// Session-wide default sort mode.
+    /// Session-wide default sort mode (pinned: the optimizer keeps it).
     pub fn sort(mut self, mode: SortMode) -> Self {
         self.config.sort = mode;
+        self.config.pins.sort = true;
         self
     }
 
-    /// Session-wide default for §2.6 filter combining.
+    /// Session-wide default for §2.6 filter combining (pinned).
     pub fn combine_filters(mut self, on: bool) -> Self {
         self.config.combine_conjunct_filters = on;
+        self.config.pins.combine = true;
+        self
+    }
+
+    /// How queries are optimized ([`OptimizeMode::CostBased`] by
+    /// default).
+    pub fn optimize(mut self, mode: OptimizeMode) -> Self {
+        self.config.optimize = mode;
+        self
+    }
+
+    /// Seed the session with statistics learned elsewhere (e.g. an
+    /// earlier session's [`Session::statistics`] export).
+    pub fn statistics(mut self, stats: StatisticsStore) -> Self {
+        self.stats = stats;
         self
     }
 
@@ -172,6 +229,7 @@ impl<'c, B: CrowdBackend> SessionBuilder<'c, B> {
             catalog,
             backend: MeteringBackend::new(CachingBackend::new(backend)),
             config: self.config,
+            stats: self.stats,
         }
     }
 }
@@ -192,9 +250,23 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
     }
 
     /// Mutate the session-wide defaults (prefer per-query overrides on
-    /// [`QueryBuilder`]).
+    /// [`QueryBuilder`]; note that direct mutation does not pin the
+    /// touched operators against the optimizer — set
+    /// [`ExecConfig::pins`] yourself if you need that).
     pub fn config_mut(&mut self) -> &mut ExecConfig {
         &mut self.config
+    }
+
+    /// The statistics learned from this session's completed queries.
+    pub fn statistics(&self) -> &StatisticsStore {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics store (e.g. to
+    /// [`StatisticsStore::merge`] another session's evidence or
+    /// [`StatisticsStore::clear`] it).
+    pub fn statistics_mut(&mut self) -> &mut StatisticsStore {
+        &mut self.stats
     }
 
     /// The session's backend stack (metering over caching over yours).
@@ -242,25 +314,44 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
         budget_dollars: Option<f64>,
     ) -> Result<QueryReport> {
         let parsed = parse_query(sql)?;
-        let plan = plan_query(&parsed, self.catalog)?;
+        let logical = plan_query(&parsed, self.catalog)?;
+        let compiled = compile(&logical, self.catalog, config, &self.stats)?;
+        let plan = PlanReport::from(&compiled);
         self.backend.begin_epoch();
-        let outcome = self.execute_plan(&plan, config, budget_dollars);
+        let outcome = self.run_physical(&compiled.root, budget_dollars);
         let usage = self.backend.end_epoch();
+        self.stats
+            .observe_epoch(usage.hits_posted as u64, usage.elapsed_secs);
+        for round in self.backend.last_epoch_groups() {
+            self.stats.observe_round(round.work_units, round.secs);
+        }
         Ok(QueryReport {
             relation: outcome?,
             hits_posted: usage.hits_posted,
             cost_dollars: usage.dollars,
             assignments: usage.assignments,
             elapsed_secs: usage.elapsed_secs,
-            explain: plan.explain(),
+            explain: logical.to_string(),
+            plan,
         })
     }
 
-    /// Execute an already-built logical plan.
+    /// Execute an already-built logical plan (lowered through the
+    /// optimizer under `config.optimize`).
     pub(crate) fn execute_plan(
         &mut self,
         plan: &LogicalPlan,
         config: &ExecConfig,
+        budget_dollars: Option<f64>,
+    ) -> Result<Relation> {
+        let compiled = compile(plan, self.catalog, config, &self.stats)?;
+        self.run_physical(&compiled.root, budget_dollars)
+    }
+
+    /// Execute a compiled physical plan.
+    fn run_physical(
+        &mut self,
+        plan: &PhysicalPlan,
         budget_dollars: Option<f64>,
     ) -> Result<Relation> {
         let budget = budget_dollars.map(|limit| BudgetGuard {
@@ -270,7 +361,7 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
         let mut runner = PlanRunner {
             catalog: self.catalog,
             backend: &mut self.backend,
-            config,
+            stats: &mut self.stats,
             budget,
         };
         runner.run_plan(plan)
@@ -278,7 +369,9 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
 }
 
 /// A fluent, per-query configuration handle. Overrides apply to this
-/// query only; the session's defaults are untouched.
+/// query only; the session's defaults are untouched. Explicit operator
+/// overrides are pinned — the cost-based optimizer will not replace
+/// them.
 pub struct QueryBuilder<'s, 'c, B: CrowdBackend> {
     session: &'s mut Session<'c, B>,
     sql: String,
@@ -293,33 +386,45 @@ impl<B: CrowdBackend> QueryBuilder<'_, '_, B> {
         self
     }
 
-    /// Sort implementation for ORDER BY (§4.1).
+    /// Sort implementation for ORDER BY (§4.1). Pinned.
     pub fn sort(mut self, mode: SortMode) -> Self {
         self.config.sort = mode;
+        self.config.pins.sort = true;
         self
     }
 
-    /// Crowd filter operator settings.
+    /// Crowd filter operator settings. Pinned.
     pub fn filter(mut self, op: FilterOp) -> Self {
         self.config.filter = op;
+        self.config.pins.filter = true;
         self
     }
 
-    /// Crowd join operator settings (strategy, combiner, …).
+    /// Crowd join operator settings (strategy, combiner, …). Pinned.
     pub fn join(mut self, op: JoinOp) -> Self {
         self.config.join = op;
+        self.config.pins.join = true;
         self
     }
 
-    /// POSSIBLY-clause feature filtering settings (§3.2).
+    /// POSSIBLY-clause feature filtering settings (§3.2). Pinned.
     pub fn feature_filter(mut self, config: FeatureFilterConfig) -> Self {
         self.config.feature_filter = config;
+        self.config.pins.feature_filter = true;
         self
     }
 
-    /// §2.6 combining for conjunctive WHERE filters.
+    /// §2.6 combining for conjunctive WHERE filters. Pinned.
     pub fn combine_filters(mut self, on: bool) -> Self {
         self.config.combine_conjunct_filters = on;
+        self.config.pins.combine = true;
+        self
+    }
+
+    /// How this query is optimized: [`OptimizeMode::CostBased`]
+    /// (default) or [`OptimizeMode::AsWritten`].
+    pub fn optimize(mut self, mode: OptimizeMode) -> Self {
+        self.config.optimize = mode;
         self
     }
 
@@ -366,12 +471,25 @@ impl<B: CrowdBackend> QueryBuilder<'_, '_, B> {
         session.execute(&sql, &config, budget_dollars)
     }
 
-    /// Parse and plan without posting any crowd work; returns the
-    /// EXPLAIN text.
+    /// Parse, plan and optimize without posting any crowd work;
+    /// returns the EXPLAIN text (logical plan, chosen physical plan,
+    /// and the cost model's estimate).
     pub fn explain(self) -> Result<String> {
         let parsed = parse_query(&self.sql)?;
-        let plan = plan_query(&parsed, self.session.catalog)?;
-        Ok(plan.explain())
+        let logical = plan_query(&parsed, self.session.catalog)?;
+        let compiled = compile(
+            &logical,
+            self.session.catalog,
+            &self.config,
+            &self.session.stats,
+        )?;
+        let report = PlanReport {
+            mode: compiled.mode,
+            physical: compiled.root.to_string(),
+            decisions: compiled.decisions,
+            estimate: compiled.estimate,
+        };
+        Ok(format!("logical plan:\n{}{}", logical, report.render(None)))
     }
 }
 
@@ -382,12 +500,12 @@ struct BudgetGuard {
     start_spend: f64,
 }
 
-/// Executes one logical plan against a backend with a fixed config.
-/// (This is the code that used to live inside `exec::Executor`.)
+/// Executes one physical plan against a backend, feeding the session's
+/// statistics store with every operator outcome.
 struct PlanRunner<'r, B: CrowdBackend> {
     catalog: &'r Catalog,
     backend: &'r mut B,
-    config: &'r ExecConfig,
+    stats: &'r mut StatisticsStore,
     budget: Option<BudgetGuard>,
 }
 
@@ -406,65 +524,59 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         Ok(())
     }
 
-    fn run_plan(&mut self, plan: &LogicalPlan) -> Result<Relation> {
-        match plan {
-            LogicalPlan::Scan { table, alias } => {
+    fn run_plan(&mut self, plan: &PhysicalPlan) -> Result<Relation> {
+        match &plan.node {
+            PhysNode::Scan { table, alias } => {
                 Ok(self.catalog.table(table)?.clone().qualified(alias))
             }
-            LogicalPlan::MachineFilter { input, predicates } => {
+            PhysNode::MachineFilter { input, predicates } => {
                 let rel = self.run_plan(input)?;
                 self.machine_filter(rel, predicates)
             }
-            LogicalPlan::CrowdFilter { input, conjuncts } => {
+            PhysNode::CrowdFilter {
+                input,
+                conjuncts,
+                combined,
+                op,
+            } => {
                 let mut rel = self.run_plan(input)?;
-                if self.config.combine_conjunct_filters && conjuncts.len() > 1 {
-                    rel = self.crowd_filter_combined(rel, conjuncts)?;
+                if *combined && conjuncts.len() > 1 {
+                    rel = self.crowd_filter_combined(rel, conjuncts, op)?;
                 } else {
                     // §2.5: conjuncts issue serially by default.
                     for call in conjuncts {
-                        rel = self.crowd_filter(rel, call)?;
+                        rel = self.crowd_filter(rel, call, op)?;
                     }
                 }
                 Ok(rel)
             }
-            LogicalPlan::CrowdFilterOr { input, groups } => {
+            PhysNode::CrowdFilterOr { input, groups, op } => {
                 let rel = self.run_plan(input)?;
-                self.crowd_filter_or(rel, groups)
+                self.crowd_filter_or(rel, groups, op)
             }
-            LogicalPlan::Join {
+            PhysNode::Join {
                 left,
                 right,
                 clause,
+                op,
+                feature_filter,
+                ..
             } => {
                 let l = self.run_plan(left)?;
                 let r = self.run_plan(right)?;
-                self.crowd_join(l, r, clause)
+                self.crowd_join(l, r, clause, op, feature_filter)
             }
-            LogicalPlan::OrderBy { input, keys } => {
+            PhysNode::OrderBy { input, keys, mode } => {
                 let rel = self.run_plan(input)?;
-                self.order_by(rel, keys)
+                self.order_by(rel, keys, mode)
             }
-            LogicalPlan::Limit { input, n } => {
+            PhysNode::ExtractExtreme { input, call, desc } => {
                 // §2.3: "For MAX/MIN, we use an interface that extracts
-                // the best element from a batch at a time" — LIMIT 1
-                // over a single crowd sort key runs the tournament
-                // extraction instead of a full O(N²) sort.
-                if *n == 1 {
-                    if let LogicalPlan::OrderBy {
-                        input: sort_input,
-                        keys,
-                    } = input.as_ref()
-                    {
-                        if let [OrderExpr {
-                            expr: Expr::Udf(call),
-                            desc,
-                        }] = keys.as_slice()
-                        {
-                            let rel = self.run_plan(sort_input)?;
-                            return self.extract_extreme(rel, call, *desc);
-                        }
-                    }
-                }
+                // the best element from a batch at a time".
+                let rel = self.run_plan(input)?;
+                self.extract_extreme(rel, call, *desc)
+            }
+            PhysNode::Limit { input, n } => {
                 let rel = self.run_plan(input)?;
                 let mut out = Relation::new(rel.schema().clone());
                 for row in rel.rows().iter().take(*n) {
@@ -472,7 +584,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
                 }
                 Ok(out)
             }
-            LogicalPlan::Project { input, items } => {
+            PhysNode::Project { input, items } => {
                 let rel = self.run_plan(input)?;
                 self.project(rel, items)
             }
@@ -552,7 +664,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         }
     }
 
-    fn crowd_filter(&mut self, rel: Relation, call: &UdfCall) -> Result<Relation> {
+    fn crowd_filter(&mut self, rel: Relation, call: &UdfCall, op: &FilterOp) -> Result<Relation> {
         self.charge_gate()?;
         let task = self.catalog.task(&call.name)?;
         if task.ty != TaskType::Filter {
@@ -579,9 +691,12 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         }
         let op = FilterOp {
             combiner: task.combiner,
-            ..self.config.filter.clone()
+            ..op.clone()
         };
         let mask = op.run(self.backend, task.oracle_key(), &items)?;
+        let passed = mask.iter().filter(|&&b| b).count();
+        self.stats
+            .observe_filter(task.oracle_key(), items.len(), passed);
         let mut out = Relation::new(rel.schema().clone());
         for (k, &ri) in item_rows.iter().enumerate() {
             if mask[k] {
@@ -592,7 +707,12 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
     }
 
     /// §2.6 combining: all conjunct filters of a tuple in one HIT.
-    fn crowd_filter_combined(&mut self, rel: Relation, conjuncts: &[UdfCall]) -> Result<Relation> {
+    fn crowd_filter_combined(
+        &mut self,
+        rel: Relation,
+        conjuncts: &[UdfCall],
+        op: &FilterOp,
+    ) -> Result<Relation> {
         self.charge_gate()?;
         // Resolve every task and argument column up front; all
         // conjuncts must address the same Item column set per row.
@@ -628,8 +748,11 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         // Unlike the serial path, combining keeps the configured
         // combiner for every conjunct (per-task combiners cannot be
         // honored inside one shared HIT).
-        let op = self.config.filter.clone();
         let masks = op.run_combined(self.backend, &predicates, &items)?;
+        for (pi, &pred) in predicates.iter().enumerate() {
+            let passed = masks.iter().filter(|m| m[pi]).count();
+            self.stats.observe_filter(pred, items.len(), passed);
+        }
         let mut out = Relation::new(rel.schema().clone());
         for (k, &ri) in item_rows.iter().enumerate() {
             if masks[k].iter().all(|&b| b) {
@@ -639,13 +762,26 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         Ok(out)
     }
 
-    fn crowd_filter_or(&mut self, rel: Relation, groups: &[Vec<Predicate>]) -> Result<Relation> {
+    fn crowd_filter_or(
+        &mut self,
+        rel: Relation,
+        groups: &[Vec<Predicate>],
+        op: &FilterOp,
+    ) -> Result<Relation> {
         // §2.5: disjuncts are issued in parallel; each group's verdict
         // is the AND of its predicates, a row passes if any group does.
+        //
+        // Machine-evaluable members of a group run first regardless of
+        // written order — they cost nothing and shrink the set of rows
+        // the group's crowd predicates must ask about (the same
+        // push-below-crowd rule §2.5 applies to conjunctions).
         let mut keep = vec![false; rel.len()];
         for group in groups {
             let mut group_mask = vec![true; rel.len()];
-            for p in group {
+            let (machine, crowd): (Vec<&Predicate>, Vec<&Predicate>) = group
+                .iter()
+                .partition(|p| matches!(p, Predicate::Compare { .. }));
+            for p in machine.into_iter().chain(crowd) {
                 match p {
                     Predicate::Compare { left, op, right } => {
                         for (ri, row) in rel.rows().iter().enumerate() {
@@ -681,9 +817,12 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
                         }
                         let op = FilterOp {
                             combiner: task.combiner,
-                            ..self.config.filter.clone()
+                            ..op.clone()
                         };
                         let mask = op.run(self.backend, task.oracle_key(), &items)?;
+                        let passed = mask.iter().filter(|&&b| b).count();
+                        self.stats
+                            .observe_filter(task.oracle_key(), items.len(), passed);
                         for (k, &ri) in rows.iter().enumerate() {
                             group_mask[ri] = mask[k];
                         }
@@ -708,6 +847,8 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         left: Relation,
         right: Relation,
         clause: &crate::lang::ast::JoinClause,
+        op: &JoinOp,
+        feature_filter: &FeatureFilterConfig,
     ) -> Result<Relation> {
         self.charge_gate()?;
         let join_task = self.catalog.task(&clause.on.name)?;
@@ -754,13 +895,27 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
                         if let Ok(col) = self.resolve_item_col(&left_rel, arg) {
                             (
                                 true,
-                                self.prefilter_literal(&left_rel, col, call, *op, value)?,
+                                self.prefilter_literal(
+                                    &left_rel,
+                                    col,
+                                    call,
+                                    *op,
+                                    value,
+                                    feature_filter,
+                                )?,
                             )
                         } else {
                             let col = self.resolve_item_col(&right_rel, arg)?;
                             (
                                 false,
-                                self.prefilter_literal(&right_rel, col, call, *op, value)?,
+                                self.prefilter_literal(
+                                    &right_rel,
+                                    col,
+                                    call,
+                                    *op,
+                                    value,
+                                    feature_filter,
+                                )?,
                             )
                         }
                     };
@@ -807,16 +962,31 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         let candidates = if eq_specs.is_empty() {
             None
         } else {
-            let ff = FeatureFilter::new(self.config.feature_filter.clone());
+            let ff = FeatureFilter::new(feature_filter.clone());
             let outcome = ff.run(self.backend, &eq_specs, &left_items, &right_items)?;
+            // Remember each sampled feature's κ/σ so the next query's
+            // planner can prune known-bad features without re-sampling.
+            for (fi, spec) in eq_specs.iter().enumerate() {
+                self.stats.observe_feature(
+                    &spec.name,
+                    outcome.kappas[fi],
+                    outcome.selectivities[fi],
+                );
+            }
             Some(outcome.candidates)
         };
 
         let op = JoinOp {
             combiner: join_task.combiner,
-            ..self.config.join.clone()
+            ..op.clone()
         };
+        let pairs_asked = candidates
+            .as_ref()
+            .map(|c| c.len())
+            .unwrap_or(left_items.len() * right_items.len());
         let outcome = op.run(self.backend, &left_items, &right_items, candidates.as_ref())?;
+        self.stats
+            .observe_join(&clause.on.name, pairs_asked, outcome.matches.len());
 
         let schema = left_rel.schema().join(right_rel.schema());
         let mut out = Relation::new(schema);
@@ -826,6 +996,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         Ok(out)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn prefilter_literal(
         &mut self,
         rel: &Relation,
@@ -833,6 +1004,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         call: &UdfCall,
         op: CmpOp,
         value: &Literal,
+        feature_filter: &FeatureFilterConfig,
     ) -> Result<Relation> {
         self.charge_gate()?;
         let task = self.catalog.task(&call.name)?;
@@ -841,10 +1013,10 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         })?;
         let items: Vec<ItemId> = rel.rows().iter().filter_map(|r| r[col].as_item()).collect();
         let gen = GenerativeOp {
-            batch_size: self.config.feature_filter.batch_size,
+            batch_size: feature_filter.batch_size,
             combined_interface: false,
-            assignments: self.config.feature_filter.assignments,
-            limit_secs: self.config.feature_filter.limit_secs,
+            assignments: feature_filter.assignments,
+            limit_secs: feature_filter.limit_secs,
         };
         let outcome = gen.run(self.backend, task, &items)?;
         let want = match value {
@@ -921,7 +1093,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         Ok(out)
     }
 
-    fn order_by(&mut self, rel: Relation, keys: &[OrderExpr]) -> Result<Relation> {
+    fn order_by(&mut self, rel: Relation, keys: &[OrderExpr], mode: &SortMode) -> Result<Relation> {
         // Split keys: machine columns first, then at most one Rank UDF.
         let mut machine: Vec<(usize, bool)> = Vec::new();
         let mut crowd: Option<(&UdfCall, bool)> = None;
@@ -1009,11 +1181,20 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
                     continue;
                 }
                 self.charge_gate()?;
-                let sorted_items = match &self.config.sort {
-                    SortMode::Compare(op) => op.run(self.backend, &items, &dimension)?.order,
-                    SortMode::Rate(op) => op.run(self.backend, &items, &dimension)?.order,
+                let sorted_items = match mode {
+                    SortMode::Compare(op) => {
+                        let out = op.run(self.backend, &items, &dimension)?;
+                        self.observe_sort_outcome(&dimension, &out, None);
+                        out.order
+                    }
+                    SortMode::Rate(op) => {
+                        let out = op.run(self.backend, &items, &dimension)?;
+                        self.observe_sort_outcome(&dimension, &out, Some(op.scale));
+                        out.order
+                    }
                     SortMode::Hybrid(op, iterations) => {
                         let out = op.run(self.backend, &items, &dimension, *iterations)?;
+                        self.observe_sort_outcome(&dimension, &out.initial, Some(op.rate.scale));
                         out.trajectory.last().cloned().unwrap_or(out.initial.order)
                     }
                 };
@@ -1044,6 +1225,29 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
             out.push_unchecked(rel.rows()[ri].clone());
         }
         Ok(out)
+    }
+
+    /// Learn the dimension's ambiguity from a completed sort: pairwise
+    /// vote disagreement for comparisons (Figure 6's κ signal), or the
+    /// normalized rating spread for ratings. `scale` is `Some` for
+    /// rating-based outcomes.
+    fn observe_sort_outcome(&mut self, dimension: &str, out: &SortOutcome, scale: Option<u8>) {
+        let ambiguity = match scale {
+            None => mean_pair_disagreement(&out.tally, out.scores.len()),
+            Some(s) => {
+                let stds: Vec<f64> = out.stds.iter().copied().filter(|v| v.is_finite()).collect();
+                if stds.is_empty() || s < 2 {
+                    None
+                } else {
+                    let mean_std = stds.iter().sum::<f64>() / stds.len() as f64;
+                    // A std of half the scale range ≈ coin-flip rating.
+                    Some((mean_std / ((s - 1) as f64 / 2.0)).clamp(0.0, 1.0))
+                }
+            }
+        };
+        if let Some(a) = ambiguity {
+            self.stats.observe_sort(dimension, a);
+        }
     }
 
     fn project(&mut self, rel: Relation, items: &[SelectItem]) -> Result<Relation> {
@@ -1140,6 +1344,24 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         }
         Ok(out)
     }
+}
+
+/// Mean pairwise disagreement over all voted pairs of a comparison
+/// tally: 0 = every contest unanimous, 1 = every contest tied.
+fn mean_pair_disagreement(tally: &PairTally, n: usize) -> Option<f64> {
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (wi, wj) = tally.votes(i, j);
+            let votes = wi + wj;
+            if votes > 0 {
+                total += 2.0 * wi.min(wj) as f64 / votes as f64;
+                pairs += 1;
+            }
+        }
+    }
+    (pairs > 0).then(|| total / pairs as f64)
 }
 
 #[cfg(test)]
@@ -1269,6 +1491,105 @@ mod tests {
             .explain()
             .unwrap();
         assert!(plan.contains("OrderBy"), "{plan}");
+        assert!(plan.contains("physical plan"), "{plan}");
+        assert!(plan.contains("estimated:"), "{plan}");
         assert_eq!(session.backend().hits_posted(), 0);
+    }
+
+    #[test]
+    fn session_learns_statistics_from_queries() {
+        let (catalog, market) = setup();
+        let mut session = Session::new(&catalog, market);
+        assert!(session.statistics().is_empty());
+        session
+            .run("SELECT id FROM people WHERE isTall(people.img)")
+            .unwrap();
+        let sel = session.statistics().filter_selectivity("isTall").unwrap();
+        assert!((0.3..=0.7).contains(&sel), "sel={sel}");
+        assert!(session.statistics().secs_per_hit().unwrap() > 0.0);
+
+        session
+            .run("SELECT id FROM people ORDER BY byHeight(people.img)")
+            .unwrap();
+        let amb = session.statistics().sort_ambiguity("height").unwrap();
+        assert!(amb < 0.3, "crisp dimension should read unambiguous: {amb}");
+    }
+
+    #[test]
+    fn report_carries_estimates_and_renders_explain() {
+        let (catalog, market) = setup();
+        let mut session = Session::new(&catalog, market);
+        let report = session
+            .query("SELECT id FROM people WHERE isTall(people.img)")
+            .report()
+            .unwrap();
+        // Cardinality known from the catalog: 10 rows / batch 5.
+        assert_eq!(report.plan.estimate.hits, 2.0);
+        assert_eq!(report.plan.mode, OptimizeMode::CostBased);
+        assert!(report.plan.decisions.is_empty(), "no stats, no deviations");
+        let full = report.explain_full();
+        assert!(full.contains("logical plan:"), "{full}");
+        assert!(full.contains("estimated vs actual"), "{full}");
+    }
+
+    #[test]
+    fn seeded_statistics_flow_through_builder() {
+        let (catalog, market) = setup();
+        let mut seed = StatisticsStore::new();
+        seed.observe_filter("isTall", 100, 50);
+        let session = Session::builder()
+            .catalog(&catalog)
+            .backend(market)
+            .statistics(seed)
+            .build();
+        assert_eq!(session.statistics().filter_selectivity("isTall"), Some(0.5));
+    }
+
+    /// Regression: a machine-evaluable member of an OR group must run
+    /// before the group's crowd predicates regardless of written
+    /// order — it costs nothing and shrinks the crowd's workload.
+    /// Previously the group ran strictly as written, asking the crowd
+    /// about every row first.
+    #[test]
+    fn or_group_machine_members_run_below_crowd_work() {
+        let (catalog, market) = setup();
+        let mut session = Session::new(&catalog, market);
+        // Group 1: crowd predicate written BEFORE the machine one.
+        // Machine-first narrows 10 rows to the 2 with id >= 8, so the
+        // crowd sees one batch-5 HIT instead of two.
+        let report = session
+            .query(
+                "SELECT id FROM people \
+                 WHERE isTall(people.img) AND people.id >= 8 OR people.id < 0",
+            )
+            .report()
+            .unwrap();
+        assert_eq!(
+            report.hits_posted, 1,
+            "machine disjunct member must prefilter the crowd's input"
+        );
+        for row in report.relation.rows() {
+            assert!(row[0].as_int().unwrap() >= 8);
+        }
+    }
+
+    #[test]
+    fn machine_only_query_reports_zero_cost_epoch() {
+        let (catalog, market) = setup();
+        let mut session = Session::new(&catalog, market);
+        // A crowd query first, so the virtual clock has advanced.
+        session
+            .run("SELECT id FROM people WHERE isTall(people.img)")
+            .unwrap();
+        let report = session
+            .query("SELECT id FROM people WHERE people.id < 3")
+            .report()
+            .unwrap();
+        assert_eq!(report.hits_posted, 0);
+        assert_eq!(report.cost_dollars, 0.0);
+        assert_eq!(
+            report.elapsed_secs, 0.0,
+            "machine-only plans take no crowd time"
+        );
     }
 }

@@ -197,6 +197,12 @@ impl Marketplace {
         self.hits.len()
     }
 
+    /// Assignments requested per HIT when [`Self::post_group`] is used
+    /// (from [`crate::CrowdConfig::assignments_per_hit`]).
+    pub fn default_assignments(&self) -> u32 {
+        self.default_assignments
+    }
+
     /// Post a group of HITs with the default assignment count.
     pub fn post_group(&mut self, specs: Vec<HitSpec>) -> HitGroupId {
         let n = self.default_assignments;
