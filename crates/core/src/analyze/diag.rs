@@ -1,0 +1,179 @@
+//! Diagnostic types: stable codes, severities, and source spans.
+//!
+//! Every rule the analyzer implements has a stable `QAnnn` code so
+//! tooling (and tests) can match on diagnostics without parsing
+//! message text. The registry lives in `docs/diagnostics.md`.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Under [`LintPolicy::Deny`](super::LintPolicy::Deny) only
+/// `Error`-level diagnostics reject a query; `Warn` and `Info` always
+/// pass through to the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The query will fail or waste money if executed as-is.
+    Error,
+    /// The query is suspicious (dead work, cost hazard) but runnable.
+    Warn,
+    /// Advisory only.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// Stable rule codes. See `docs/diagnostics.md` for the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Join cardinality hazard: unfiltered cross product priced above
+    /// the ceiling or the query budget (§3.1 / §2.6 dollar cost).
+    QA001,
+    /// Machine-evaluable predicate contradiction or tautology.
+    QA002,
+    /// OR group with no machine-evaluable member (pure crowd
+    /// disjunction; §2.5 push-down cannot help).
+    QA003,
+    /// Compare sort requested/inferred past the §4.1 covering-design
+    /// bound (256 items).
+    QA004,
+    /// `budget_dollars` below the cost-model floor for every
+    /// admissible physical plan (would fail mid-flight instead).
+    QA005,
+    /// Pinned-operator contradiction (e.g. pinned SmartBatch grid
+    /// larger than the candidate pair count).
+    QA006,
+    /// Dead query parts: duplicate/shadowed filter conjuncts,
+    /// duplicate projections.
+    QA007,
+}
+
+impl Code {
+    /// The stable code string (`"QA001"`…).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::QA001 => "QA001",
+            Code::QA002 => "QA002",
+            Code::QA003 => "QA003",
+            Code::QA004 => "QA004",
+            Code::QA005 => "QA005",
+            Code::QA006 => "QA006",
+            Code::QA007 => "QA007",
+        }
+    }
+
+    /// Short rule name for docs and EXPLAIN output.
+    pub fn rule_name(&self) -> &'static str {
+        match self {
+            Code::QA001 => "join-cardinality-hazard",
+            Code::QA002 => "predicate-contradiction",
+            Code::QA003 => "pure-crowd-disjunction",
+            Code::QA004 => "compare-sort-bound",
+            Code::QA005 => "budget-below-floor",
+            Code::QA006 => "pinned-operator-contradiction",
+            Code::QA007 => "dead-query-parts",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A 1-based source position, taken from the parser's token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: usize,
+    pub column: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// Human-readable explanation with the rule's numbers filled in.
+    pub message: String,
+    /// Source position of the offending construct, when one exists
+    /// (budget-level diagnostics have none).
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    pub fn new(code: Code, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// True for `Error`-level findings (what `deny` rejects on).
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `QA004 [warn] at 1:33: Compare sort over ~300 items ...`
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.code, self.severity)?;
+        if let Some(s) = &self.span {
+            write!(f, " at {s}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_severity_and_span() {
+        let d =
+            Diagnostic::new(Code::QA004, Severity::Warn, "too many items").with_span(Some(Span {
+                line: 1,
+                column: 33,
+            }));
+        assert_eq!(d.to_string(), "QA004 [warn] at 1:33: too many items");
+        let no_span = Diagnostic::new(Code::QA005, Severity::Error, "budget too low");
+        assert_eq!(no_span.to_string(), "QA005 [error]: budget too low");
+        assert!(no_span.is_error());
+    }
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::QA001.as_str(), "QA001");
+        assert_eq!(Code::QA007.as_str(), "QA007");
+        assert_eq!(Code::QA002.rule_name(), "predicate-contradiction");
+    }
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warn);
+        assert!(Severity::Warn < Severity::Info);
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::analyze::Diagnostic;
+
 /// Errors surfaced by parsing, planning, or executing a Qurk query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QurkError {
@@ -10,6 +12,9 @@ pub enum QurkError {
         message: String,
         line: usize,
         column: usize,
+        /// The offending source line, rendered under the message with
+        /// a caret at `column` when present.
+        snippet: Option<String>,
     },
     /// Reference to an unknown table.
     UnknownTable(String),
@@ -35,6 +40,10 @@ pub enum QurkError {
         budget_dollars: f64,
         spent_dollars: f64,
     },
+    /// The pre-flight analyzer found Error-level diagnostics and the
+    /// lint policy is [`LintPolicy::Deny`](crate::analyze::LintPolicy):
+    /// the query was rejected before any HIT was posted.
+    Rejected { diagnostics: Vec<Diagnostic> },
     /// Anything else.
     Other(String),
 }
@@ -46,8 +55,14 @@ impl fmt::Display for QurkError {
                 message,
                 line,
                 column,
+                snippet,
             } => {
-                write!(f, "parse error at {line}:{column}: {message}")
+                write!(f, "parse error at {line}:{column}: {message}")?;
+                if let Some(src_line) = snippet {
+                    let caret_pad = " ".repeat(column.saturating_sub(1));
+                    write!(f, "\n  {src_line}\n  {caret_pad}^")?;
+                }
+                Ok(())
             }
             QurkError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             QurkError::UnknownTask(t) => write!(f, "unknown task: {t}"),
@@ -75,6 +90,18 @@ impl fmt::Display for QurkError {
                     "query budget exhausted: spent ${spent_dollars:.3} of ${budget_dollars:.3}"
                 )
             }
+            QurkError::Rejected { diagnostics } => {
+                let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+                write!(
+                    f,
+                    "query rejected by pre-flight analysis ({errors} error{}):",
+                    if errors == 1 { "" } else { "s" }
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             QurkError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -95,6 +122,7 @@ mod tests {
             message: "bad token".into(),
             line: 2,
             column: 7,
+            snippet: None,
         };
         assert_eq!(e.to_string(), "parse error at 2:7: bad token");
         assert_eq!(

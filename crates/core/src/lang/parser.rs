@@ -2,12 +2,16 @@
 
 use crate::error::{QurkError, Result};
 use crate::lang::ast::*;
-use crate::lang::token::{Lexer, Token, TokenKind};
+use crate::lang::token::{source_line, Lexer, Token, TokenKind};
 
 /// Parse a single query.
 pub fn parse_query(src: &str) -> Result<Query> {
     let tokens = Lexer::new(src).tokenize()?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src: src.to_owned(),
+    };
     let q = p.query()?;
     p.expect_eof()?;
     Ok(q)
@@ -16,7 +20,11 @@ pub fn parse_query(src: &str) -> Result<Query> {
 /// Parse zero or more TASK definitions from one document.
 pub fn parse_tasks(src: &str) -> Result<Vec<TaskDefAst>> {
     let tokens = Lexer::new(src).tokenize()?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src: src.to_owned(),
+    };
     let mut out = Vec::new();
     while !p.at_eof() {
         out.push(p.task_def()?);
@@ -27,6 +35,8 @@ pub fn parse_tasks(src: &str) -> Result<Vec<TaskDefAst>> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Original source text, for error snippets.
+    src: String,
 }
 
 impl Parser {
@@ -56,6 +66,7 @@ impl Parser {
             message: message.into(),
             line: t.line,
             column: t.column,
+            snippet: source_line(self.src.as_bytes(), t.line),
         }
     }
 

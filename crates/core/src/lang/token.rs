@@ -41,6 +41,12 @@ pub struct Token {
     pub column: usize,
 }
 
+/// The 1-based `line`-th line of `src`, for error snippets.
+pub(crate) fn source_line(src: &[u8], line: usize) -> Option<String> {
+    let text = std::str::from_utf8(src).ok()?;
+    text.lines().nth(line.saturating_sub(1)).map(str::to_owned)
+}
+
 /// Hand-rolled lexer.
 pub struct Lexer<'a> {
     src: &'a [u8],
@@ -77,6 +83,7 @@ impl<'a> Lexer<'a> {
             message: message.into(),
             line: self.line,
             column: self.column,
+            snippet: source_line(self.src, self.line),
         }
     }
 

@@ -21,6 +21,11 @@
 //!                    └─ opt::explain            as-written fallback)
 //!                                               │ physical plan
 //!                                               ▼
+//!                  analyze::analyze_query       ANALYZER: pre-flight
+//!                    └─ QA001…QA007 rules       diagnostics (check() /
+//!                       (reuses opt::cost)      LintPolicy deny|warn|allow)
+//!                                               │
+//!                                               ▼
 //!                             session::Session / QueryBuilder
 //!                             (exec::Executor = deprecated shim)
 //!                                               │
@@ -107,6 +112,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod analyze;
 pub mod backend;
 pub mod catalog;
 pub mod error;
@@ -125,6 +131,7 @@ pub mod value;
 
 /// Convenient re-exports for typical use.
 pub mod prelude {
+    pub use crate::analyze::{Code, Diagnostic, LintConfig, LintPolicy, Severity};
     pub use crate::backend::{CachingBackend, CrowdBackend, MeteringBackend, ReplayBackend};
     pub use crate::catalog::Catalog;
     pub use crate::error::QurkError;
@@ -137,6 +144,7 @@ pub mod prelude {
     pub use crate::value::Value;
 }
 
+pub use analyze::{Code, Diagnostic, LintConfig, LintPolicy, Severity};
 pub use backend::{
     BackendUsage, CachingBackend, CrowdBackend, MeteringBackend, RecordingBackend, ReplayBackend,
     ReplayTrace,

@@ -54,6 +54,7 @@ impl FilterOp {
         items: &[ItemId],
     ) -> Result<Vec<bool>> {
         let results = self.run_combined(backend, &[predicate], items)?;
+        // lint:allow(unwrap): run_combined returns one verdict per predicate and we passed exactly one
         Ok(results.into_iter().map(|mut v| v.pop().unwrap()).collect())
     }
 
@@ -86,6 +87,7 @@ impl FilterOp {
             .collect();
         let specs = if predicates.len() == 1 {
             merge_into_hits(
+                // lint:allow(unwrap): one stream per predicate, and this branch has exactly one
                 streams.into_iter().next().unwrap(),
                 self.batch_size,
                 HitKind::Filter,

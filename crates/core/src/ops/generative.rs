@@ -13,9 +13,9 @@ use qurk_crowd::question::{HitKind, Question, UNKNOWN};
 use qurk_crowd::ItemId;
 
 use crate::backend::CrowdBackend;
-use crate::error::Result;
+use crate::error::{QurkError, Result};
 use crate::hit::batch::combine_questions;
-use crate::lang::ast::ResponseSpec;
+use crate::lang::ast::{ResponseOption, ResponseSpec};
 use crate::ops::common::{run_and_collect, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
 use crate::task::{CombinerKind, TaskDef, TaskType};
 use crate::value::Value;
@@ -94,20 +94,20 @@ impl GenerativeOp {
                 items
                     .iter()
                     .map(|&item| match &f.response {
-                        ResponseSpec::Radio { .. } => {
-                            let (opts, _) = f.radio_options().expect("radio");
-                            Question::Feature {
-                                item,
-                                // Single-field tasks key the oracle by
-                                // task name; multi-field by field name.
-                                feature: if task.fields.len() == 1 {
-                                    task.name.clone()
-                                } else {
-                                    f.name.clone()
-                                },
-                                num_options: opts.len(),
-                            }
-                        }
+                        ResponseSpec::Radio { options, .. } => Question::Feature {
+                            item,
+                            // Single-field tasks key the oracle by
+                            // task name; multi-field by field name.
+                            feature: if task.fields.len() == 1 {
+                                task.name.clone()
+                            } else {
+                                f.name.clone()
+                            },
+                            num_options: options
+                                .iter()
+                                .filter(|o| matches!(o, ResponseOption::Value(_)))
+                                .count(),
+                        },
                         ResponseSpec::Text { .. } => Question::Generative {
                             item,
                             field: f.name.clone(),
@@ -190,7 +190,9 @@ impl GenerativeOp {
                     }
                 }
                 ResponseSpec::Radio { .. } => {
-                    let (opts, _) = f.radio_options().expect("radio");
+                    let (opts, _) = f.radio_options().ok_or_else(|| {
+                        QurkError::Schema(format!("field {} has no radio options", f.name))
+                    })?;
                     let k = opts.len();
                     // Record raw votes (UNKNOWN -> index k).
                     for ii in 0..items.len() {

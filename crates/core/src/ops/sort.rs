@@ -104,6 +104,7 @@ impl CompareSort {
                         .filter(|&j| j != i && is_unc(&uncovered, i, j))
                         .count()
                 })
+                // lint:allow(unwrap): the iterator ranges over 0..n and uncovered pairs imply n >= 2
                 .unwrap();
             let mut group = vec![first];
             while group.len() < s {
@@ -588,6 +589,7 @@ impl HybridSort {
             // current position.
             let members: Vec<usize> = positions.iter().map(|&p| order[p]).collect();
             let mut local: Vec<usize> = members.clone();
+            // lint:allow(unwrap): `local` is a permutation of `members`, so every member is found
             let pos_of = |m: usize, cur: &[usize]| cur.iter().position(|&x| x == m).unwrap();
             local.sort_by(|&a, &b| {
                 let mut score_a = 0.0;

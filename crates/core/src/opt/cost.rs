@@ -100,7 +100,7 @@ fn smart_hit_unit(rows: usize, cols: usize) -> f64 {
 /// Above this input size the compare-sort estimate switches from the
 /// exact covering-design count to the `N(N−1)/(S(S−1))` bound (the
 /// exact generator is cubic in N).
-const EXACT_COMPARE_PLAN_MAX_N: usize = 256;
+pub const EXACT_COMPARE_PLAN_MAX_N: usize = 256;
 
 /// Estimated resource usage of a (sub)plan. Additive across operators.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

@@ -42,6 +42,7 @@ use std::collections::HashMap;
 
 use qurk_crowd::ItemId;
 
+use crate::analyze::{analyze_query, render_diagnostics, Diagnostic, LintConfig, LintPolicy};
 use crate::backend::{BackendUsage, CachingBackend, CrowdBackend, MeteringBackend};
 use crate::catalog::Catalog;
 use crate::error::{QurkError, Result};
@@ -102,6 +103,8 @@ pub struct ExecConfig {
     /// Which operator choices were set explicitly (fluent setters set
     /// these); the optimizer never overrides a pinned choice.
     pub pins: PinSet,
+    /// Pre-flight analyzer policy and thresholds.
+    pub lint: LintConfig,
 }
 
 /// Per-query execution report, with resource numbers produced by the
@@ -123,6 +126,9 @@ pub struct QueryReport {
     /// The optimizer's chosen physical plan, decision log, and cost
     /// estimate.
     pub plan: PlanReport,
+    /// Pre-flight analyzer findings (empty under
+    /// [`LintPolicy::Allow`] or for clean queries).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl QueryReport {
@@ -139,8 +145,11 @@ impl QueryReport {
     /// Full EXPLAIN block: logical plan, chosen physical plan,
     /// optimizer decisions, and estimated vs actual HITs/$/latency.
     pub fn explain_full(&self) -> String {
-        self.plan
-            .render_with_logical(&self.explain, Some(&self.actual_usage()))
+        let mut out = self
+            .plan
+            .render_with_logical(&self.explain, Some(&self.actual_usage()));
+        out.push_str(&render_diagnostics(&self.diagnostics));
+        out
     }
 }
 
@@ -210,6 +219,13 @@ impl<'c, B: CrowdBackend> SessionBuilder<'c, B> {
     /// default).
     pub fn optimize(mut self, mode: OptimizeMode) -> Self {
         self.config.optimize = mode;
+        self
+    }
+
+    /// Session-wide pre-flight analysis policy
+    /// ([`LintPolicy::Warn`] by default).
+    pub fn lint(mut self, policy: LintPolicy) -> Self {
+        self.config.lint.policy = policy;
         self
     }
 
@@ -317,6 +333,24 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
         let logical = plan_query(&parsed, self.catalog)?;
         let compiled = compile(&logical, self.catalog, config, &self.stats)?;
         let plan = PlanReport::from(&compiled);
+        let diagnostics = if config.lint.policy == LintPolicy::Allow {
+            Vec::new()
+        } else {
+            let diagnostics = analyze_query(
+                sql,
+                &parsed,
+                self.catalog,
+                config,
+                &self.stats,
+                budget_dollars,
+            )?;
+            if config.lint.policy == LintPolicy::Deny
+                && diagnostics.iter().any(Diagnostic::is_error)
+            {
+                return Err(QurkError::Rejected { diagnostics });
+            }
+            diagnostics
+        };
         self.backend.begin_epoch();
         let outcome = self.run_physical(&compiled.root, budget_dollars);
         let usage = self.backend.end_epoch();
@@ -333,6 +367,7 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
             elapsed_secs: usage.elapsed_secs,
             explain: logical.to_string(),
             plan,
+            diagnostics,
         })
     }
 
@@ -445,6 +480,12 @@ impl<B: CrowdBackend> QueryBuilder<'_, '_, B> {
         self
     }
 
+    /// Pre-flight analysis policy for this query only.
+    pub fn lint(mut self, policy: LintPolicy) -> Self {
+        self.config.lint.policy = policy;
+        self
+    }
+
     /// Hard dollar budget for this query: once the query's spend
     /// reaches the budget, the next crowd operator refuses to start
     /// and the query fails with [`QurkError::BudgetExceeded`]. Work
@@ -471,9 +512,24 @@ impl<B: CrowdBackend> QueryBuilder<'_, '_, B> {
         session.execute(&sql, &config, budget_dollars)
     }
 
+    /// Run the pre-flight analyzer without executing: parse, plan,
+    /// optimize, and return the diagnostics. Posts no crowd work and
+    /// never rejects — callers inspect the findings themselves.
+    pub fn check(self) -> Result<Vec<Diagnostic>> {
+        let parsed = parse_query(&self.sql)?;
+        analyze_query(
+            &self.sql,
+            &parsed,
+            self.session.catalog,
+            &self.config,
+            &self.session.stats,
+            self.budget_dollars,
+        )
+    }
+
     /// Parse, plan and optimize without posting any crowd work;
     /// returns the EXPLAIN text (logical plan, chosen physical plan,
-    /// and the cost model's estimate).
+    /// the cost model's estimate, and any analyzer diagnostics).
     pub fn explain(self) -> Result<String> {
         let parsed = parse_query(&self.sql)?;
         let logical = plan_query(&parsed, self.session.catalog)?;
@@ -483,13 +539,26 @@ impl<B: CrowdBackend> QueryBuilder<'_, '_, B> {
             &self.config,
             &self.session.stats,
         )?;
+        let diagnostics = analyze_query(
+            &self.sql,
+            &parsed,
+            self.session.catalog,
+            &self.config,
+            &self.session.stats,
+            self.budget_dollars,
+        )?;
         let report = PlanReport {
             mode: compiled.mode,
             physical: compiled.root.to_string(),
             decisions: compiled.decisions,
             estimate: compiled.estimate,
         };
-        Ok(format!("logical plan:\n{}{}", logical, report.render(None)))
+        Ok(format!(
+            "logical plan:\n{}{}{}",
+            logical,
+            report.render(None),
+            render_diagnostics(&diagnostics)
+        ))
     }
 }
 

@@ -1,0 +1,26 @@
+//! Lint fixture: deliberately violates the ops-unwrap rule once.
+//! Not compiled — scanned by `lint::tests` only.
+
+fn unmarked() -> usize {
+    let v: Option<usize> = Some(1);
+    v.unwrap()
+}
+
+fn marked() -> usize {
+    let v: Option<usize> = Some(1);
+    // lint:allow(unwrap): should-not-fire — constructed Some above
+    v.unwrap()
+}
+
+fn marked_inline() -> usize {
+    let v: Option<usize> = Some(1);
+    v.unwrap() // lint:allow(unwrap): should-not-fire — constructed Some above
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(3usize).unwrap();
+    }
+}

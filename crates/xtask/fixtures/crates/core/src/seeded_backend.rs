@@ -1,0 +1,18 @@
+//! Lint fixture: deliberately violates marketplace-isolation and
+//! interior-mutability once each. Not compiled — scanned by
+//! `lint::tests` only.
+
+// A comment mentioning Marketplace should-not-fire.
+
+use qurk_crowd::Marketplace;
+
+struct Holder {
+    cell: std::cell::RefCell<u32>,
+}
+
+// std::cell::RefCell in this comment should-not-fire.
+
+#[cfg(test)]
+mod tests {
+    use qurk_crowd::Marketplace; // should-not-fire: test code
+}

@@ -1,0 +1,381 @@
+//! Source-level invariant checks over the workspace tree.
+//!
+//! Three rules, all motivated by the async-service roadmap item:
+//!
+//! * **marketplace-isolation** — production code must speak
+//!   [`CrowdBackend`], never the concrete `Marketplace`. Allowed:
+//!   `crates/crowd` itself, test/bench/example code, and the two
+//!   boundary files that adapt the marketplace to the trait.
+//! * **ops-unwrap** — no `unwrap()`/`expect(` in
+//!   `crates/core/src/ops/` production code unless the call site
+//!   carries a `// lint:allow(unwrap): <why>` marker (same line or the
+//!   line above) justifying why it cannot fire.
+//! * **interior-mutability** — no `Rc<`, `RefCell<`, `thread_local!`
+//!   or `static mut` in `crates/core`/`crates/crowd` production code,
+//!   keeping every backend `Send + Sync`-eligible (the compile-time
+//!   probe test in `crates/core/tests/send_sync.rs` asserts the
+//!   bounds themselves).
+//!
+//! The scanner is line-based and deliberately simple: comment lines
+//! are skipped, and `#[cfg(test)]`-annotated blocks are excluded by
+//! brace tracking. That is precise enough for these invariants and
+//! keeps xtask dependency-free.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: PathBuf,
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Files where `Marketplace` may appear outside `crates/crowd`: the
+/// trait-impl boundary and the deprecated pre-trait shim.
+const MARKETPLACE_ALLOWLIST: &[&str] = &["crates/core/src/backend.rs", "crates/core/src/exec.rs"];
+
+/// Marker that justifies an `unwrap()`/`expect(` in ops code.
+const UNWRAP_MARKER: &str = "lint:allow(unwrap)";
+
+/// Run every rule over the workspace at `root`.
+pub fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for file in rust_sources(&root.join("crates")) {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if !is_production_path(&rel_str) {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let lines = production_lines(&text);
+        check_marketplace(&rel, &rel_str, &lines, &mut out);
+        check_ops_unwrap(&rel, &rel_str, &text, &lines, &mut out);
+        check_interior_mutability(&rel, &rel_str, &lines, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// All `.rs` files under `dir`, recursively.
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            out.extend(rust_sources(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Production code only: skip test/bench/example trees and xtask
+/// itself (whose fixtures contain deliberate violations).
+fn is_production_path(rel: &str) -> bool {
+    let excluded_dirs = ["/tests/", "/benches/", "/examples/", "/fixtures/"];
+    if excluded_dirs.iter().any(|d| rel.contains(d)) {
+        return false;
+    }
+    // The bench crate is measurement code — test-adjacent by design.
+    if rel.starts_with("crates/bench/") || rel.starts_with("crates/xtask/") {
+        return false;
+    }
+    rel.starts_with("crates/")
+}
+
+/// (1-based line number, text) for every line outside comments and
+/// `#[cfg(test)]` blocks.
+fn production_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    // Depth of the brace-delimited block introduced right after a
+    // `#[cfg(test)]` attribute; `None` when not inside one.
+    let mut skip_depth: Option<i64> = None;
+    let mut pending_test_attr = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_line_comment(raw);
+        let trimmed = line.trim();
+        if let Some(depth) = &mut skip_depth {
+            *depth += brace_delta(trimmed);
+            if *depth <= 0 {
+                skip_depth = None;
+            }
+            continue;
+        }
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_test_attr = true;
+            continue;
+        }
+        if pending_test_attr {
+            // The attribute applies to the next item; skip its block
+            // (or just the line, for single-line items).
+            let depth = brace_delta(trimmed);
+            if depth > 0 {
+                skip_depth = Some(depth);
+            }
+            pending_test_attr = trimmed.starts_with('#'); // attr stack
+            continue;
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        out.push((i + 1, line.to_owned()));
+    }
+    out
+}
+
+/// Net `{`/`}` balance of a line, ignoring braces inside string and
+/// char literals.
+fn brace_delta(line: &str) -> i64 {
+    let mut delta = 0i64;
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for c in line.chars() {
+        if in_str {
+            if prev_escape {
+                prev_escape = false;
+            } else if c == '\\' {
+                prev_escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Drop a trailing `// ...` comment (string-literal aware).
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut prev_escape = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_str {
+            if prev_escape {
+                prev_escape = false;
+            } else if c == b'\\' {
+                prev_escape = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+        } else if c == b'"' {
+            in_str = true;
+        } else if c == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            return &line[..i];
+        }
+        i += 1;
+    }
+    line
+}
+
+fn check_marketplace(file: &Path, rel: &str, lines: &[(usize, String)], out: &mut Vec<Violation>) {
+    if rel.starts_with("crates/crowd/") || MARKETPLACE_ALLOWLIST.contains(&rel) {
+        return;
+    }
+    for (n, line) in lines {
+        if line.contains("Marketplace") {
+            out.push(Violation {
+                rule: "marketplace-isolation",
+                file: file.to_path_buf(),
+                line: *n,
+                message: "`Marketplace` referenced outside crates/crowd and the \
+                          backend boundary; depend on the CrowdBackend trait instead"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+fn check_ops_unwrap(
+    file: &Path,
+    rel: &str,
+    raw_text: &str,
+    lines: &[(usize, String)],
+    out: &mut Vec<Violation>,
+) {
+    if !rel.starts_with("crates/core/src/ops/") {
+        return;
+    }
+    let raw_lines: Vec<&str> = raw_text.lines().collect();
+    // Markers live in comments, which production_lines strips —
+    // consult the raw line and its predecessor.
+    let has_marker = |n: usize| {
+        n >= 1
+            && raw_lines
+                .get(n - 1)
+                .is_some_and(|l| l.contains(UNWRAP_MARKER))
+    };
+    for (n, line) in lines {
+        if !(line.contains(".unwrap()") || line.contains(".expect(")) {
+            continue;
+        }
+        if has_marker(*n) || has_marker(n.saturating_sub(1)) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "ops-unwrap",
+            file: file.to_path_buf(),
+            line: *n,
+            message: format!(
+                "unwrap()/expect( in ops production code without a \
+                 `// {UNWRAP_MARKER}: <why>` justification"
+            ),
+        });
+    }
+}
+
+fn check_interior_mutability(
+    file: &Path,
+    rel: &str,
+    lines: &[(usize, String)],
+    out: &mut Vec<Violation>,
+) {
+    if !(rel.starts_with("crates/core/src/") || rel.starts_with("crates/crowd/src/")) {
+        return;
+    }
+    const BANNED: &[(&str, &str)] = &[
+        (
+            "Rc<",
+            "Rc is not Send; use Arc if shared ownership is needed",
+        ),
+        (
+            "RefCell<",
+            "RefCell is not Sync; use Mutex/RwLock or restructure",
+        ),
+        (
+            "thread_local!",
+            "thread-locals break backend portability across executors",
+        ),
+        (
+            "static mut",
+            "static mut is unsound under Send+Sync; use atomics or locks",
+        ),
+    ];
+    for (n, line) in lines {
+        for (pat, why) in BANNED {
+            if line.contains(pat) {
+                out.push(Violation {
+                    rule: "interior-mutability",
+                    file: file.to_path_buf(),
+                    line: *n,
+                    message: format!("`{pat}` in backend-reachable code: {why}"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+    }
+
+    fn real_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf()
+    }
+
+    #[test]
+    fn real_tree_is_clean() {
+        let violations = lint_workspace(&real_root());
+        assert!(
+            violations.is_empty(),
+            "workspace should lint clean:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn seeded_fixture_violations_fire() {
+        let violations = lint_workspace(&fixture_root());
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+        assert!(
+            rules.contains(&"marketplace-isolation"),
+            "expected marketplace violation, got {violations:?}"
+        );
+        assert!(
+            rules.contains(&"ops-unwrap"),
+            "expected unwrap violation, got {violations:?}"
+        );
+        assert!(
+            rules.contains(&"interior-mutability"),
+            "expected interior-mutability violation, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn fixture_allowances_are_respected() {
+        let violations = lint_workspace(&fixture_root());
+        // Each rule fires exactly once: the marked unwraps, the
+        // cfg(test) Marketplace use, and the commented-out mentions
+        // must all be skipped.
+        for rule in ["ops-unwrap", "marketplace-isolation", "interior-mutability"] {
+            let count = violations.iter().filter(|v| v.rule == rule).count();
+            assert_eq!(count, 1, "rule {rule}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn comment_and_test_stripping() {
+        let lines = production_lines(
+            "fn a() {}\n\
+             // Marketplace in a comment\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 use qurk_crowd::Marketplace;\n\
+             }\n\
+             fn b() {}\n",
+        );
+        let text: Vec<&str> = lines.iter().map(|(_, l)| l.as_str()).collect();
+        assert_eq!(text, vec!["fn a() {}", "fn b() {}"]);
+    }
+
+    #[test]
+    fn brace_delta_ignores_strings() {
+        assert_eq!(brace_delta("mod t { \"}\" }"), 0);
+        assert_eq!(brace_delta("fn f() {"), 1);
+        assert_eq!(brace_delta("}"), -1);
+    }
+}

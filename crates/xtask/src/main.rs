@@ -1,0 +1,47 @@
+//! Workspace maintenance tasks. Currently one: `lint`, the invariant
+//! linter CI runs on every push (`cargo run -p xtask -- lint`).
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {}
+        _ => return usage(),
+    }
+    let root = match (args.next().as_deref(), args.next()) {
+        (Some("--root"), Some(dir)) => PathBuf::from(dir),
+        (None, _) => workspace_root(),
+        _ => return usage(),
+    };
+
+    let violations = lint::lint_workspace(&root);
+    if violations.is_empty() {
+        println!("xtask lint: ok");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("xtask lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}
+
+/// The workspace root, resolved from this crate's manifest dir so the
+/// linter works from any cwd.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask has a workspace two levels up")
+        .to_path_buf()
+}

@@ -72,6 +72,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    dollar budget. The session meters every query and caches
     //    identical HITs across queries.
     let mut session = Session::builder().catalog(&catalog).backend(market).build();
+
+    // Pre-flight: analyze without posting any crowd work. A clean
+    // query returns no diagnostics; a budget below the cost-model
+    // floor (say) would come back as a QA005 error here instead of
+    // failing with BudgetExceeded mid-flight.
+    let diagnostics = session
+        .query("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")
+        .budget_dollars(1.0)
+        .check()?;
+    println!("pre-flight: {} diagnostic(s)", diagnostics.len());
+    for d in &diagnostics {
+        println!("  {d}");
+    }
+
     let report = session
         .query("SELECT c.name FROM celeb AS c WHERE isFemale(c.img)")
         .budget_dollars(1.0)

@@ -1,0 +1,141 @@
+//! Property test for the analyzer's central guarantee: a query that
+//! passes `check()` under the `deny` policy never fails at runtime
+//! with the error class the analyzer guards — in particular QA005 vs
+//! [`QurkError::BudgetExceeded`].
+//!
+//! Soundness rests on the cost model over-estimating with an empty
+//! statistics store (unknown selectivities default to 1.0, so every
+//! estimate is an upper bound on actual spend); each proptest case
+//! therefore uses a *fresh* session, never one with learned stats.
+
+use proptest::prelude::*;
+
+use qurk::prelude::*;
+use qurk_crowd::truth::PredicateTruth;
+use qurk_crowd::{CrowdConfig, GroundTruth, ItemId, Marketplace};
+
+const N_ITEMS: usize = 8;
+const PREDICATES: [&str; 3] = ["pa", "pb", "pc"];
+
+fn truth_value(pred: &str, i: usize) -> bool {
+    match pred {
+        "pa" => i.is_multiple_of(2),
+        "pb" => i < 5,
+        "pc" => i.is_multiple_of(3),
+        _ => unreachable!(),
+    }
+}
+
+fn build_world(seed: u64) -> (Catalog, Marketplace) {
+    let mut gt = GroundTruth::new();
+    let items: Vec<ItemId> = gt.new_items(N_ITEMS);
+    for (i, &it) in items.iter().enumerate() {
+        for pred in PREDICATES {
+            gt.set_predicate(
+                it,
+                pred,
+                PredicateTruth {
+                    value: truth_value(pred, i),
+                    error_rate: 0.0,
+                },
+            );
+        }
+    }
+    let mut catalog = Catalog::new();
+    let mut rel = Relation::new(Schema::new(&[
+        ("id", ValueType::Int),
+        ("img", ValueType::Item),
+    ]));
+    for (i, &it) in items.iter().enumerate() {
+        rel.push(vec![Value::Int(i as i64), Value::Item(it)])
+            .unwrap();
+    }
+    catalog.register_table("t", rel);
+    catalog
+        .define_tasks(
+            r#"TASK pa(field) TYPE Filter:
+                Prompt: "%s a?", tuple[field]
+               TASK pb(field) TYPE Filter:
+                Prompt: "%s b?", tuple[field]
+               TASK pc(field) TYPE Filter:
+                Prompt: "%s c?", tuple[field]
+            "#,
+        )
+        .unwrap();
+    let market = Marketplace::new(&CrowdConfig::default().with_seed(seed).honest(), gt);
+    (catalog, market)
+}
+
+fn build_sql(conjunct_mask: u8, machine_k: usize, or_pred: Option<&str>) -> String {
+    let mut parts: Vec<String> = PREDICATES
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| conjunct_mask & (1 << i) != 0)
+        .map(|(_, p)| format!("{p}(t.img)"))
+        .collect();
+    parts.push(format!("t.id < {machine_k}"));
+    let mut clause = parts.join(" AND ");
+    if let Some(p) = or_pred {
+        clause.push_str(&format!(" OR {p}(t.img) AND t.id >= {machine_k}"));
+    }
+    format!("SELECT id FROM t WHERE {clause}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accepted under deny ⇒ no BudgetExceeded (and no Rejected) at
+    /// runtime; rejected with a QA005 error ⇒ running without the
+    /// analyzer would indeed have hit the budget gate.
+    #[test]
+    fn deny_accepted_queries_never_exhaust_budget(
+        conjunct_mask in 0u8..8,
+        machine_k in 0usize..9,
+        with_or in any::<bool>(),
+        or_pred_idx in 0usize..3,
+        budget_cents in 0u32..200,
+        seed in 1u64..500,
+    ) {
+        let sql = build_sql(
+            conjunct_mask,
+            machine_k,
+            with_or.then(|| PREDICATES[or_pred_idx]),
+        );
+        let budget = f64::from(budget_cents) / 100.0;
+
+        // Fresh session per case: the upper-bound argument only holds
+        // for an empty statistics store.
+        let (catalog, market) = build_world(seed);
+        let mut session = Session::new(&catalog, market);
+        let diags = session.query(&sql).budget_dollars(budget).check().unwrap();
+        let accepted = !diags.iter().any(|d| d.is_error());
+
+        let result = session
+            .query(&sql)
+            .lint(LintPolicy::Deny)
+            .budget_dollars(budget)
+            .run();
+        if accepted {
+            match &result {
+                Err(QurkError::BudgetExceeded { .. }) => prop_assert!(
+                    false,
+                    "check() accepted {sql} at ${budget:.2} but runtime hit the budget gate"
+                ),
+                Err(QurkError::Rejected { .. }) => prop_assert!(
+                    false,
+                    "check() accepted {sql} but deny rejected it: inconsistent analyzer"
+                ),
+                _ => {}
+            }
+        } else {
+            // Rejection is one-sided by design: the floor is an upper
+            // bound (selectivity 1.0, no cache credit), so a rejected
+            // query might have squeaked through — but deny must still
+            // reject it deterministically, before any post.
+            prop_assert!(
+                matches!(result, Err(QurkError::Rejected { .. })),
+                "error diagnostics must reject under deny ({sql}): {result:?}"
+            );
+        }
+    }
+}
