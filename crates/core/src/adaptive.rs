@@ -15,7 +15,7 @@ use qurk_crowd::{HitSpec, ItemId};
 
 use crate::backend::CrowdBackend;
 use crate::error::Result;
-use crate::ops::common::{run_and_collect, DEFAULT_ROUND_LIMIT_SECS};
+use crate::ops::common::{Round, DEFAULT_ROUND_LIMIT_SECS};
 
 /// Early-stopping vote collection for binary questions.
 #[derive(Debug, Clone)]
@@ -86,8 +86,9 @@ impl AdaptiveVotes {
                 })
                 .collect();
             hits_posted += specs.len();
-            let group = backend.post_group_with_assignments(specs, round_votes);
-            let by_hit = run_and_collect(backend, group, DEFAULT_ROUND_LIMIT_SECS)?;
+            let round = Round::post(backend, specs, Some(round_votes));
+            let group = round.group();
+            let by_hit = round.complete(backend, DEFAULT_ROUND_LIMIT_SECS)?;
             for (k, hit_id) in backend.group_hits(group).into_iter().enumerate() {
                 let i = open[k];
                 let Some(assignments) = by_hit.get(&hit_id) else {
@@ -198,13 +199,13 @@ impl BatchSizeSearch {
             }],
             HitKind::SortCompare,
         );
-        let gid = backend.post_group(vec![spec]);
-        // Run out the probe window; judge THIS group only — earlier
+        let round = Round::post(backend, vec![spec], None);
+        // Run out the probe window; judge THIS round only — earlier
         // stalled probes (or unrelated groups) may legitimately remain
         // outstanding on the same marketplace.
-        let _ = backend.run(target_secs);
+        let (completed, _) = round.try_complete(backend, target_secs);
         ProbeResult {
-            completed: backend.group_outstanding(gid) == 0,
+            completed,
             accuracy: None,
         }
     }

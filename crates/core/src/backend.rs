@@ -48,7 +48,14 @@ pub const RUN_TO_COMPLETION_SECS: f64 = 30.0 * 24.0 * 3600.0;
 /// Implemented by [`qurk_crowd::Marketplace`], by `&mut B` for any
 /// backend `B` (so shims can borrow), and by the decorators in this
 /// module. See the module docs for the group contract.
-pub trait CrowdBackend {
+///
+/// `Send + Sync` is part of the contract: the multi-tenant service
+/// ([`crate::service`]) runs each query on its own thread against a
+/// shared backend, so a backend that cannot cross threads cannot be
+/// served. Keep interiors behind `Mutex`/`RwLock` (never
+/// `Rc`/`RefCell` — `xtask lint` and `tests/send_sync.rs` enforce
+/// this).
+pub trait CrowdBackend: Send + Sync {
     /// Post a group of HITs with the backend's default assignment
     /// count per HIT.
     fn post_group(&mut self, specs: Vec<HitSpec>) -> HitGroupId;
@@ -299,6 +306,10 @@ enum VirtualSource {
     Cached(u64),
     /// Forwarded to the inner backend.
     Live { inner_hit_pos: usize },
+    /// Identical to a live spec still in flight in another group
+    /// (`owner` is that group's index): posted once by the owner,
+    /// served here from the cache as soon as the owner completes.
+    Shared { owner: usize },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -336,11 +347,19 @@ struct CacheGroup {
 pub struct CachingBackend<B> {
     inner: B,
     cache: HashMap<u64, TraceEntry>,
+    /// Spec keys posted live but not yet folded into the cache, mapped
+    /// to the virtual group that owns the live posting. A subsequent
+    /// identical spec piggybacks on the in-flight work
+    /// ([`VirtualSource::Shared`]) instead of re-posting — the
+    /// cross-tenant "identical specs are paid for once" guarantee of
+    /// [`crate::service`] even when both arrive in the same round.
+    pending: HashMap<u64, usize>,
     hits: Vec<VirtualHit>,
     groups: Vec<CacheGroup>,
     next_assignment_id: usize,
     cache_hits: u64,
     cache_misses: u64,
+    shared_hits: u64,
 }
 
 impl<B: CrowdBackend> CachingBackend<B> {
@@ -348,11 +367,13 @@ impl<B: CrowdBackend> CachingBackend<B> {
         CachingBackend {
             inner,
             cache: HashMap::new(),
+            pending: HashMap::new(),
             hits: Vec::new(),
             groups: Vec::new(),
             next_assignment_id: 0,
             cache_hits: 0,
             cache_misses: 0,
+            shared_hits: 0,
         }
     }
 
@@ -368,9 +389,26 @@ impl<B: CrowdBackend> CachingBackend<B> {
         self.inner
     }
 
-    /// (cache hits, cache misses) over all posted specs.
+    /// (cache hits, cache misses) over all posted specs. Specs served
+    /// by piggybacking on in-flight identical work count as hits.
     pub fn stats(&self) -> (u64, u64) {
         (self.cache_hits, self.cache_misses)
+    }
+
+    /// How many of the cache hits were in-flight shares: specs whose
+    /// identical twin had been posted live but had not completed yet.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    /// Assignments still outstanding in the group's **own** live
+    /// posting, excluding in-flight work shared from other groups.
+    /// This is what the group's owner will be charged for; see
+    /// [`CrowdBackend::group_outstanding`] for the completion view.
+    pub fn live_outstanding(&self, group: HitGroupId) -> u32 {
+        self.groups[group.0]
+            .inner
+            .map_or(0, |ig| self.inner.group_outstanding(ig))
     }
 
     /// Number of distinct specs with recorded answers.
@@ -410,8 +448,13 @@ impl<B: CrowdBackend> CachingBackend<B> {
             let source = if self.cache.contains_key(&key) {
                 self.cache_hits += 1;
                 VirtualSource::Cached(key)
+            } else if let Some(&owner) = self.pending.get(&key) {
+                self.cache_hits += 1;
+                self.shared_hits += 1;
+                VirtualSource::Shared { owner }
             } else {
                 self.cache_misses += 1;
+                self.pending.insert(key, group_id.0);
                 let pos = live_specs.len();
                 live_specs.push(spec);
                 VirtualSource::Live { inner_hit_pos: pos }
@@ -459,7 +502,7 @@ impl<B: CrowdBackend> CachingBackend<B> {
                 let vh = &self.hits[h.0];
                 match vh.source {
                     VirtualSource::Live { inner_hit_pos } => Some((inner_hit_pos, vh.key)),
-                    VirtualSource::Cached(_) => None,
+                    VirtualSource::Cached(_) | VirtualSource::Shared { .. } => None,
                 }
             })
             .collect();
@@ -470,7 +513,32 @@ impl<B: CrowdBackend> CachingBackend<B> {
             &keys_by_pos,
             &mut self.cache,
         );
+        for &(_, key) in &keys_by_pos {
+            self.pending.remove(&key);
+        }
         self.groups[group.0].recorded = true;
+    }
+
+    /// Fold the owner groups of this group's unresolved shared specs,
+    /// so [`Self::replay_shared`] finds their answers in the cache.
+    fn record_shared_owners(&mut self, group: HitGroupId) {
+        let owners: Vec<usize> = self.groups[group.0]
+            .hits
+            .clone()
+            .into_iter()
+            .filter_map(|h| {
+                let vh = &self.hits[h.0];
+                match vh.source {
+                    VirtualSource::Shared { owner } if !self.cache.contains_key(&vh.key) => {
+                        Some(owner)
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        for owner in owners {
+            self.record_group(HitGroupId(owner));
+        }
     }
 
     fn replay(&mut self, key: u64, hit: HitId, group: HitGroupId) -> Vec<Assignment> {
@@ -491,6 +559,46 @@ impl<B: CrowdBackend> CachingBackend<B> {
                     // exists, nobody re-does the work.
                     accepted_at: posted_at,
                     submitted_at: posted_at,
+                }
+            })
+            .collect()
+    }
+
+    /// Serve a shared spec from the cache with the *owner's* real
+    /// completion times: the sharer genuinely waited for the in-flight
+    /// crowd work, unlike a [`VirtualSource::Cached`] replay.
+    /// Timestamps are clamped to the sharer's post time for answers
+    /// that had already arrived when it posted.
+    fn replay_shared(
+        &mut self,
+        key: u64,
+        hit: HitId,
+        group: HitGroupId,
+        owner: usize,
+    ) -> Vec<Assignment> {
+        let own_posted = self.groups[group.0].posted_at;
+        let owner_posted = self.groups[owner].posted_at;
+        let clamp = |t: SimTime| {
+            if t.secs() < own_posted.secs() {
+                own_posted
+            } else {
+                t
+            }
+        };
+        let cached = self.cache[&key].assignments.clone();
+        cached
+            .into_iter()
+            .map(|t| {
+                let id = AssignmentId(usize::MAX - self.next_assignment_id);
+                self.next_assignment_id += 1;
+                Assignment {
+                    id,
+                    hit,
+                    group,
+                    worker: t.worker,
+                    answers: t.answers,
+                    accepted_at: clamp(owner_posted.plus_secs(t.accept_delay_secs)),
+                    submitted_at: clamp(owner_posted.plus_secs(t.submit_delay_secs)),
                 }
             })
             .collect()
@@ -516,6 +624,7 @@ impl<B: CrowdBackend> CrowdBackend for CachingBackend<B> {
 
     fn assignments(&mut self, group: HitGroupId) -> Vec<Assignment> {
         self.record_group(group);
+        self.record_shared_owners(group);
         let hits = self.groups[group.0].hits.clone();
         let inner_group = self.groups[group.0].inner;
         let mut out = Vec::new();
@@ -541,8 +650,15 @@ impl<B: CrowdBackend> CrowdBackend for CachingBackend<B> {
             }
         }
         for h in hits {
-            if let VirtualSource::Cached(key) = self.hits[h.0].source {
-                out.extend(self.replay(key, h, group));
+            match self.hits[h.0].source {
+                VirtualSource::Cached(key) => out.extend(self.replay(key, h, group)),
+                VirtualSource::Shared { owner } => {
+                    let key = self.hits[h.0].key;
+                    if self.cache.contains_key(&key) {
+                        out.extend(self.replay_shared(key, h, group, owner));
+                    }
+                }
+                VirtualSource::Live { .. } => {}
             }
         }
         out
@@ -559,18 +675,51 @@ impl<B: CrowdBackend> CrowdBackend for CachingBackend<B> {
             out.extend(self.inner.group_latencies(ig));
         }
         for &h in &g.hits {
-            if let VirtualSource::Cached(key) = self.hits[h.0].source {
-                // Replayed answers arrive instantly.
-                out.extend(std::iter::repeat_n(0.0, self.cache[&key].assignments.len()));
+            match self.hits[h.0].source {
+                VirtualSource::Cached(key) => {
+                    // Replayed answers arrive instantly.
+                    out.extend(std::iter::repeat_n(0.0, self.cache[&key].assignments.len()));
+                }
+                VirtualSource::Shared { owner } => {
+                    // The sharer waits for the owner's live round: its
+                    // latency is the owner's, minus the head start the
+                    // owner had (clamped for answers that landed before
+                    // this group was even posted).
+                    if let Some(entry) = self.cache.get(&self.hits[h.0].key) {
+                        let offset = g.posted_at.secs() - self.groups[owner].posted_at.secs();
+                        out.extend(
+                            entry
+                                .assignments
+                                .iter()
+                                .map(|a| (a.submit_delay_secs - offset).max(0.0)),
+                        );
+                    }
+                }
+                VirtualSource::Live { .. } => {}
             }
         }
         out
     }
 
     fn group_outstanding(&self, group: HitGroupId) -> u32 {
-        self.groups[group.0]
-            .inner
-            .map_or(0, |ig| self.inner.group_outstanding(ig))
+        let g = &self.groups[group.0];
+        let mut out = g.inner.map_or(0, |ig| self.inner.group_outstanding(ig));
+        // Shared specs are complete only once their owner's live round
+        // is: count each unresolved owner's outstanding work once.
+        let mut seen: Vec<usize> = vec![group.0];
+        for &h in &g.hits {
+            let vh = &self.hits[h.0];
+            if let VirtualSource::Shared { owner } = vh.source {
+                if self.cache.contains_key(&vh.key) || seen.contains(&owner) {
+                    continue;
+                }
+                seen.push(owner);
+                if let Some(ig) = self.groups[owner].inner {
+                    out += self.inner.group_outstanding(ig);
+                }
+            }
+        }
+        out
     }
 
     fn hit_question_count(&self, hit: HitId) -> usize {
@@ -1314,6 +1463,56 @@ mod tests {
         for &h in &hits {
             assert_eq!(b.hit_question_count(h), 1);
         }
+    }
+
+    #[test]
+    fn caching_shares_in_flight_specs_without_reposting() {
+        let (m, items) = market(4);
+        let mut b = CachingBackend::new(m);
+        // Two groups with identical specs posted back-to-back, with no
+        // run in between: the second must piggyback on the first's
+        // in-flight HITs rather than re-post.
+        let g1 = b.post_group(filter_specs(&items));
+        let posted = b.hits_posted();
+        let g2 = b.post_group(filter_specs(&items));
+        assert_eq!(b.hits_posted(), posted, "in-flight twin must not repost");
+        assert_eq!(b.stats(), (4, 4));
+        assert_eq!(b.shared_hits(), 4);
+        // Before the crowd runs, *both* groups are incomplete — but
+        // only g1 owns live (billable) work.
+        assert!(b.group_outstanding(g1) > 0);
+        assert!(b.group_outstanding(g2) > 0);
+        assert!(b.live_outstanding(g1) > 0);
+        assert_eq!(b.live_outstanding(g2), 0);
+
+        assert_eq!(b.run_to_completion(), RunOutcome::Completed);
+        assert_eq!(b.group_outstanding(g2), 0);
+        let first = b.assignments(g1);
+        let second = b.assignments(g2);
+        assert_eq!(first.len(), 4 * 5);
+        assert_eq!(second.len(), 4 * 5);
+        // Same answers per spec position, rebadged to g2's ids.
+        let key = |assignments: &[Assignment], hits: &[HitId]| -> Vec<Vec<(WorkerId, Answer)>> {
+            let mut per: Vec<Vec<(WorkerId, Answer)>> = vec![Vec::new(); hits.len()];
+            for a in assignments {
+                let pos = hits.iter().position(|&h| h == a.hit).unwrap();
+                per[pos].push((a.worker, a.answers[0].clone()));
+            }
+            for v in &mut per {
+                v.sort_by_key(|(w, _)| *w);
+            }
+            per
+        };
+        assert_eq!(
+            key(&first, &b.group_hits(g1)),
+            key(&second, &b.group_hits(g2))
+        );
+        // Only the live copy was paid for.
+        assert_eq!(b.assignments_completed(), 4 * 5);
+        // The sharer's latencies reflect the owner's real round, not an
+        // instantaneous cache replay.
+        let shared_max = b.group_latencies(g2).into_iter().fold(0.0f64, f64::max);
+        assert!(shared_max > 0.0, "sharer should observe the crowd's time");
     }
 
     #[test]

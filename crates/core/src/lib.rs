@@ -36,6 +36,14 @@
 //!                  backend::MeteringBackend     per-query accounting
 //!                    └─ backend::CachingBackend Task Cache (Figure 1)
 //!                         └─ B: CrowdBackend    Marketplace | Replay | …
+//!
+//!   MULTI-TENANT (qurk-serve):
+//!                  service::QueryService        admission + tenant budgets
+//!                    └─ service::scheduler      deterministic cooperative
+//!                         │                     rounds (N queries, 1 clock)
+//!                         └─ service::TenantBackend ──▶ service::SharedMarket
+//!                              (yields on `run`)        (cross-tenant Task
+//!                                                        Cache + attribution)
 //! ```
 //!
 //! ## The paper's contributions, mapped
@@ -124,6 +132,7 @@ pub mod opt;
 pub mod plan;
 pub mod relation;
 pub mod schema;
+pub mod service;
 pub mod session;
 pub mod task;
 pub mod tuple;
@@ -156,6 +165,7 @@ pub use exec::Executor;
 pub use opt::{CostEstimate, CostModel, OptimizeMode, PlanReport, StatisticsStore};
 pub use relation::Relation;
 pub use schema::{Schema, ValueType};
+pub use service::{QueryService, ServiceStats, SharedMarket, TenantBackend};
 pub use session::{ExecConfig, QueryBuilder, QueryReport, Session, SessionBuilder, SortMode};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 
-use qurk_crowd::market::{Assignment, HitGroupId, HitId, RunOutcome};
-use qurk_crowd::WorkerId;
+use qurk_crowd::market::{Assignment, HitGroupId, HitId};
+use qurk_crowd::{HitSpec, WorkerId};
 
 use crate::backend::CrowdBackend;
 use crate::error::{QurkError, Result};
@@ -13,26 +13,80 @@ use crate::error::{QurkError, Result};
 /// abandoned this work" (oversized batches).
 pub const DEFAULT_ROUND_LIMIT_SECS: f64 = 7.0 * 24.0 * 3600.0;
 
-/// Run the backend until the posted group completes and gather its
-/// assignments grouped by HIT.
-pub fn run_and_collect<B: CrowdBackend + ?Sized>(
-    backend: &mut B,
+/// One crowd round of an operator: a posted HIT group waiting for its
+/// assignments. This is every operator's **yield point** — between
+/// [`Round::post`] and [`Round::complete`] no operator state refers to
+/// the backend, so a cooperative executor (the multi-tenant
+/// [`crate::service`] scheduler) is free to interleave other queries'
+/// rounds on the same marketplace clock before resuming this one.
+///
+/// Single-tenant execution drives the round to completion inline; the
+/// service's per-tenant backend instead suspends the calling query
+/// inside [`CrowdBackend::run`] and wakes it when the shared
+/// marketplace has serviced the round.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a posted round must be completed (or explicitly abandoned)"]
+pub struct Round {
     group: HitGroupId,
-    limit_secs: f64,
-) -> Result<HashMap<HitId, Vec<Assignment>>> {
-    match backend.run(limit_secs) {
-        RunOutcome::Completed => {}
-        RunOutcome::TimedOut => {
-            return Err(QurkError::CrowdIncomplete {
-                outstanding: backend.group_outstanding(group),
-            })
+}
+
+impl Round {
+    /// Post one round of HIT specs (`assignments = None` uses the
+    /// backend default).
+    pub fn post<B: CrowdBackend + ?Sized>(
+        backend: &mut B,
+        specs: Vec<HitSpec>,
+        assignments: Option<u32>,
+    ) -> Round {
+        Round {
+            group: backend.post(specs, assignments),
         }
     }
-    let mut by_hit: HashMap<HitId, Vec<Assignment>> = HashMap::new();
-    for a in backend.assignments(group) {
-        by_hit.entry(a.hit).or_default().push(a);
+
+    /// The posted group's id.
+    pub fn group(&self) -> HitGroupId {
+        self.group
     }
-    Ok(by_hit)
+
+    /// Drive the backend until this round completes (or `limit_secs`
+    /// of virtual time elapse) and gather its assignments by HIT.
+    /// A round still outstanding at the deadline is an error: the
+    /// crowd abandoned the batch.
+    pub fn complete<B: CrowdBackend + ?Sized>(
+        self,
+        backend: &mut B,
+        limit_secs: f64,
+    ) -> Result<HashMap<HitId, Vec<Assignment>>> {
+        let (done, by_hit) = self.try_complete(backend, limit_secs);
+        if !done {
+            return Err(QurkError::CrowdIncomplete {
+                outstanding: backend.group_outstanding(self.group),
+            });
+        }
+        Ok(by_hit)
+    }
+
+    /// Lenient [`Self::complete`]: run the clock, report whether this
+    /// round finished, and return whatever assignments it has. Used by
+    /// probes that treat a timeout as a measurement, not a failure.
+    pub fn try_complete<B: CrowdBackend + ?Sized>(
+        self,
+        backend: &mut B,
+        limit_secs: f64,
+    ) -> (bool, HashMap<HitId, Vec<Assignment>>) {
+        // The global outcome may say TimedOut on behalf of *other*
+        // queries' groups (service mode shares the clock), so this
+        // round's own outstanding count is what decides.
+        let _ = backend.run(limit_secs);
+        if backend.group_outstanding(self.group) > 0 {
+            return (false, HashMap::new());
+        }
+        let mut by_hit: HashMap<HitId, Vec<Assignment>> = HashMap::new();
+        for a in backend.assignments(self.group) {
+            by_hit.entry(a.hit).or_default().push(a);
+        }
+        (true, by_hit)
+    }
 }
 
 /// Intern worker ids to dense indices (for the EM combiner).

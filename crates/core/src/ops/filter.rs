@@ -19,7 +19,7 @@ use qurk_crowd::ItemId;
 use crate::backend::CrowdBackend;
 use crate::error::Result;
 use crate::hit::batch::{combine_questions, merge_into_hits};
-use crate::ops::common::{run_and_collect, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
+use crate::ops::common::{Round, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
 use crate::task::CombinerKind;
 
 /// Configuration for one filter execution.
@@ -95,8 +95,9 @@ impl FilterOp {
         } else {
             combine_questions(streams, self.batch_size, HitKind::Filter)
         };
-        let group = backend.post(specs, self.assignments);
-        let by_hit = run_and_collect(backend, group, self.limit_secs)?;
+        let round = Round::post(backend, specs, self.assignments);
+        let group = round.group();
+        let by_hit = round.complete(backend, self.limit_secs)?;
 
         // Gather votes per (item_idx, predicate_idx). The group's HITs
         // in spec order carry the flattened question stream.

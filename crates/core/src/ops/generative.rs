@@ -16,7 +16,7 @@ use crate::backend::CrowdBackend;
 use crate::error::{QurkError, Result};
 use crate::hit::batch::combine_questions;
 use crate::lang::ast::{ResponseOption, ResponseSpec};
-use crate::ops::common::{run_and_collect, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
+use crate::ops::common::{Round, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
 use crate::task::{CombinerKind, TaskDef, TaskType};
 use crate::value::Value;
 
@@ -129,8 +129,9 @@ impl GenerativeOp {
             all
         };
         let num_specs = specs.len();
-        let group = backend.post(specs, self.assignments);
-        let by_hit = run_and_collect(backend, group, self.limit_secs)?;
+        let round = Round::post(backend, specs, self.assignments);
+        let group = round.group();
+        let by_hit = round.complete(backend, self.limit_secs)?;
 
         // Flattened question order -> (item_idx, field_idx).
         let nf = task.fields.len();

@@ -23,7 +23,7 @@ use qurk_crowd::{HitSpec, ItemId, WorkerId};
 
 use crate::backend::CrowdBackend;
 use crate::error::Result;
-use crate::ops::common::{run_and_collect, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
+use crate::ops::common::{Round, WorkerInterner, DEFAULT_ROUND_LIMIT_SECS};
 use crate::task::CombinerKind;
 
 pub use feature_filter::{FeatureFilter, FeatureFilterConfig, FeatureFilterOutcome};
@@ -105,8 +105,9 @@ impl JoinOp {
         // question addresses.
         let (specs, layout) = self.compile(left, right, &pairs);
         let num_hits = specs.len();
-        let group = backend.post(specs, self.assignments);
-        let by_hit = run_and_collect(backend, group, self.limit_secs)?;
+        let round = Round::post(backend, specs, self.assignments);
+        let group = round.group();
+        let by_hit = round.complete(backend, self.limit_secs)?;
 
         let mut pair_votes: HashMap<(usize, usize), Vec<(WorkerId, bool)>> = HashMap::new();
         for (spec_idx, hit_id) in backend.group_hits(group).into_iter().enumerate() {
@@ -440,8 +441,9 @@ pub mod feature_filter {
                 all
             };
             let hits_posted = specs.len();
-            let group = backend.post(specs, self.config.assignments);
-            let by_hit = run_and_collect(backend, group, self.config.limit_secs)?;
+            let round = Round::post(backend, specs, self.config.assignments);
+            let group = round.group();
+            let by_hit = round.complete(backend, self.config.limit_secs)?;
 
             // Flattened question order -> (item_idx, feature_idx).
             let nf = features.len();

@@ -27,7 +27,7 @@ use qurk_crowd::{HitSpec, ItemId};
 
 use crate::backend::CrowdBackend;
 use crate::error::Result;
-use crate::ops::common::{run_and_collect, DEFAULT_ROUND_LIMIT_SECS};
+use crate::ops::common::{Round, DEFAULT_ROUND_LIMIT_SECS};
 
 /// Result of a sort run.
 #[derive(Debug, Clone)]
@@ -173,8 +173,8 @@ impl CompareSort {
             HitKind::SortCompare,
         );
         let hits_posted = specs.len();
-        let group_id = backend.post(specs, self.assignments);
-        let by_hit = run_and_collect(backend, group_id, self.limit_secs)?;
+        let round = Round::post(backend, specs, self.assignments);
+        let by_hit = round.complete(backend, self.limit_secs)?;
 
         // Accumulate pairwise wins from every ordering answer.
         let index: HashMap<ItemId, usize> =
@@ -397,8 +397,9 @@ impl RateSort {
         let specs =
             crate::hit::batch::merge_into_hits(questions, self.batch_size, HitKind::SortRate);
         let hits_posted = specs.len();
-        let group = backend.post(specs, self.assignments);
-        let by_hit = run_and_collect(backend, group, self.limit_secs)?;
+        let round = Round::post(backend, specs, self.assignments);
+        let group = round.group();
+        let by_hit = round.complete(backend, self.limit_secs)?;
 
         // Per-item rating samples. Question order is items order.
         let mut ratings: Vec<Vec<f64>> = vec![Vec::new(); items.len()];
@@ -571,8 +572,8 @@ impl HybridSort {
                 }],
                 HitKind::SortCompare,
             );
-            let gid = backend.post(vec![spec], self.assignments);
-            let by_hit = run_and_collect(backend, gid, self.limit_secs)?;
+            let round = Round::post(backend, vec![spec], self.assignments);
+            let by_hit = round.complete(backend, self.limit_secs)?;
             hits_posted += 1;
             for assignments in by_hit.values() {
                 for a in assignments {
@@ -663,8 +664,9 @@ pub fn extract_best<B: CrowdBackend + ?Sized>(
             })
             .collect();
         hits += specs.len();
-        let group = backend.post(specs, assignments);
-        let by_hit = run_and_collect(backend, group, DEFAULT_ROUND_LIMIT_SECS)?;
+        let round = Round::post(backend, specs, assignments);
+        let group = round.group();
+        let by_hit = round.complete(backend, DEFAULT_ROUND_LIMIT_SECS)?;
         let mut winners: Vec<ItemId> = Vec::new();
         for hit_id in backend.group_hits(group) {
             let Some(assignments) = by_hit.get(&hit_id) else {

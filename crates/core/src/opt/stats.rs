@@ -22,8 +22,18 @@
 //! executed operator feeds it, and estimates are exposed as `Option` —
 //! `None` means "no evidence", which the planner treats as "keep the
 //! as-written plan".
+//!
+//! For the multi-tenant service ([`crate::service`]) the store comes in
+//! a thread-safe flavor, [`SharedStatistics`], with **merge-on-commit**
+//! semantics: each query takes a [`SharedStatistics::snapshot`] at
+//! admission, learns into its private copy while running, and commits
+//! only the [`StatisticsStore::diff`] against its snapshot when it
+//! completes. Concurrent queries therefore never observe each other's
+//! half-finished evidence (snapshot isolation), and no update is lost
+//! (deltas of monotone counters merge associatively).
 
 use std::collections::HashMap;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A pass/fail tally (filter tuples, join pairs).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -121,7 +131,7 @@ impl StatisticsStore {
     // ---------------------------------------------------- observation
 
     /// A crowd filter evaluated `seen` tuples and passed `passed`.
-    pub fn observe_filter(&mut self, task: &str, seen: usize, passed: usize) {
+    pub fn record_filter(&mut self, task: &str, seen: usize, passed: usize) {
         let t = self.filters.entry(task.to_owned()).or_default();
         t.seen += seen as u64;
         t.passed += passed as u64;
@@ -129,7 +139,7 @@ impl StatisticsStore {
 
     /// A crowd join scored `pairs` candidate pairs and matched
     /// `matches` of them.
-    pub fn observe_join(&mut self, task: &str, pairs: usize, matches: usize) {
+    pub fn record_join(&mut self, task: &str, pairs: usize, matches: usize) {
         let t = self.joins.entry(task.to_owned()).or_default();
         t.seen += pairs as u64;
         t.passed += matches as u64;
@@ -138,14 +148,14 @@ impl StatisticsStore {
     /// A feature extraction measured this κ and selectivity (§3.2's
     /// sampled tests). Later observations replace earlier ones — the
     /// freshest sample wins.
-    pub fn observe_feature(&mut self, task: &str, kappa: f64, selectivity: f64) {
+    pub fn record_feature(&mut self, task: &str, kappa: f64, selectivity: f64) {
         self.features
             .insert(task.to_owned(), FeatureStat { kappa, selectivity });
     }
 
     /// A crowd sort of this dimension measured worker disagreement
     /// `ambiguity` ∈ [0, 1] (0 = unanimous, 1 = coin flips).
-    pub fn observe_sort(&mut self, dimension: &str, ambiguity: f64) {
+    pub fn record_sort(&mut self, dimension: &str, ambiguity: f64) {
         self.sorts
             .entry(dimension.to_owned())
             .or_default()
@@ -154,7 +164,7 @@ impl StatisticsStore {
 
     /// One completed metering epoch: `hits` HITs took `secs` of
     /// virtual time. Epochs with no HITs teach nothing about latency.
-    pub fn observe_epoch(&mut self, hits: u64, secs: f64) {
+    pub fn record_epoch(&mut self, hits: u64, secs: f64) {
         if hits > 0 && secs.is_finite() && secs >= 0.0 {
             self.epoch_hits += hits;
             self.epoch_secs += secs;
@@ -165,7 +175,7 @@ impl StatisticsStore {
     /// total worker effort (Σ spec work-units × assignments) took
     /// `secs` from posting to last completion. Feeds the
     /// round-latency regression behind [`Self::latency_params`].
-    pub fn observe_round(&mut self, work_units: f64, secs: f64) {
+    pub fn record_round(&mut self, work_units: f64, secs: f64) {
         if work_units <= 0.0 || !work_units.is_finite() || !secs.is_finite() || secs <= 0.0 {
             return;
         }
@@ -175,6 +185,39 @@ impl StatisticsStore {
         self.rounds.sum_t += secs;
         self.rounds.sum_hh += h * h;
         self.rounds.sum_ht += h * secs;
+    }
+
+    // Legacy `observe_*` names, kept for source compatibility with the
+    // pre-service API; new code uses `record_*`.
+
+    /// Alias for [`Self::record_filter`].
+    pub fn observe_filter(&mut self, task: &str, seen: usize, passed: usize) {
+        self.record_filter(task, seen, passed);
+    }
+
+    /// Alias for [`Self::record_join`].
+    pub fn observe_join(&mut self, task: &str, pairs: usize, matches: usize) {
+        self.record_join(task, pairs, matches);
+    }
+
+    /// Alias for [`Self::record_feature`].
+    pub fn observe_feature(&mut self, task: &str, kappa: f64, selectivity: f64) {
+        self.record_feature(task, kappa, selectivity);
+    }
+
+    /// Alias for [`Self::record_sort`].
+    pub fn observe_sort(&mut self, dimension: &str, ambiguity: f64) {
+        self.record_sort(dimension, ambiguity);
+    }
+
+    /// Alias for [`Self::record_epoch`].
+    pub fn observe_epoch(&mut self, hits: u64, secs: f64) {
+        self.record_epoch(hits, secs);
+    }
+
+    /// Alias for [`Self::record_round`].
+    pub fn observe_round(&mut self, work_units: f64, secs: f64) {
+        self.record_round(work_units, secs);
     }
 
     // ------------------------------------------------------ estimates
@@ -265,6 +308,156 @@ impl StatisticsStore {
         self.rounds.sum_t += other.rounds.sum_t;
         self.rounds.sum_hh += other.rounds.sum_hh;
         self.rounds.sum_ht += other.rounds.sum_ht;
+    }
+
+    /// The evidence present in `self` but not in `base` — the inverse
+    /// of [`Self::merge`] for the monotone counters:
+    /// `base.merge(&grown.diff(&base))` reconstructs `grown` whenever
+    /// `grown` was produced by recording into a clone of `base`.
+    ///
+    /// Latest-wins entries (features) are included whenever `self`'s
+    /// value differs from `base`'s, so a re-sampled feature propagates
+    /// on commit.
+    pub fn diff(&self, base: &StatisticsStore) -> StatisticsStore {
+        let mut out = StatisticsStore::default();
+        for (k, t) in &self.filters {
+            let b = base.filters.get(k).copied().unwrap_or_default();
+            let d = Tally {
+                seen: t.seen.saturating_sub(b.seen),
+                passed: t.passed.saturating_sub(b.passed),
+            };
+            if d != Tally::default() {
+                out.filters.insert(k.clone(), d);
+            }
+        }
+        for (k, t) in &self.joins {
+            let b = base.joins.get(k).copied().unwrap_or_default();
+            let d = Tally {
+                seen: t.seen.saturating_sub(b.seen),
+                passed: t.passed.saturating_sub(b.passed),
+            };
+            if d != Tally::default() {
+                out.joins.insert(k.clone(), d);
+            }
+        }
+        for (k, f) in &self.features {
+            if base.features.get(k) != Some(f) {
+                out.features.insert(k.clone(), *f);
+            }
+        }
+        for (k, a) in &self.sorts {
+            let b = base.sorts.get(k).copied().unwrap_or_default();
+            if a.n > b.n {
+                out.sorts.insert(
+                    k.clone(),
+                    Avg {
+                        n: a.n - b.n,
+                        sum: (a.sum - b.sum).max(0.0),
+                    },
+                );
+            }
+        }
+        if self.epoch_hits > base.epoch_hits {
+            out.epoch_hits = self.epoch_hits - base.epoch_hits;
+            out.epoch_secs = (self.epoch_secs - base.epoch_secs).max(0.0);
+        }
+        if self.rounds.n > base.rounds.n {
+            out.rounds = RoundSums {
+                n: self.rounds.n - base.rounds.n,
+                sum_h: (self.rounds.sum_h - base.rounds.sum_h).max(0.0),
+                sum_t: (self.rounds.sum_t - base.rounds.sum_t).max(0.0),
+                sum_hh: (self.rounds.sum_hh - base.rounds.sum_hh).max(0.0),
+                sum_ht: (self.rounds.sum_ht - base.rounds.sum_ht).max(0.0),
+            };
+        }
+        out
+    }
+}
+
+/// Thread-safe [`StatisticsStore`] for the multi-tenant service.
+///
+/// Two usage patterns, both safe under concurrency:
+///
+/// * **Merge-on-commit** (the service scheduler's pattern): call
+///   [`snapshot`](Self::snapshot) when a query is admitted, let the
+///   query learn into its private copy, then
+///   [`commit`](Self::commit) the [`StatisticsStore::diff`] against
+///   the snapshot when it finishes. Concurrent queries never see each
+///   other's in-flight evidence, and committed deltas merge without
+///   loss.
+/// * **One-shot writers**: the `record_*` methods take the write lock
+///   for a single observation.
+///
+/// A poisoned lock (a panicking writer) is recovered rather than
+/// propagated: every recorded quantity is a monotone tally, so the
+/// store is never left in a torn state worth discarding.
+#[derive(Debug, Default)]
+pub struct SharedStatistics {
+    inner: RwLock<StatisticsStore>,
+}
+
+impl SharedStatistics {
+    /// Wrap an existing store (empty via `SharedStatistics::default()`).
+    pub fn new(initial: StatisticsStore) -> Self {
+        SharedStatistics {
+            inner: RwLock::new(initial),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, StatisticsStore> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, StatisticsStore> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A consistent copy of the current evidence.
+    pub fn snapshot(&self) -> StatisticsStore {
+        self.read().clone()
+    }
+
+    /// Merge a completed query's learning delta (see
+    /// [`StatisticsStore::diff`]) into the shared evidence.
+    pub fn commit(&self, delta: &StatisticsStore) {
+        self.write().merge(delta);
+    }
+
+    /// Unwrap the store, recovering from poisoning.
+    pub fn into_inner(self) -> StatisticsStore {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Thread-safe [`StatisticsStore::record_filter`].
+    pub fn record_filter(&self, task: &str, seen: usize, passed: usize) {
+        self.write().record_filter(task, seen, passed);
+    }
+
+    /// Thread-safe [`StatisticsStore::record_join`].
+    pub fn record_join(&self, task: &str, pairs: usize, matches: usize) {
+        self.write().record_join(task, pairs, matches);
+    }
+
+    /// Thread-safe [`StatisticsStore::record_feature`].
+    pub fn record_feature(&self, task: &str, kappa: f64, selectivity: f64) {
+        self.write().record_feature(task, kappa, selectivity);
+    }
+
+    /// Thread-safe [`StatisticsStore::record_sort`].
+    pub fn record_sort(&self, dimension: &str, ambiguity: f64) {
+        self.write().record_sort(dimension, ambiguity);
+    }
+
+    /// Thread-safe [`StatisticsStore::record_epoch`].
+    pub fn record_epoch(&self, hits: u64, secs: f64) {
+        self.write().record_epoch(hits, secs);
+    }
+
+    /// Thread-safe [`StatisticsStore::record_round`].
+    pub fn record_round(&self, work_units: f64, secs: f64) {
+        self.write().record_round(work_units, secs);
     }
 }
 
@@ -367,5 +560,93 @@ mod tests {
         assert_eq!(a.join_selectivity("j"), Some(0.1));
         assert!(a.feature("g").is_some());
         assert_eq!(a.secs_per_hit(), Some(10.0));
+    }
+
+    #[test]
+    fn diff_then_merge_round_trips() {
+        let mut base = StatisticsStore::new();
+        base.record_filter("f", 10, 5);
+        base.record_join("j", 100, 10);
+        base.record_feature("g", 0.8, 0.5);
+        base.record_sort("d", 0.4);
+        base.record_epoch(5, 50.0);
+        base.record_round(4.0, 200.0);
+
+        let mut grown = base.clone();
+        grown.record_filter("f", 10, 1);
+        grown.record_filter("f2", 6, 6);
+        grown.record_feature("g", 0.2, 0.3); // re-sampled
+        grown.record_sort("d", 0.8);
+        grown.record_epoch(10, 100.0);
+        grown.record_round(8.0, 300.0);
+
+        let delta = grown.diff(&base);
+        // The delta carries only the new evidence…
+        assert_eq!(delta.filter_selectivity("f"), Some(0.1));
+        assert_eq!(delta.filter_selectivity("f2"), Some(1.0));
+        assert_eq!(delta.join_selectivity("j"), None);
+        assert_eq!(delta.feature("g").unwrap().kappa, 0.2);
+        // …and replaying it over the base reconstructs the grown store.
+        let mut replayed = base.clone();
+        replayed.merge(&delta);
+        assert_eq!(
+            replayed.filter_selectivity("f"),
+            grown.filter_selectivity("f")
+        );
+        assert_eq!(replayed.sort_ambiguity("d"), grown.sort_ambiguity("d"));
+        assert_eq!(replayed.secs_per_hit(), grown.secs_per_hit());
+        assert_eq!(replayed.latency_params(), grown.latency_params());
+    }
+
+    #[test]
+    fn diff_of_unchanged_store_is_empty() {
+        let mut base = StatisticsStore::new();
+        base.record_filter("f", 10, 5);
+        base.record_feature("g", 0.8, 0.5);
+        let delta = base.clone().diff(&base);
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn shared_statistics_snapshot_commit_isolation() {
+        let shared = SharedStatistics::new(StatisticsStore::new());
+        shared.record_filter("f", 10, 5);
+
+        // Two "queries" snapshot the same base and learn privately.
+        let base_a = shared.snapshot();
+        let base_b = shared.snapshot();
+        let mut a = base_a.clone();
+        a.record_filter("f", 10, 1);
+        let mut b = base_b.clone();
+        b.record_filter("f", 20, 8);
+
+        // Neither sees the other before commit.
+        assert_eq!(shared.snapshot().filter_selectivity("f"), Some(0.5));
+        shared.commit(&a.diff(&base_a));
+        shared.commit(&b.diff(&base_b));
+        // 10+10+20 seen, 5+1+8 passed — both deltas landed.
+        assert_eq!(shared.snapshot().filter_selectivity("f"), Some(0.35));
+    }
+
+    #[test]
+    fn shared_statistics_concurrent_writers_lose_nothing() {
+        use std::sync::Arc;
+        let shared = Arc::new(SharedStatistics::default());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        shared.record_filter("f", 1, 1);
+                        shared.record_epoch(1, 2.0);
+                    }
+                });
+            }
+        });
+        let store = Arc::try_unwrap(shared).unwrap().into_inner();
+        assert_eq!(store.filter_selectivity("f"), Some(1.0));
+        assert_eq!(store.secs_per_hit(), Some(2.0));
+        let delta = store.diff(&StatisticsStore::new());
+        assert_eq!(delta.filter_selectivity("f"), Some(1.0));
     }
 }

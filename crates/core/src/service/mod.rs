@@ -1,0 +1,50 @@
+//! Multi-tenant query service: concurrent sessions over one shared
+//! marketplace clock.
+//!
+//! Standalone [`Session`](crate::session::Session)s each own a
+//! backend, so two users' queries run against *separate* simulated
+//! marketplaces — separate clocks, separate caches, double pay for
+//! identical work. This module multiplexes many queries, from many
+//! tenants, onto **one** marketplace:
+//!
+//! ```text
+//!   tenant A ──┐                              ┌────────────────────┐
+//!   tenant B ──┼─ submit ─► QueryService ───► │ deterministic      │
+//!   tenant C ──┘  (admission: lint gate,      │ cooperative        │
+//!                  per-tenant budgets)        │ scheduler          │
+//!                                             └───────┬────────────┘
+//!                       one thread per query,         │ one
+//!                       resumed one at a time         ▼ marketplace step
+//!                  ┌──────────────┐  post   ┌────────────────────┐
+//!                  │ TenantBackend │ ──────► │ SharedMarket       │
+//!                  │ (yields on    │ ◄────── │ (CachingBackend:   │
+//!                  │  `run`)       │ results │  cross-tenant      │
+//!                  └──────────────┘          │  dedup, one clock) │
+//!                                            └────────────────────┘
+//! ```
+//!
+//! * [`scheduler`] — [`QueryService`](scheduler::QueryService): admission,
+//!   tenant budgets, and the rendezvous scheduler that interleaves
+//!   query rounds deterministically (N concurrent queries produce
+//!   byte-identical results to running them sequentially).
+//! * [`tenant`] — [`SharedMarket`](tenant::SharedMarket) (the one
+//!   mutex-guarded backend + per-query meters) and
+//!   [`TenantBackend`](tenant::TenantBackend) (a query's yielding
+//!   handle on it).
+//! * [`report`] — [`ServiceStats`](report::ServiceStats), the
+//!   multi-tenancy accounting attached to each
+//!   [`QueryReport`](crate::session::QueryReport).
+//! * [`protocol`] — the length-prefixed text wire protocol spoken by
+//!   the `qurk-serve` binary.
+//!
+//! See `docs/service.md` for the full design.
+
+pub mod protocol;
+pub mod report;
+pub mod scheduler;
+pub mod tenant;
+
+pub use protocol::Request;
+pub use report::ServiceStats;
+pub use scheduler::QueryService;
+pub use tenant::{SharedMarket, TenantBackend};

@@ -1,0 +1,198 @@
+//! The qurk-serve wire protocol: length-prefixed text frames.
+//!
+//! Frames are `<decimal byte length>\n<body>`, UTF-8, with no frame
+//! terminator beyond the counted bytes — trivially parseable from a
+//! socket or a shell script. Request bodies:
+//!
+//! ```text
+//! TENANT <name> [BUDGET <dollars>]   register a tenant (idempotent)
+//! QUERY <tenant> <sql ...>           queue a query for the tenant
+//! RUN                                execute all queued queries concurrently
+//! STATS                              shared-market totals
+//! QUIT                               close the connection
+//! ```
+//!
+//! Response bodies (one frame per request; `RUN` answers with one
+//! frame per queued query, in submission order, then an `OK` frame):
+//!
+//! ```text
+//! OK [<detail>]
+//! ERR <message>
+//! RESULT <tenant> <rows> rows $<spend> [<detail>]
+//! STATS <posted> posted <hits>/<misses> cache $<spend>
+//! BYE
+//! ```
+//!
+//! Dollar amounts are always formatted with three decimals so scripted
+//! sessions diff stably (the CI smoke job relies on this).
+
+use std::io::{self, BufRead, Write};
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `TENANT <name> [BUDGET <dollars>]`
+    Tenant { name: String, budget: Option<f64> },
+    /// `QUERY <tenant> <sql ...>`
+    Query { tenant: String, sql: String },
+    /// `RUN`
+    Run,
+    /// `STATS`
+    Stats,
+    /// `QUIT`
+    Quit,
+}
+
+impl Request {
+    /// Parse a frame body. Errors name the offending token.
+    pub fn parse(body: &str) -> Result<Request, String> {
+        let trimmed = body.trim_end_matches(['\n', '\r']);
+        let mut words = trimmed.splitn(2, ' ');
+        let verb = words.next().unwrap_or_default();
+        let rest = words.next().unwrap_or("").trim();
+        match verb {
+            "TENANT" => {
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| "TENANT requires a name".to_owned())?
+                    .to_owned();
+                let budget = match (parts.next(), parts.next()) {
+                    (None, _) => None,
+                    (Some("BUDGET"), Some(d)) => Some(
+                        d.parse::<f64>()
+                            .map_err(|_| format!("bad BUDGET amount {d:?}"))?,
+                    ),
+                    (Some(tok), _) => return Err(format!("unexpected token {tok:?}")),
+                };
+                Ok(Request::Tenant { name, budget })
+            }
+            "QUERY" => {
+                let mut parts = rest.splitn(2, ' ');
+                let tenant = parts
+                    .next()
+                    .filter(|t| !t.is_empty())
+                    .ok_or_else(|| "QUERY requires a tenant".to_owned())?
+                    .to_owned();
+                let sql = parts.next().unwrap_or("").trim().to_owned();
+                if sql.is_empty() {
+                    return Err("QUERY requires SQL text".to_owned());
+                }
+                Ok(Request::Query { tenant, sql })
+            }
+            "RUN" if rest.is_empty() => Ok(Request::Run),
+            "STATS" if rest.is_empty() => Ok(Request::Stats),
+            "QUIT" if rest.is_empty() => Ok(Request::Quit),
+            other => Err(format!("unknown request {other:?}")),
+        }
+    }
+}
+
+/// Write one `<len>\n<body>` frame.
+pub fn write_frame<W: Write>(w: &mut W, body: &str) -> io::Result<()> {
+    write!(w, "{}\n{}", body.len(), body)?;
+    w.flush()
+}
+
+/// Read one `<len>\n<body>` frame; `Ok(None)` at a clean EOF (before
+/// any length byte). Blank lines between frames are skipped, so a
+/// scripted session can separate frames for readability.
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+    let mut len_line = String::new();
+    loop {
+        len_line.clear();
+        if r.read_line(&mut len_line)? == 0 {
+            return Ok(None);
+        }
+        if !len_line.trim().is_empty() {
+            break;
+        }
+    }
+    let len: usize = len_line
+        .trim()
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad frame length"))?;
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))
+}
+
+/// Stable money formatting for responses (three decimals).
+pub fn fmt_dollars(d: f64) -> String {
+    format!("${d:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "TENANT alice BUDGET 2.5").unwrap();
+        write_frame(&mut buf, "RUN").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("TENANT alice BUDGET 2.5")
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("RUN"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn blank_lines_between_frames_are_skipped() {
+        let mut r = Cursor::new("\n\n3\nRUN\n\n4\nQUIT\n");
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("RUN"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("QUIT"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn parse_accepts_the_grammar() {
+        assert_eq!(
+            Request::parse("TENANT alice"),
+            Ok(Request::Tenant {
+                name: "alice".into(),
+                budget: None
+            })
+        );
+        assert_eq!(
+            Request::parse("TENANT bob BUDGET 1.25"),
+            Ok(Request::Tenant {
+                name: "bob".into(),
+                budget: Some(1.25)
+            })
+        );
+        assert_eq!(
+            Request::parse("QUERY alice SELECT * FROM people WHERE isTall(p)"),
+            Ok(Request::Query {
+                tenant: "alice".into(),
+                sql: "SELECT * FROM people WHERE isTall(p)".into()
+            })
+        );
+        assert_eq!(Request::parse("RUN"), Ok(Request::Run));
+        assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert!(Request::parse("TENANT").is_err());
+        assert!(Request::parse("TENANT a EXTRA").is_err());
+        assert!(Request::parse("TENANT a BUDGET lots").is_err());
+        assert!(Request::parse("QUERY alice").is_err());
+        assert!(Request::parse("QUERY").is_err());
+        assert!(Request::parse("EXPLODE now").is_err());
+        assert!(Request::parse("RUN now").is_err());
+    }
+
+    #[test]
+    fn dollars_are_stable() {
+        assert_eq!(fmt_dollars(0.0), "$0.000");
+        assert_eq!(fmt_dollars(1.0 / 3.0), "$0.333");
+    }
+}

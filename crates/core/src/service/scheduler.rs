@@ -1,0 +1,478 @@
+//! The deterministic cooperative scheduler.
+//!
+//! No async runtime is available (dependencies are vendored), so
+//! concurrency is plain threads in **strict rendezvous**: every query
+//! runs on its own OS thread, but the scheduler resumes exactly one
+//! thread at a time and blocks until that thread either *yields* (its
+//! next crowd round is posted and it needs the marketplace to run —
+//! [`TenantBackend`]'s `run` sends [`SchedulerEvent::NeedCrowd`]) or
+//! *finishes*. At any instant at most one query executes, so a batch
+//! of N concurrent queries is a deterministic interleaving — byte-
+//! identical results to sequential execution on a replayed crowd
+//! (tested in `tests/service_multi_tenant.rs`).
+//!
+//! The scheduler alternates two phases:
+//!
+//! 1. **Poll** — resume runnable queries in submission order. A query
+//!    that yields with all its groups already complete (fully cached
+//!    round) becomes runnable again immediately, no marketplace step.
+//! 2. **Marketplace** — every running query is parked on a posted
+//!    round. Run the one shared backend in stages toward the waiting
+//!    queries' deadlines (nearest first) and stop as soon as any
+//!    query's round resolves: complete (its outstanding work hit
+//!    zero) or timed out (the shared clock passed its deadline).
+//!    Queries resolved while ≥ 2 were parked count the round as
+//!    *shared* — one marketplace step served several tenants.
+//!
+//! Statistics follow **snapshot isolation** (see
+//! [`SharedStatistics`]): each query learns into a private copy seeded
+//! from the batch-start snapshot, and deltas are committed in
+//! submission order after the batch — concurrent queries never see
+//! each other's half-finished evidence, and what a batch learns only
+//! steers the *next* batch's plans.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+
+use qurk_crowd::market::RunOutcome;
+
+use crate::analyze::{analyze_query, LintPolicy};
+use crate::backend::CrowdBackend;
+use crate::catalog::Catalog;
+use crate::error::{QurkError, Result};
+use crate::lang::parser::parse_query;
+use crate::opt::stats::{SharedStatistics, StatisticsStore};
+use crate::service::report::ServiceStats;
+use crate::service::tenant::{SharedMarket, TenantBackend};
+use crate::session::{ExecConfig, QueryReport, Session};
+
+/// Wake-up message from scheduler to a parked query thread.
+#[derive(Debug)]
+pub enum Resume {
+    /// Begin executing (sent exactly once, before the session runs).
+    Start,
+    /// The marketplace step for the query's posted round finished with
+    /// this outcome.
+    Round(RunOutcome),
+}
+
+/// What a query thread sends the scheduler.
+#[derive(Debug)]
+pub enum SchedulerEvent {
+    /// The query posted a round and yields until the shared
+    /// marketplace has run for up to `limit_secs` of virtual time.
+    NeedCrowd { query: usize, limit_secs: f64 },
+    /// The query finished (successfully or not).
+    Done { query: usize, msg: Box<DoneMsg> },
+}
+
+/// A finished query's payload.
+#[derive(Debug)]
+pub struct DoneMsg {
+    pub result: Result<QueryReport>,
+    /// What the query learned beyond the batch-start snapshot.
+    pub stats_delta: StatisticsStore,
+}
+
+/// One registered tenant.
+#[derive(Debug, Clone)]
+struct TenantState {
+    name: String,
+    /// Cumulative dollar cap across all the tenant's queries.
+    budget: Option<f64>,
+    /// Dollars attributed so far.
+    spent: f64,
+}
+
+/// One admitted, not-yet-executed query.
+struct Submission {
+    tenant: usize,
+    sql: String,
+    budget: Option<f64>,
+}
+
+/// Deadline slack: a round whose deadline the clock has reached within
+/// this tolerance counts as expired (guards float accumulation across
+/// staged runs).
+const DEADLINE_EPS: f64 = 1e-9;
+
+/// A multi-tenant query service over one shared marketplace.
+///
+/// ```text
+/// let mut svc = QueryService::new(&catalog, backend);
+/// svc.register_tenant("alice", Some(5.0));
+/// svc.register_tenant("bob", None);
+/// svc.submit("alice", "SELECT ...")?;
+/// svc.submit("bob", "SELECT ...")?;
+/// let reports = svc.run_pending();   // concurrent, deterministic
+/// ```
+///
+/// Queries admitted by [`Self::submit`] execute concurrently on the
+/// next [`Self::run_pending`], sharing the marketplace clock, the
+/// task cache (identical specs across tenants are paid for once) and
+/// the statistics store.
+pub struct QueryService<'c, B: CrowdBackend> {
+    catalog: &'c Catalog,
+    shared: Arc<SharedMarket<B>>,
+    stats: SharedStatistics,
+    config: ExecConfig,
+    tenants: Vec<TenantState>,
+    pending: Vec<Submission>,
+}
+
+impl<'c, B: CrowdBackend> QueryService<'c, B> {
+    /// A service with default execution configuration.
+    pub fn new(catalog: &'c Catalog, backend: B) -> Self {
+        Self::with_config(catalog, backend, ExecConfig::default())
+    }
+
+    /// A service whose sessions run under `config` (lint policy,
+    /// operator defaults, optimizer mode).
+    pub fn with_config(catalog: &'c Catalog, backend: B, config: ExecConfig) -> Self {
+        QueryService {
+            catalog,
+            shared: Arc::new(SharedMarket::new(backend)),
+            stats: SharedStatistics::default(),
+            config,
+            tenants: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Register (or re-budget) a tenant. `budget` caps the tenant's
+    /// cumulative attributed spend across all its queries; `None`
+    /// means uncapped.
+    pub fn register_tenant(&mut self, name: &str, budget: Option<f64>) {
+        if let Some(t) = self.tenants.iter_mut().find(|t| t.name == name) {
+            t.budget = budget;
+        } else {
+            self.tenants.push(TenantState {
+                name: name.to_owned(),
+                budget,
+                spent: 0.0,
+            });
+        }
+    }
+
+    fn tenant_index(&self, name: &str) -> Result<usize> {
+        self.tenants
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| QurkError::Other(format!("unknown tenant {name:?}")))
+    }
+
+    /// Dollars attributed to a tenant so far.
+    pub fn tenant_spent(&self, name: &str) -> Result<f64> {
+        Ok(self.tenants[self.tenant_index(name)?].spent)
+    }
+
+    /// Admit a query for a tenant. Admission runs the pre-flight
+    /// analyzer ([`crate::analyze`]) against the current shared
+    /// statistics: under [`LintPolicy::Deny`] a query with error-level
+    /// diagnostics is rejected here, before anything is queued.
+    /// Returns the submission's position in the next
+    /// [`Self::run_pending`] batch.
+    pub fn submit(&mut self, tenant: &str, sql: &str) -> Result<usize> {
+        self.submit_with_budget(tenant, sql, None)
+    }
+
+    /// [`Self::submit`] with a per-query dollar budget (combined with
+    /// the tenant budget: the query runs under the tighter of the two).
+    pub fn submit_with_budget(
+        &mut self,
+        tenant: &str,
+        sql: &str,
+        budget: Option<f64>,
+    ) -> Result<usize> {
+        let tenant = self.tenant_index(tenant)?;
+        let parsed = parse_query(sql)?;
+        if self.config.lint.policy != LintPolicy::Allow {
+            let snapshot = self.stats.snapshot();
+            let diagnostics =
+                analyze_query(sql, &parsed, self.catalog, &self.config, &snapshot, budget)?;
+            if self.config.lint.policy == LintPolicy::Deny
+                && diagnostics.iter().any(crate::analyze::Diagnostic::is_error)
+            {
+                return Err(QurkError::Rejected { diagnostics });
+            }
+        }
+        self.pending.push(Submission {
+            tenant,
+            sql: sql.to_owned(),
+            budget,
+        });
+        Ok(self.pending.len() - 1)
+    }
+
+    /// Number of admitted, not-yet-executed queries.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The shared market (totals, cache stats) — for reporting.
+    pub fn market(&self) -> &SharedMarket<B> {
+        &self.shared
+    }
+
+    /// The shared statistics store.
+    pub fn statistics(&self) -> &SharedStatistics {
+        &self.stats
+    }
+
+    /// Tear down the service, returning the inner backend (e.g. to
+    /// export a [`RecordingBackend`](crate::backend::RecordingBackend)
+    /// trace after a serving run).
+    ///
+    /// # Panics
+    /// Panics if called while queries are still running (they hold the
+    /// shared market). Between [`Self::run_pending`] calls every
+    /// tenant backend has been dropped, so this always succeeds.
+    pub fn into_backend(self) -> B {
+        Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("tenant backends still hold the shared market")
+            .into_backend()
+    }
+
+    /// The dollar budget a submission may spend right now: the tighter
+    /// of its own budget and what its tenant has left.
+    fn effective_budget(&self, job: &Submission) -> Option<f64> {
+        let t = &self.tenants[job.tenant];
+        let tenant_left = t.budget.map(|b| (b - t.spent).max(0.0));
+        match (job.budget, tenant_left) {
+            (Some(q), Some(r)) => Some(q.min(r)),
+            (Some(q), None) => Some(q),
+            (None, r) => r,
+        }
+    }
+
+    /// Execute every pending query **concurrently** against the shared
+    /// marketplace and return their reports in submission order.
+    ///
+    /// Concurrency is cooperative and deterministic (module docs);
+    /// budgets are fixed at batch start, so two same-tenant queries in
+    /// one batch can jointly overshoot a tenant budget by at most one
+    /// round each — the budget is re-checked before every subsequent
+    /// batch.
+    pub fn run_pending(&mut self) -> Vec<Result<QueryReport>> {
+        let jobs = std::mem::take(&mut self.pending);
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let snapshot = self.stats.snapshot();
+        let budgets: Vec<Option<f64>> = jobs.iter().map(|j| self.effective_budget(j)).collect();
+
+        enum TaskState {
+            Runnable(Resume),
+            Waiting { deadline: f64 },
+            Finished,
+        }
+        struct TaskCtl {
+            resume_tx: Sender<Resume>,
+            state: TaskState,
+            market_query: usize,
+            rounds: u64,
+            rounds_shared: u64,
+            queue_wait_secs: f64,
+            done: Option<Box<DoneMsg>>,
+        }
+
+        let (event_tx, event_rx) = channel::<SchedulerEvent>();
+
+        // `tasks` (and its resume senders) must live *inside* the
+        // scope: if the scheduler panics, dropping the senders is what
+        // unparks the query threads so the scope's implicit join can
+        // finish instead of deadlocking.
+        let mut tasks = std::thread::scope(|scope| {
+            let mut tasks: Vec<TaskCtl> = Vec::new();
+            for (i, job) in jobs.iter().enumerate() {
+                let market_query = self.shared.register_query();
+                let (resume_tx, resume_rx) = channel::<Resume>();
+                let shared = Arc::clone(&self.shared);
+                let catalog = self.catalog;
+                let config = self.config.clone();
+                let seed_stats = snapshot.clone();
+                let budget = budgets[i];
+                let sql = job.sql.clone();
+                let tx = event_tx.clone();
+                scope.spawn(move || {
+                    // Rendezvous: do nothing until the scheduler says
+                    // so — at most one query thread runs at a time.
+                    if resume_rx.recv().is_err() {
+                        return; // scheduler vanished before start
+                    }
+                    let backend =
+                        TenantBackend::new(shared, market_query, i, tx.clone(), resume_rx);
+                    let msg = catch_unwind(AssertUnwindSafe(|| {
+                        let mut session = Session::builder()
+                            .catalog(catalog)
+                            .backend(backend)
+                            .config(config)
+                            .statistics(seed_stats.clone())
+                            .build();
+                        let builder = session.query(&sql);
+                        let builder = match budget {
+                            Some(b) => builder.budget_dollars(b),
+                            None => builder,
+                        };
+                        let result = builder.report();
+                        let stats_delta = session.statistics().diff(&seed_stats);
+                        DoneMsg {
+                            result,
+                            stats_delta,
+                        }
+                    }))
+                    .unwrap_or_else(|_| DoneMsg {
+                        result: Err(QurkError::Other("query thread panicked".to_owned())),
+                        stats_delta: StatisticsStore::new(),
+                    });
+                    let _ = tx.send(SchedulerEvent::Done {
+                        query: i,
+                        msg: Box::new(msg),
+                    });
+                });
+                tasks.push(TaskCtl {
+                    resume_tx,
+                    state: TaskState::Runnable(Resume::Start),
+                    market_query,
+                    rounds: 0,
+                    rounds_shared: 0,
+                    queue_wait_secs: 0.0,
+                    done: None,
+                });
+            }
+            // The scheduler's own sender would keep `event_rx` alive
+            // past the last Done; the threads hold their clones.
+            drop(event_tx);
+
+            let mut finished = 0usize;
+            while finished < tasks.len() {
+                // ---- poll phase: resume runnable queries in order.
+                if let Some(i) = tasks
+                    .iter()
+                    .position(|t| matches!(t.state, TaskState::Runnable(_)))
+                {
+                    let resume = match std::mem::replace(&mut tasks[i].state, TaskState::Finished) {
+                        TaskState::Runnable(r) => r,
+                        _ => unreachable!("guarded by the position() match above"),
+                    };
+                    // A failed send means the thread already finished;
+                    // its Done event is queued and consumed below.
+                    let _ = tasks[i].resume_tx.send(resume);
+                    match event_rx.recv() {
+                        Ok(SchedulerEvent::NeedCrowd { query, limit_secs }) => {
+                            tasks[query].rounds += 1;
+                            if self.shared.query_outstanding(tasks[query].market_query) == 0 {
+                                // Fully cached/complete round: runnable
+                                // again without a marketplace step.
+                                tasks[query].state =
+                                    TaskState::Runnable(Resume::Round(RunOutcome::Completed));
+                            } else {
+                                tasks[query].state = TaskState::Waiting {
+                                    deadline: self.shared.now().secs() + limit_secs,
+                                };
+                            }
+                        }
+                        Ok(SchedulerEvent::Done { query, msg }) => {
+                            tasks[query].done = Some(msg);
+                            tasks[query].state = TaskState::Finished;
+                            finished += 1;
+                        }
+                        Err(_) => {
+                            // All threads gone without a Done: every
+                            // remaining task is dead.
+                            break;
+                        }
+                    }
+                    continue;
+                }
+
+                // ---- marketplace phase: everyone is parked on a
+                // round. Run the shared clock toward the nearest
+                // deadlines, stopping at the first resolution.
+                let mut waiting: Vec<(f64, usize)> = tasks
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t.state {
+                        TaskState::Waiting { deadline } => Some((deadline, i)),
+                        _ => None,
+                    })
+                    .collect();
+                if waiting.is_empty() {
+                    break; // defensive: nothing runnable, nothing waiting
+                }
+                waiting.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let shared_round = waiting.len() >= 2;
+                let mut stages: Vec<f64> = waiting.iter().map(|&(d, _)| d).collect();
+                stages.dedup();
+                for stage in stages {
+                    let dt = stage - self.shared.now().secs();
+                    if dt > 0.0 {
+                        let _ = self.shared.run(dt);
+                    }
+                    let now = self.shared.now().secs();
+                    let mut resolved_any = false;
+                    for &(deadline, i) in &waiting {
+                        if !matches!(tasks[i].state, TaskState::Waiting { .. }) {
+                            continue;
+                        }
+                        let outstanding = self.shared.query_outstanding(tasks[i].market_query);
+                        let outcome = if outstanding == 0 {
+                            Some(RunOutcome::Completed)
+                        } else if now + DEADLINE_EPS >= deadline {
+                            Some(RunOutcome::TimedOut)
+                        } else {
+                            None
+                        };
+                        let Some(outcome) = outcome else { continue };
+                        if outcome == RunOutcome::Completed {
+                            let completion = self.shared.completion_time(tasks[i].market_query);
+                            tasks[i].queue_wait_secs += (now - completion).max(0.0);
+                        }
+                        if shared_round {
+                            tasks[i].rounds_shared += 1;
+                        }
+                        tasks[i].state = TaskState::Runnable(Resume::Round(outcome));
+                        resolved_any = true;
+                    }
+                    if resolved_any {
+                        break;
+                    }
+                }
+            }
+            tasks
+        });
+
+        // ---- collect, in submission order: commit learning, attribute
+        // spend, attach service stats.
+        let mut out = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            let task = &mut tasks[i];
+            let msg = task.done.take();
+            let spend = self.shared.query_spend(task.market_query);
+            self.tenants[job.tenant].spent += spend;
+            let result = match msg {
+                Some(msg) => {
+                    self.stats.commit(&msg.stats_delta);
+                    msg.result.map(|mut report| {
+                        report.service = Some(ServiceStats {
+                            tenant: self.tenants[job.tenant].name.clone(),
+                            queue_wait_secs: task.queue_wait_secs,
+                            rounds: task.rounds,
+                            rounds_shared: task.rounds_shared,
+                            shared_cache_hits: self.shared.query_cached_hits(task.market_query),
+                            saved_dollars: self.shared.query_saved(task.market_query),
+                        });
+                        report
+                    })
+                }
+                None => Err(QurkError::Other(
+                    "query thread terminated without a result".to_owned(),
+                )),
+            };
+            out.push(result);
+        }
+        out
+    }
+}

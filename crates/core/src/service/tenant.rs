@@ -1,0 +1,357 @@
+//! The shared marketplace and the per-query backends that feed it.
+//!
+//! One [`SharedMarket`] wraps the real backend (behind the session
+//! cache layer, a [`CachingBackend`]) in a mutex and is shared by
+//! every tenant's query. Each running query talks to it through its
+//! own [`TenantBackend`], which
+//!
+//! * forwards posts under the lock, **metering** which of the query's
+//!   specs were served live vs. from the shared cache (including
+//!   piggybacking on another tenant's identical in-flight spec), and
+//! * turns [`CrowdBackend::run`] into the cooperative **yield point**:
+//!   instead of driving the clock itself, the query parks on a
+//!   rendezvous channel and the scheduler advances the one shared
+//!   marketplace for everybody.
+//!
+//! Per-query dollar attribution is exact: every completed live
+//! assignment belongs to exactly one query's group, and both the
+//! simulator and the replay backend price assignments uniformly, so
+//! `Σ query_spend(q) == shared backend total spend` (tested in
+//! `tests/service_multi_tenant.rs`).
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use qurk_crowd::market::{Assignment, HitGroupId, HitId, RunOutcome};
+use qurk_crowd::sim::SimTime;
+use qurk_crowd::{HitSpec, WorkerId};
+
+use crate::backend::{CachingBackend, CrowdBackend};
+use crate::service::scheduler::{Resume, SchedulerEvent};
+
+/// Per-query usage meter inside the shared market.
+#[derive(Debug, Clone, Default)]
+struct QueryMeter {
+    /// (group, live assignments requested, posted at) per round.
+    groups: Vec<(HitGroupId, u64, SimTime)>,
+    /// HIT specs this query posted live (it owns their cost).
+    live_hits: u64,
+    /// HIT specs served from the cache or shared in flight.
+    cached_hits: u64,
+    /// Assignments the cache saved this query (cached specs × the
+    /// assignment count they would have requested).
+    saved_assignments: u64,
+}
+
+struct MarketInner<B> {
+    backend: CachingBackend<B>,
+    queries: Vec<QueryMeter>,
+}
+
+/// One marketplace, one task cache, many tenants. All access is
+/// serialized through a mutex; queries hold it only for individual
+/// backend calls, never across a yield.
+pub struct SharedMarket<B> {
+    inner: Mutex<MarketInner<B>>,
+}
+
+impl<B: CrowdBackend> SharedMarket<B> {
+    pub fn new(backend: B) -> Self {
+        SharedMarket {
+            inner: Mutex::new(MarketInner {
+                backend: CachingBackend::new(backend),
+                queries: Vec::new(),
+            }),
+        }
+    }
+
+    /// Every metered quantity is consistent on its own, so a panicked
+    /// holder (a dying query thread) leaves nothing torn worth
+    /// poisoning the whole service for.
+    fn lock(&self) -> MutexGuard<'_, MarketInner<B>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register a new query; the returned id keys its meter.
+    pub fn register_query(&self) -> usize {
+        let mut m = self.lock();
+        m.queries.push(QueryMeter::default());
+        m.queries.len() - 1
+    }
+
+    /// Post a group on behalf of `query`, metering the live/cached
+    /// split.
+    pub fn post(&self, query: usize, specs: Vec<HitSpec>, assignments: Option<u32>) -> HitGroupId {
+        let mut m = self.lock();
+        let n_eff = u64::from(assignments.unwrap_or_else(|| m.backend.default_assignments()));
+        let (h0, mi0) = m.backend.stats();
+        let posted_at = m.backend.now();
+        let group = m.backend.post(specs, assignments);
+        let (h1, mi1) = m.backend.stats();
+        let q = &mut m.queries[query];
+        q.cached_hits += h1 - h0;
+        q.live_hits += mi1 - mi0;
+        q.saved_assignments += (h1 - h0) * n_eff;
+        q.groups.push((group, (mi1 - mi0) * n_eff, posted_at));
+        group
+    }
+
+    /// Advance the shared clock (the scheduler's marketplace step).
+    pub fn run(&self, limit_secs: f64) -> RunOutcome {
+        self.lock().backend.run(limit_secs)
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.lock().backend.now()
+    }
+
+    /// Dollars per completed assignment (uniform in both the simulator
+    /// and the replay backend); 0 until anything completes.
+    fn unit_price(m: &MarketInner<B>) -> f64 {
+        let done = m.backend.assignments_completed();
+        if done == 0 {
+            0.0
+        } else {
+            m.backend.spend_dollars() / done as f64
+        }
+    }
+
+    fn completed_live(m: &MarketInner<B>, query: usize) -> u64 {
+        m.queries[query]
+            .groups
+            .iter()
+            .map(|&(g, requested, _)| {
+                requested.saturating_sub(u64::from(m.backend.live_outstanding(g)))
+            })
+            .sum()
+    }
+
+    /// Live assignments completed so far on this query's behalf.
+    pub fn query_assignments(&self, query: usize) -> u64 {
+        let m = self.lock();
+        Self::completed_live(&m, query)
+    }
+
+    /// Dollars attributable to this query (its completed live
+    /// assignments at the uniform rate).
+    pub fn query_spend(&self, query: usize) -> f64 {
+        let m = self.lock();
+        Self::completed_live(&m, query) as f64 * Self::unit_price(&m)
+    }
+
+    /// Dollars the shared cache saved this query.
+    pub fn query_saved(&self, query: usize) -> f64 {
+        let m = self.lock();
+        m.queries[query].saved_assignments as f64 * Self::unit_price(&m)
+    }
+
+    /// HIT specs this query posted live.
+    pub fn query_live_hits(&self, query: usize) -> u64 {
+        self.lock().queries[query].live_hits
+    }
+
+    /// HIT specs served to this query without posting.
+    pub fn query_cached_hits(&self, query: usize) -> u64 {
+        self.lock().queries[query].cached_hits
+    }
+
+    /// Assignments still outstanding across the query's groups
+    /// (counting in-flight work it shares with other queries' groups).
+    pub fn query_outstanding(&self, query: usize) -> u32 {
+        let m = self.lock();
+        m.queries[query]
+            .groups
+            .iter()
+            .map(|&(g, _, _)| m.backend.group_outstanding(g))
+            .sum()
+    }
+
+    /// Virtual time at which the query's crowd work was done: the max
+    /// over its groups of post time + last assignment latency. The gap
+    /// between this and the moment the scheduler resumes the query is
+    /// its queue wait.
+    pub fn completion_time(&self, query: usize) -> f64 {
+        let mut m = self.lock();
+        let groups = m.queries[query].groups.clone();
+        let mut t = 0.0f64;
+        for (g, _, posted_at) in groups {
+            if m.backend.group_outstanding(g) > 0 {
+                continue;
+            }
+            // Folds freshly completed (and shared) work into the
+            // cache so the latencies below are visible.
+            let _ = m.backend.assignments(g);
+            let last = m
+                .backend
+                .group_latencies(g)
+                .into_iter()
+                .fold(0.0f64, f64::max);
+            t = t.max(posted_at.secs() + last);
+        }
+        t
+    }
+
+    /// Total dollars spent by the shared backend (all tenants).
+    pub fn total_spend(&self) -> f64 {
+        self.lock().backend.spend_dollars()
+    }
+
+    /// Total HITs posted live to the shared backend (all tenants).
+    pub fn total_hits_posted(&self) -> usize {
+        self.lock().backend.hits_posted()
+    }
+
+    /// (cache hits, cache misses) across all tenants' specs.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.lock().backend.stats()
+    }
+
+    /// Cache hits that were in-flight shares (see
+    /// [`CachingBackend::shared_hits`]).
+    pub fn shared_hits(&self) -> u64 {
+        self.lock().backend.shared_hits()
+    }
+
+    /// Tear down the service wrapper, returning the inner backend.
+    ///
+    /// # Panics
+    /// Panics if tenant backends still hold the market.
+    pub fn into_backend(self) -> B {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .backend
+            .into_inner()
+    }
+}
+
+/// A query's private handle on the [`SharedMarket`]: a full
+/// [`CrowdBackend`] whose `run` yields to the scheduler instead of
+/// driving the clock, and whose usage counters report the *query's
+/// attributed share* of the market (so per-query metering, budgets and
+/// reports work unchanged).
+pub struct TenantBackend<B> {
+    shared: Arc<SharedMarket<B>>,
+    /// Market-side id (keys the meter; unique across batches).
+    query: usize,
+    /// Scheduler-side index within the current batch.
+    task: usize,
+    /// Rendezvous with the scheduler. Mutex-wrapped only to keep the
+    /// backend `Sync` (each backend is owned by exactly one query
+    /// thread; the lock is never contended).
+    yield_tx: Mutex<Sender<SchedulerEvent>>,
+    resume_rx: Mutex<Receiver<Resume>>,
+}
+
+impl<B: CrowdBackend> TenantBackend<B> {
+    /// Wire a new tenant backend to the market and its scheduler
+    /// channels (the scheduler keeps the other ends).
+    pub(crate) fn new(
+        shared: Arc<SharedMarket<B>>,
+        query: usize,
+        task: usize,
+        yield_tx: Sender<SchedulerEvent>,
+        resume_rx: Receiver<Resume>,
+    ) -> Self {
+        TenantBackend {
+            shared,
+            query,
+            task,
+            yield_tx: Mutex::new(yield_tx),
+            resume_rx: Mutex::new(resume_rx),
+        }
+    }
+
+    /// The market-side query id this backend posts as.
+    pub fn query_id(&self) -> usize {
+        self.query
+    }
+}
+
+impl<B: CrowdBackend> CrowdBackend for TenantBackend<B> {
+    fn post_group(&mut self, specs: Vec<HitSpec>) -> HitGroupId {
+        self.shared.post(self.query, specs, None)
+    }
+
+    fn post_group_with_assignments(&mut self, specs: Vec<HitSpec>, assignments: u32) -> HitGroupId {
+        self.shared.post(self.query, specs, Some(assignments))
+    }
+
+    /// The cooperative yield: park this query until the scheduler has
+    /// run the shared marketplace far enough to resolve its round. A
+    /// closed channel (scheduler gone) reads as a timeout, which the
+    /// operator surfaces as
+    /// [`QurkError::CrowdIncomplete`](crate::error::QurkError::CrowdIncomplete).
+    fn run(&mut self, limit_secs: f64) -> RunOutcome {
+        let sent = {
+            let tx = self.yield_tx.lock().unwrap_or_else(PoisonError::into_inner);
+            tx.send(SchedulerEvent::NeedCrowd {
+                query: self.task,
+                limit_secs,
+            })
+        };
+        if sent.is_err() {
+            return RunOutcome::TimedOut;
+        }
+        let rx = self
+            .resume_rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match rx.recv() {
+            Ok(Resume::Round(outcome)) => outcome,
+            // `Start` is consumed by the query thread before this
+            // backend exists; seeing it here means the scheduler is
+            // confused — fail the round rather than hang.
+            Ok(Resume::Start) | Err(_) => RunOutcome::TimedOut,
+        }
+    }
+
+    fn assignments(&mut self, group: HitGroupId) -> Vec<Assignment> {
+        let mut m = self.shared.lock();
+        m.backend.assignments(group)
+    }
+
+    fn group_hits(&self, group: HitGroupId) -> Vec<HitId> {
+        self.shared.lock().backend.group_hits(group)
+    }
+
+    fn group_latencies(&self, group: HitGroupId) -> Vec<f64> {
+        self.shared.lock().backend.group_latencies(group)
+    }
+
+    fn group_outstanding(&self, group: HitGroupId) -> u32 {
+        self.shared.lock().backend.group_outstanding(group)
+    }
+
+    fn hit_question_count(&self, hit: HitId) -> usize {
+        self.shared.lock().backend.hit_question_count(hit)
+    }
+
+    fn ban_workers(&mut self, workers: Vec<WorkerId>) {
+        self.shared.lock().backend.ban_workers(workers)
+    }
+
+    fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    // The usage counters report this query's attributed share, so the
+    // session's metering epochs and budget guard measure the tenant,
+    // not the whole market.
+
+    fn hits_posted(&self) -> usize {
+        self.shared.query_live_hits(self.query) as usize
+    }
+
+    fn spend_dollars(&self) -> f64 {
+        self.shared.query_spend(self.query)
+    }
+
+    fn assignments_completed(&self) -> u64 {
+        self.shared.query_assignments(self.query)
+    }
+
+    fn default_assignments(&self) -> u32 {
+        self.shared.lock().backend.default_assignments()
+    }
+}

@@ -61,6 +61,7 @@ use crate::opt::stats::StatisticsStore;
 use crate::plan::{plan_query, LogicalPlan};
 use crate::relation::Relation;
 use crate::schema::ValueType;
+use crate::service::report::ServiceStats;
 use crate::task::TaskType;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -129,6 +130,10 @@ pub struct QueryReport {
     /// Pre-flight analyzer findings (empty under
     /// [`LintPolicy::Allow`] or for clean queries).
     pub diagnostics: Vec<Diagnostic>,
+    /// Multi-tenant service accounting (queue wait, shared rounds,
+    /// dedup savings). `None` for queries run outside
+    /// [`crate::service`].
+    pub service: Option<ServiceStats>,
 }
 
 impl QueryReport {
@@ -149,6 +154,9 @@ impl QueryReport {
             .plan
             .render_with_logical(&self.explain, Some(&self.actual_usage()));
         out.push_str(&render_diagnostics(&self.diagnostics));
+        if let Some(svc) = &self.service {
+            out.push_str(&svc.render());
+        }
         out
     }
 }
@@ -355,9 +363,9 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
         let outcome = self.run_physical(&compiled.root, budget_dollars);
         let usage = self.backend.end_epoch();
         self.stats
-            .observe_epoch(usage.hits_posted as u64, usage.elapsed_secs);
+            .record_epoch(usage.hits_posted as u64, usage.elapsed_secs);
         for round in self.backend.last_epoch_groups() {
-            self.stats.observe_round(round.work_units, round.secs);
+            self.stats.record_round(round.work_units, round.secs);
         }
         Ok(QueryReport {
             relation: outcome?,
@@ -368,6 +376,7 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
             explain: logical.to_string(),
             plan,
             diagnostics,
+            service: None,
         })
     }
 
@@ -765,7 +774,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         let mask = op.run(self.backend, task.oracle_key(), &items)?;
         let passed = mask.iter().filter(|&&b| b).count();
         self.stats
-            .observe_filter(task.oracle_key(), items.len(), passed);
+            .record_filter(task.oracle_key(), items.len(), passed);
         let mut out = Relation::new(rel.schema().clone());
         for (k, &ri) in item_rows.iter().enumerate() {
             if mask[k] {
@@ -820,7 +829,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
         let masks = op.run_combined(self.backend, &predicates, &items)?;
         for (pi, &pred) in predicates.iter().enumerate() {
             let passed = masks.iter().filter(|m| m[pi]).count();
-            self.stats.observe_filter(pred, items.len(), passed);
+            self.stats.record_filter(pred, items.len(), passed);
         }
         let mut out = Relation::new(rel.schema().clone());
         for (k, &ri) in item_rows.iter().enumerate() {
@@ -891,7 +900,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
                         let mask = op.run(self.backend, task.oracle_key(), &items)?;
                         let passed = mask.iter().filter(|&&b| b).count();
                         self.stats
-                            .observe_filter(task.oracle_key(), items.len(), passed);
+                            .record_filter(task.oracle_key(), items.len(), passed);
                         for (k, &ri) in rows.iter().enumerate() {
                             group_mask[ri] = mask[k];
                         }
@@ -1036,7 +1045,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
             // Remember each sampled feature's κ/σ so the next query's
             // planner can prune known-bad features without re-sampling.
             for (fi, spec) in eq_specs.iter().enumerate() {
-                self.stats.observe_feature(
+                self.stats.record_feature(
                     &spec.name,
                     outcome.kappas[fi],
                     outcome.selectivities[fi],
@@ -1055,7 +1064,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
             .unwrap_or(left_items.len() * right_items.len());
         let outcome = op.run(self.backend, &left_items, &right_items, candidates.as_ref())?;
         self.stats
-            .observe_join(&clause.on.name, pairs_asked, outcome.matches.len());
+            .record_join(&clause.on.name, pairs_asked, outcome.matches.len());
 
         let schema = left_rel.schema().join(right_rel.schema());
         let mut out = Relation::new(schema);
@@ -1315,7 +1324,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
             }
         };
         if let Some(a) = ambiguity {
-            self.stats.observe_sort(dimension, a);
+            self.stats.record_sort(dimension, a);
         }
     }
 
@@ -1605,7 +1614,7 @@ mod tests {
     fn seeded_statistics_flow_through_builder() {
         let (catalog, market) = setup();
         let mut seed = StatisticsStore::new();
-        seed.observe_filter("isTall", 100, 50);
+        seed.record_filter("isTall", 100, 50);
         let session = Session::builder()
             .catalog(&catalog)
             .backend(market)

@@ -6,6 +6,7 @@
 //! scan.
 
 use qurk::backend::{CachingBackend, MeteringBackend, RecordingBackend, ReplayBackend};
+use qurk::service::{SharedMarket, TenantBackend};
 use qurk_crowd::Marketplace;
 
 fn assert_send_sync<T: Send + Sync>() {}
@@ -19,4 +20,8 @@ fn every_backend_impl_is_send_sync() {
     assert_send_sync::<ReplayBackend>();
     // Decorators preserve the bounds for any conforming inner backend.
     assert_send_sync::<RecordingBackend<MeteringBackend<CachingBackend<Marketplace>>>>();
+    // The service layer shares one market across query threads.
+    assert_send_sync::<SharedMarket<Marketplace>>();
+    assert_send_sync::<TenantBackend<Marketplace>>();
+    assert_send_sync::<TenantBackend<ReplayBackend>>();
 }

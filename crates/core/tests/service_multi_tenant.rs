@@ -1,0 +1,262 @@
+//! Acceptance tests for the multi-tenant query service
+//! (`qurk::service`): cross-tenant cache sharing pays for identical
+//! work exactly once, per-tenant metering sums to the shared backend's
+//! total spend, and N ≥ 8 concurrent queries are **deterministic** —
+//! byte-identical to running the same queries sequentially, proven on
+//! a replayed crowd.
+
+use qurk::backend::{RecordingBackend, ReplayBackend, ReplayTrace};
+use qurk::service::QueryService;
+use qurk::{Catalog, QurkError, Relation, Schema, Value, ValueType};
+use qurk_crowd::truth::{DimensionParams, PredicateTruth};
+use qurk_crowd::{CrowdConfig, EntityId, GroundTruth, Marketplace};
+
+/// Ten people, five tall, heights 0..10 — same world the session
+/// tests use, with a Filter task and a Rank task.
+fn world(seed: u64) -> (Catalog, Marketplace) {
+    let mut gt = GroundTruth::new();
+    gt.define_dimension("height", DimensionParams::crisp(0.02));
+    let items = gt.new_items(10);
+    for (i, &it) in items.iter().enumerate() {
+        gt.set_predicate(
+            it,
+            "isTall",
+            PredicateTruth {
+                value: i >= 5,
+                error_rate: 0.03,
+            },
+        );
+        gt.set_score(it, "height", i as f64);
+        gt.set_entity(it, EntityId(i as u64));
+    }
+    let market = Marketplace::new(&CrowdConfig::default().with_seed(seed), gt);
+
+    let mut catalog = Catalog::new();
+    let mut rel = Relation::new(Schema::new(&[
+        ("id", ValueType::Int),
+        ("img", ValueType::Item),
+    ]));
+    for (i, &it) in items.iter().enumerate() {
+        rel.push(vec![Value::Int(i as i64), Value::Item(it)])
+            .unwrap();
+    }
+    catalog.register_table("people", rel);
+    catalog
+        .define_tasks(
+            r#"TASK isTall(field) TYPE Filter:
+                Prompt: "<img src='%s'> Tall?", tuple[field]
+               TASK byHeight(field) TYPE Rank:
+                OrderDimensionName: "height"
+                Html: "<img src='%s'>", tuple[field]
+            "#,
+        )
+        .unwrap();
+    (catalog, market)
+}
+
+const FILTER_SQL: &str = "SELECT p.id FROM people AS p WHERE isTall(p.img)";
+const SORT_SQL: &str = "SELECT p.id FROM people AS p ORDER BY byHeight(p.img)";
+
+#[test]
+fn identical_specs_across_tenants_are_paid_once() {
+    let (catalog, market) = world(7);
+    let mut svc = QueryService::new(&catalog, RecordingBackend::new(market));
+    svc.register_tenant("alice", None);
+    svc.register_tenant("bob", None);
+    svc.submit("alice", FILTER_SQL).unwrap();
+    svc.submit("bob", FILTER_SQL).unwrap();
+    let reports = svc.run_pending();
+    assert_eq!(reports.len(), 2);
+    let a = reports[0].as_ref().unwrap();
+    let b = reports[1].as_ref().unwrap();
+
+    // Identical queries, identical answers.
+    assert_eq!(a.relation, b.relation);
+
+    // The shared market posted one query's worth of HITs; the second
+    // tenant's specs all rode the first tenant's in-flight rounds.
+    let (cache_hits, cache_misses) = svc.market().cache_stats();
+    assert!(cache_misses > 0);
+    assert_eq!(cache_hits, cache_misses, "bob mirrors alice spec-for-spec");
+    assert_eq!(svc.market().shared_hits(), cache_hits);
+    assert_eq!(svc.market().total_hits_posted() as u64, cache_misses);
+
+    // Attribution: alice paid for everything, bob for nothing, and the
+    // per-tenant meters sum exactly to the shared backend's spend.
+    let spent_a = svc.tenant_spent("alice").unwrap();
+    let spent_b = svc.tenant_spent("bob").unwrap();
+    let total = svc.market().total_spend();
+    assert!(spent_a > 0.0);
+    assert_eq!(spent_b, 0.0);
+    assert!(
+        (spent_a + spent_b - total).abs() < 1e-9,
+        "tenant meters ({spent_a} + {spent_b}) must sum to the market total ({total})"
+    );
+
+    // The service stats on bob's report say so.
+    let svc_b = b.service.as_ref().unwrap();
+    assert_eq!(svc_b.tenant, "bob");
+    assert_eq!(svc_b.shared_cache_hits, cache_hits);
+    assert!(
+        (svc_b.saved_dollars - total).abs() < 1e-9,
+        "bob saved exactly what alice paid"
+    );
+    let svc_a = a.service.as_ref().unwrap();
+    assert_eq!(svc_a.shared_cache_hits, 0);
+    assert!(svc_a.rounds > 0);
+    assert_eq!(svc_a.rounds, svc_b.rounds, "identical queries, same rounds");
+    assert!(
+        svc_b.rounds_shared > 0,
+        "bob's rounds overlapped alice's marketplace steps"
+    );
+
+    // The recording proves it end-to-end: the trace holds exactly the
+    // deduplicated spec set (one query's worth), not two.
+    let trace = svc.into_backend().into_trace();
+    assert_eq!(trace.len() as u64, cache_misses);
+}
+
+/// Record every spec the 8-query batch needs, then replay.
+fn record_trace(catalog: &Catalog, queries: &[(&str, &str)]) -> ReplayTrace {
+    let (_, market) = world(7);
+    let mut svc = QueryService::new(catalog, RecordingBackend::new(market));
+    for &(tenant, _) in queries {
+        svc.register_tenant(tenant, None);
+    }
+    for &(tenant, sql) in queries {
+        svc.submit(tenant, sql).unwrap();
+    }
+    for r in svc.run_pending() {
+        r.expect("recording run must succeed");
+    }
+    svc.into_backend().into_trace()
+}
+
+#[test]
+fn eight_concurrent_queries_match_sequential_byte_for_byte() {
+    let (catalog, _) = world(7);
+    let queries: Vec<(&str, &str)> = vec![
+        ("alice", FILTER_SQL),
+        ("bob", FILTER_SQL),
+        ("carol", SORT_SQL),
+        ("alice", SORT_SQL),
+        ("bob", "SELECT p.img FROM people AS p WHERE isTall(p.img)"),
+        ("carol", FILTER_SQL),
+        (
+            "alice",
+            "SELECT p.id, p.img FROM people AS p WHERE isTall(p.img)",
+        ),
+        ("bob", SORT_SQL),
+    ];
+    let trace = record_trace(&catalog, &queries);
+
+    // Concurrent: all 8 in one batch on one shared replayed market.
+    let mut conc = QueryService::new(&catalog, ReplayBackend::from_trace(trace.clone()));
+    for &(tenant, _) in &queries {
+        conc.register_tenant(tenant, None);
+    }
+    for &(tenant, sql) in &queries {
+        conc.submit(tenant, sql).unwrap();
+    }
+    let concurrent: Vec<_> = conc
+        .run_pending()
+        .into_iter()
+        .map(|r| r.expect("concurrent replay must succeed"))
+        .collect();
+    assert_eq!(concurrent.len(), 8);
+
+    // Sequential baseline: each query alone on its own replayed
+    // market, planned from the same (empty) statistics snapshot.
+    for (i, &(tenant, sql)) in queries.iter().enumerate() {
+        let mut seq = QueryService::new(&catalog, ReplayBackend::from_trace(trace.clone()));
+        seq.register_tenant(tenant, None);
+        seq.submit(tenant, sql).unwrap();
+        let report = seq.run_pending().pop().unwrap().expect("sequential replay");
+        assert_eq!(
+            format!("{:?}", concurrent[i].relation),
+            format!("{:?}", report.relation),
+            "query {i} ({sql}) diverged under concurrency"
+        );
+        assert_eq!(concurrent[i].relation.len(), report.relation.len());
+    }
+
+    // Attribution still sums exactly, eight ways.
+    let per_tenant: f64 = ["alice", "bob", "carol"]
+        .iter()
+        .map(|t| conc.tenant_spent(t).unwrap())
+        .sum();
+    let total = conc.market().total_spend();
+    assert!(
+        (per_tenant - total).abs() < 1e-9,
+        "tenant meters ({per_tenant}) must sum to the market total ({total})"
+    );
+    assert!(total > 0.0);
+}
+
+#[test]
+fn tenant_budgets_gate_queries_and_accumulate() {
+    let (catalog, market) = world(7);
+    let mut svc = QueryService::new(&catalog, market);
+    // Enough for the filter but not the sort behind it: the budget
+    // gate refuses the second crowd operator mid-query.
+    svc.register_tenant("cheap", Some(0.1));
+    svc.submit(
+        "cheap",
+        "SELECT p.id FROM people AS p WHERE isTall(p.img) ORDER BY byHeight(p.img)",
+    )
+    .unwrap();
+    let reports = svc.run_pending();
+    match &reports[0] {
+        Err(QurkError::BudgetExceeded { budget_dollars, .. }) => {
+            assert!(*budget_dollars <= 0.1);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    // What the failed query did spend is still attributed to the
+    // tenant, so the next query sees only the remainder.
+    let spent = svc.tenant_spent("cheap").unwrap();
+    assert!(spent > 0.0);
+    svc.submit("cheap", FILTER_SQL).unwrap();
+    match &svc.run_pending()[0] {
+        Err(QurkError::BudgetExceeded { spent_dollars, .. }) => {
+            // Refused before posting anything new.
+            assert_eq!(*spent_dollars, 0.0);
+        }
+        other => panic!("expected BudgetExceeded on the drained tenant, got {other:?}"),
+    }
+    assert_eq!(svc.tenant_spent("cheap").unwrap(), spent);
+}
+
+#[test]
+fn unknown_tenants_and_bad_queries_are_rejected_at_submit() {
+    let (catalog, market) = world(7);
+    let mut svc = QueryService::new(&catalog, market);
+    svc.register_tenant("alice", None);
+    assert!(svc.submit("mallory", FILTER_SQL).is_err());
+    assert!(svc
+        .submit("alice", "SELECT p.id FROM nosuch AS p WHERE isTall(p.img)")
+        .is_err());
+    assert_eq!(svc.pending_len(), 0);
+}
+
+#[test]
+fn a_service_survives_multiple_batches_and_reuses_the_cache() {
+    let (catalog, market) = world(7);
+    let mut svc = QueryService::new(&catalog, market);
+    svc.register_tenant("alice", None);
+    svc.submit("alice", FILTER_SQL).unwrap();
+    let first = svc.run_pending().pop().unwrap().unwrap();
+    let posted_after_first = svc.market().total_hits_posted();
+    assert!(posted_after_first > 0);
+
+    // Same query next batch: answered entirely from the shared cache.
+    svc.register_tenant("bob", None);
+    svc.submit("bob", FILTER_SQL).unwrap();
+    let second = svc.run_pending().pop().unwrap().unwrap();
+    assert_eq!(svc.market().total_hits_posted(), posted_after_first);
+    assert_eq!(first.relation, second.relation);
+    assert_eq!(svc.tenant_spent("bob").unwrap(), 0.0);
+    let stats = second.service.unwrap();
+    assert!(stats.shared_cache_hits > 0);
+    assert!(stats.saved_dollars > 0.0);
+}

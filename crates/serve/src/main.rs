@@ -1,0 +1,229 @@
+//! `qurk-serve` — a multi-tenant query server over one shared
+//! simulated marketplace.
+//!
+//! Reads length-prefixed request frames (see `qurk::service::protocol`)
+//! from a script file (`--script FILE`) or stdin, and writes one
+//! response frame per request to stdout. Queries queued by several
+//! tenants between `RUN` frames execute **concurrently** on the shared
+//! marketplace clock; identical HIT specs across tenants are posted
+//! (and paid for) once.
+//!
+//! ```text
+//! qurk-serve [--seed N] [--script FILE]
+//! ```
+//!
+//! The served world is fixed and deterministic for a given seed: a
+//! `people` table (10 rows, `isTall` filter + `byHeight` rank) and a
+//! `squares` table (6 squares from the paper's §4.2.1 dataset,
+//! `byArea` rank), so scripted sessions can be diffed byte-for-byte
+//! (the CI smoke job does exactly that).
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::process::ExitCode;
+
+use qurk::service::protocol::{fmt_dollars, read_frame, write_frame, Request};
+use qurk::service::QueryService;
+use qurk::{Catalog, Relation, Schema, Value, ValueType};
+use qurk_crowd::truth::{DimensionParams, PredicateTruth};
+use qurk_crowd::{CrowdConfig, EntityId, GroundTruth, Marketplace};
+use qurk_data::squares::{squares_dataset, AREA};
+
+/// The served catalog + marketplace: `people` and `squares`.
+fn world(seed: u64) -> (Catalog, Marketplace) {
+    let mut gt = GroundTruth::new();
+
+    // people: heights 0..10, the tallest five are "tall".
+    gt.define_dimension("height", DimensionParams::crisp(0.02));
+    let people = gt.new_items(10);
+    for (i, &it) in people.iter().enumerate() {
+        gt.set_predicate(
+            it,
+            "isTall",
+            PredicateTruth {
+                value: i >= 5,
+                error_rate: 0.03,
+            },
+        );
+        gt.set_score(it, "height", i as f64);
+        gt.set_entity(it, EntityId(i as u64));
+    }
+
+    // squares: §4.2.1, six squares sorted by area.
+    let squares = squares_dataset(&mut gt, 6);
+
+    let market = Marketplace::new(&CrowdConfig::default().with_seed(seed), gt);
+
+    let mut catalog = Catalog::new();
+    let mut people_rel = Relation::new(Schema::new(&[
+        ("id", ValueType::Int),
+        ("img", ValueType::Item),
+    ]));
+    for (i, &it) in people.iter().enumerate() {
+        people_rel
+            .push(vec![Value::Int(i as i64), Value::Item(it)])
+            .expect("people row matches schema");
+    }
+    catalog.register_table("people", people_rel);
+
+    let mut squares_rel = Relation::new(Schema::new(&[
+        ("label", ValueType::Text),
+        ("img", ValueType::Item),
+    ]));
+    for (i, &it) in squares.items.iter().enumerate() {
+        squares_rel
+            .push(vec![
+                Value::text(squares.labels[i].clone()),
+                Value::Item(it),
+            ])
+            .expect("squares row matches schema");
+    }
+    catalog.register_table("squares", squares_rel);
+
+    catalog
+        .define_tasks(&format!(
+            r#"TASK isTall(field) TYPE Filter:
+                Prompt: "<img src='%s'> Tall?", tuple[field]
+               TASK byHeight(field) TYPE Rank:
+                OrderDimensionName: "height"
+                Html: "<img src='%s'>", tuple[field]
+               TASK byArea(field) TYPE Rank:
+                OrderDimensionName: "{AREA}"
+                Html: "<img src='%s'>", tuple[field]
+            "#
+        ))
+        .expect("builtin task definitions parse");
+    (catalog, market)
+}
+
+struct Args {
+    seed: u64,
+    script: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 7,
+        script: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--script" => {
+                args.script = Some(it.next().ok_or("--script requires a path")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: qurk-serve [--seed N] [--script FILE]".to_owned());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn serve<R: BufRead, W: Write>(seed: u64, input: &mut R, out: &mut W) -> io::Result<()> {
+    let (catalog, market) = world(seed);
+    let mut svc = QueryService::new(&catalog, market);
+    // Tenant names of queued queries, in submission order.
+    let mut queued: Vec<String> = Vec::new();
+
+    while let Some(body) = read_frame(input)? {
+        let request = match Request::parse(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                write_frame(out, &format!("ERR {e}"))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Tenant { name, budget } => {
+                svc.register_tenant(&name, budget);
+                match budget {
+                    Some(b) => {
+                        write_frame(out, &format!("OK tenant {name} budget {}", fmt_dollars(b)))?
+                    }
+                    None => write_frame(out, &format!("OK tenant {name}"))?,
+                }
+            }
+            Request::Query { tenant, sql } => match svc.submit(&tenant, &sql) {
+                Ok(n) => {
+                    queued.push(tenant);
+                    write_frame(out, &format!("OK queued #{n}"))?;
+                }
+                Err(e) => write_frame(out, &format!("ERR {e}"))?,
+            },
+            Request::Run => {
+                let reports = svc.run_pending();
+                let n = reports.len();
+                for (tenant, report) in queued.drain(..).zip(reports) {
+                    match report {
+                        Ok(r) => {
+                            let saved = r
+                                .service
+                                .as_ref()
+                                .map(|s| s.saved_dollars)
+                                .unwrap_or_default();
+                            write_frame(
+                                out,
+                                &format!(
+                                    "RESULT {tenant} {} rows {} saved {}",
+                                    r.relation.len(),
+                                    fmt_dollars(r.cost_dollars),
+                                    fmt_dollars(saved),
+                                ),
+                            )?;
+                        }
+                        Err(e) => write_frame(out, &format!("ERR {tenant}: {e}"))?,
+                    }
+                }
+                write_frame(out, &format!("OK ran {n}"))?;
+            }
+            Request::Stats => {
+                let (hits, misses) = svc.market().cache_stats();
+                write_frame(
+                    out,
+                    &format!(
+                        "STATS {} posted {hits}/{misses} cache {}",
+                        svc.market().total_hits_posted(),
+                        fmt_dollars(svc.market().total_spend()),
+                    ),
+                )?;
+            }
+            Request::Quit => {
+                write_frame(out, "BYE")?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let result = match &args.script {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => serve(args.seed, &mut BufReader::new(f), &mut out),
+            Err(e) => {
+                eprintln!("cannot open {path:?}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => serve(args.seed, &mut io::stdin().lock(), &mut out),
+    };
+    if let Err(e) = result {
+        eprintln!("i/o error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

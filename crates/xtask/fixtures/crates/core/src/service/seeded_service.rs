@@ -1,0 +1,31 @@
+//! Seeded fixture for the `service-blocking` rule: exactly ONE
+//! violation must fire in this file (the bare `thread::sleep`); the
+//! marked lock, the cfg(test) block and the comment mentions are all
+//! allowed.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub fn stalls_every_tenant() {
+    // VIOLATION: sleeping on a query thread blocks the rendezvous.
+    std::thread::sleep(Duration::from_millis(5));
+}
+
+pub fn marked_lock_is_allowed(m: &Mutex<u32>) -> u32 {
+    // lint:allow(lock-poison): fixture demonstrates the marker form.
+    *m.lock().unwrap()
+}
+
+// thread::sleep in a comment is fine, as is .lock().unwrap() here.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleeps_in_tests_are_fine() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let m = Mutex::new(1);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

@@ -1,6 +1,6 @@
 //! Source-level invariant checks over the workspace tree.
 //!
-//! Three rules, all motivated by the async-service roadmap item:
+//! Four rules, all motivated by the multi-tenant service:
 //!
 //! * **marketplace-isolation** — production code must speak
 //!   [`CrowdBackend`], never the concrete `Marketplace`. Allowed:
@@ -15,6 +15,13 @@
 //!   keeping every backend `Send + Sync`-eligible (the compile-time
 //!   probe test in `crates/core/tests/send_sync.rs` asserts the
 //!   bounds themselves).
+//! * **service-blocking** — inside `crates/core/src/service/`, no
+//!   `thread::sleep` (the scheduler owns time; sleeping stalls every
+//!   tenant's rendezvous), and no `.lock().unwrap()` /
+//!   `.read().unwrap()` / `.write().unwrap()` without a
+//!   `// lint:allow(lock-poison): <why>` marker — a poisoned lock
+//!   would otherwise cascade one query's panic into the whole
+//!   service (prefer `unwrap_or_else(PoisonError::into_inner)`).
 //!
 //! The scanner is line-based and deliberately simple: comment lines
 //! are skipped, and `#[cfg(test)]`-annotated blocks are excluded by
@@ -48,11 +55,20 @@ impl fmt::Display for Violation {
 }
 
 /// Files where `Marketplace` may appear outside `crates/crowd`: the
-/// trait-impl boundary and the deprecated pre-trait shim.
-const MARKETPLACE_ALLOWLIST: &[&str] = &["crates/core/src/backend.rs", "crates/core/src/exec.rs"];
+/// trait-impl boundary, the deprecated pre-trait shim, and the
+/// qurk-serve composition root (which constructs the concrete world
+/// the server runs against).
+const MARKETPLACE_ALLOWLIST: &[&str] = &[
+    "crates/core/src/backend.rs",
+    "crates/core/src/exec.rs",
+    "crates/serve/src/main.rs",
+];
 
 /// Marker that justifies an `unwrap()`/`expect(` in ops code.
 const UNWRAP_MARKER: &str = "lint:allow(unwrap)";
+
+/// Marker that justifies a poisoning lock acquisition in service code.
+const LOCK_MARKER: &str = "lint:allow(lock-poison)";
 
 /// Run every rule over the workspace at `root`.
 pub fn lint_workspace(root: &Path) -> Vec<Violation> {
@@ -70,6 +86,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
         check_marketplace(&rel, &rel_str, &lines, &mut out);
         check_ops_unwrap(&rel, &rel_str, &text, &lines, &mut out);
         check_interior_mutability(&rel, &rel_str, &lines, &mut out);
+        check_service_blocking(&rel, &rel_str, &text, &lines, &mut out);
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
@@ -296,6 +313,55 @@ fn check_interior_mutability(
     }
 }
 
+fn check_service_blocking(
+    file: &Path,
+    rel: &str,
+    raw_text: &str,
+    lines: &[(usize, String)],
+    out: &mut Vec<Violation>,
+) {
+    if !rel.starts_with("crates/core/src/service/") {
+        return;
+    }
+    let raw_lines: Vec<&str> = raw_text.lines().collect();
+    let has_marker = |n: usize| {
+        n >= 1
+            && raw_lines
+                .get(n - 1)
+                .is_some_and(|l| l.contains(LOCK_MARKER))
+    };
+    const POISONING_LOCKS: &[&str] = &[".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"];
+    for (n, line) in lines {
+        if line.contains("thread::sleep") {
+            out.push(Violation {
+                rule: "service-blocking",
+                file: file.to_path_buf(),
+                line: *n,
+                message: "`thread::sleep` in service code: the scheduler owns virtual \
+                          time, and a sleeping query thread stalls every tenant's \
+                          rendezvous"
+                    .to_owned(),
+            });
+        }
+        if POISONING_LOCKS.iter().any(|p| line.contains(p))
+            && !has_marker(*n)
+            && !has_marker(n.saturating_sub(1))
+        {
+            out.push(Violation {
+                rule: "service-blocking",
+                file: file.to_path_buf(),
+                line: *n,
+                message: format!(
+                    "poisoning lock acquisition in service code without a \
+                     `// {LOCK_MARKER}: <why>` justification; one panicked query \
+                     would poison the shared market for every tenant — prefer \
+                     `unwrap_or_else(PoisonError::into_inner)`"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +409,10 @@ mod tests {
             rules.contains(&"interior-mutability"),
             "expected interior-mutability violation, got {violations:?}"
         );
+        assert!(
+            rules.contains(&"service-blocking"),
+            "expected service-blocking violation, got {violations:?}"
+        );
     }
 
     #[test]
@@ -351,7 +421,12 @@ mod tests {
         // Each rule fires exactly once: the marked unwraps, the
         // cfg(test) Marketplace use, and the commented-out mentions
         // must all be skipped.
-        for rule in ["ops-unwrap", "marketplace-isolation", "interior-mutability"] {
+        for rule in [
+            "ops-unwrap",
+            "marketplace-isolation",
+            "interior-mutability",
+            "service-blocking",
+        ] {
             let count = violations.iter().filter(|v| v.rule == rule).count();
             assert_eq!(count, 1, "rule {rule}: {violations:?}");
         }
