@@ -34,10 +34,13 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use qurk_crowd::market::{Assignment, AssignmentId, HitGroupId, HitId, RunOutcome};
 use qurk_crowd::sim::SimTime;
 use qurk_crowd::{Answer, HitSpec, Marketplace, WorkerId};
+
+use crate::store::DurableStore;
 
 /// Generous default for "run until everything completes" (30 virtual
 /// days — far beyond any workload the paper's crowd would finish).
@@ -255,7 +258,7 @@ fn spec_key(spec: &HitSpec, assignments: Option<u32>) -> u64 {
 // ------------------------------------------------------------- caching
 
 /// One recorded assignment, relative to its group's post time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceAssignment {
     pub worker: WorkerId,
     pub answers: Vec<Answer>,
@@ -360,6 +363,11 @@ pub struct CachingBackend<B> {
     cache_hits: u64,
     cache_misses: u64,
     shared_hits: u64,
+    /// Optional durable journal: every entry folded into `cache` is
+    /// write-ahead appended here *before* the round's assignments are
+    /// handed to the caller, so an acknowledged paid round is never
+    /// lost to a crash (see [`crate::store`]).
+    journal: Option<Arc<DurableStore>>,
 }
 
 impl<B: CrowdBackend> CachingBackend<B> {
@@ -374,7 +382,23 @@ impl<B: CrowdBackend> CachingBackend<B> {
             cache_hits: 0,
             cache_misses: 0,
             shared_hits: 0,
+            journal: None,
         }
+    }
+
+    /// A caching backend journaling to (and preloaded from) a durable
+    /// store: the store's recovered cache entries replay without
+    /// re-posting, and every newly paid round is appended write-ahead.
+    pub fn with_journal(inner: B, journal: Arc<DurableStore>) -> Self {
+        let mut backend = CachingBackend::new(inner);
+        backend.cache = journal.cache_snapshot();
+        backend.journal = Some(journal);
+        backend
+    }
+
+    /// The attached durable journal, if any.
+    pub fn journal(&self) -> Option<&Arc<DurableStore>> {
+        self.journal.as_ref()
     }
 
     pub fn inner(&self) -> &B {
@@ -506,6 +530,13 @@ impl<B: CrowdBackend> CachingBackend<B> {
                 }
             })
             .collect();
+        // Which keys are about to enter the cache for the first time
+        // (fold is `or_insert`, so pre-existing entries are kept).
+        let fresh: Vec<u64> = keys_by_pos
+            .iter()
+            .map(|&(_, key)| key)
+            .filter(|key| !self.cache.contains_key(key))
+            .collect();
         fold_completed_group(
             &mut self.inner,
             inner_group,
@@ -516,7 +547,47 @@ impl<B: CrowdBackend> CachingBackend<B> {
         for &(_, key) in &keys_by_pos {
             self.pending.remove(&key);
         }
+        // Write-ahead: the paid round becomes durable before its
+        // assignments are returned to (acknowledged by) the caller.
+        if let Some(journal) = &self.journal {
+            for key in fresh {
+                if let Some(entry) = self.cache.get(&key) {
+                    journal.append_cache_entry(key, entry);
+                }
+            }
+        }
         self.groups[group.0].recorded = true;
+    }
+
+    /// Release the in-flight dedup slots owned by `group` (the
+    /// `pending` keys of its live specs) without folding anything.
+    ///
+    /// Called when the query that posted the group **fails** before
+    /// its rounds complete: leaving the keys pending would make every
+    /// future identical spec piggyback
+    /// ([`VirtualSource::Shared`]) on a group nobody is driving to
+    /// completion — a leak that turns into a hang or a miss. After
+    /// release, an identical spec re-posts live. A group that already
+    /// recorded is untouched (its keys are in the cache, not pending).
+    pub fn release_in_flight(&mut self, group: HitGroupId) {
+        if self.groups.get(group.0).is_none_or(|g| g.recorded) {
+            return;
+        }
+        self.pending.retain(|_, owner| *owner != group.0);
+    }
+
+    /// Number of spec keys posted live but not yet folded (in-flight
+    /// dedup slots) — observability for the release-on-error fix.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Release **every** in-flight dedup slot. Single-owner variant of
+    /// [`Self::release_in_flight`] for contexts (like [`crate::session::Session`])
+    /// where all pending groups belong to the one query that just
+    /// failed.
+    pub fn release_all_in_flight(&mut self) {
+        self.pending.clear();
     }
 
     /// Fold the owner groups of this group's unresolved shared specs,
@@ -976,7 +1047,7 @@ impl<B: CrowdBackend> CrowdBackend for MeteringBackend<B> {
 // ----------------------------------------------------- record / replay
 
 /// Recorded answers for one HIT spec.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     pub question_count: usize,
     pub assignments: Vec<TraceAssignment>,
@@ -998,6 +1069,19 @@ impl ReplayTrace {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The recorded spec keys, sorted (for diffing against a durable
+    /// store's [`DurableStore::cache_keys`]).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The recorded entry for one spec key.
+    pub fn get(&self, key: u64) -> Option<&TraceEntry> {
+        self.entries.get(&key)
     }
 }
 
@@ -1434,6 +1518,41 @@ mod tests {
             assert_eq!(a.group, g2);
         }
         assert_eq!(b.stats(), (6, 6));
+    }
+
+    /// Regression: a group abandoned before completion (its query
+    /// failed) used to leave its `pending` dedup slots behind forever,
+    /// so every later identical spec piggybacked on work nobody was
+    /// driving. `release_in_flight` must free the slots so a retry
+    /// re-posts live.
+    #[test]
+    fn release_in_flight_frees_abandoned_dedup_slots() {
+        let (m, items) = market(6);
+        let mut b = CachingBackend::new(m);
+        let g1 = b.post_group(filter_specs(&items));
+        assert_eq!(b.pending_len(), 6, "live specs hold in-flight slots");
+
+        // The query that owned g1 fails before its rounds complete.
+        b.release_in_flight(g1);
+        assert_eq!(b.pending_len(), 0, "failed query's slots released");
+
+        // A retry with identical specs must post live (a Shared entry
+        // would wait on g1 forever), and completing it works normally.
+        let posted_before = b.hits_posted();
+        let g2 = b.post_group(filter_specs(&items));
+        assert!(
+            b.hits_posted() > posted_before,
+            "retry must re-post live, not piggyback on the dead group"
+        );
+        assert_eq!(b.run_to_completion(), RunOutcome::Completed);
+        assert_eq!(b.assignments(g2).len(), 6 * 5);
+        assert_eq!(b.pending_len(), 0, "completed group folded its slots");
+
+        // A recorded group is untouched by release: its keys are in
+        // the cache, not pending.
+        b.release_in_flight(g2);
+        let g3 = b.post_group(filter_specs(&items));
+        assert_eq!(b.assignments(g3).len(), 6 * 5, "cache still serves");
     }
 
     #[test]

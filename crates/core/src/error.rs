@@ -44,6 +44,9 @@ pub enum QurkError {
     /// lint policy is [`LintPolicy::Deny`](crate::analyze::LintPolicy):
     /// the query was rejected before any HIT was posted.
     Rejected { diagnostics: Vec<Diagnostic> },
+    /// The durable store failed (I/O error or corruption) while a
+    /// query required durability (see [`crate::store`]).
+    Store(String),
     /// Anything else.
     Other(String),
 }
@@ -102,6 +105,7 @@ impl fmt::Display for QurkError {
                 }
                 Ok(())
             }
+            QurkError::Store(m) => write!(f, "durable store error: {m}"),
             QurkError::Other(m) => write!(f, "{m}"),
         }
     }

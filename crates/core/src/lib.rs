@@ -134,6 +134,7 @@ pub mod relation;
 pub mod schema;
 pub mod service;
 pub mod session;
+pub mod store;
 pub mod task;
 pub mod tuple;
 pub mod value;
@@ -167,5 +168,6 @@ pub use relation::Relation;
 pub use schema::{Schema, ValueType};
 pub use service::{QueryService, ServiceStats, SharedMarket, TenantBackend};
 pub use session::{ExecConfig, QueryBuilder, QueryReport, Session, SessionBuilder, SortMode};
+pub use store::{CrashPoint, DurableStore, FaultPlan, QueryCheckpoint, StoreError, StoreHealth};
 pub use tuple::Tuple;
 pub use value::Value;

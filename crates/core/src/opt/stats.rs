@@ -60,9 +60,9 @@ pub struct FeatureStat {
 
 /// Running mean without the sample history.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-struct Avg {
-    n: u64,
-    sum: f64,
+pub(crate) struct Avg {
+    pub(crate) n: u64,
+    pub(crate) sum: f64,
 }
 
 impl Avg {
@@ -79,32 +79,32 @@ impl Avg {
 /// Cross-query operator statistics, owned by a
 /// [`Session`](crate::session::Session) and fed by every executed
 /// crowd operator plus the per-query metering epochs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatisticsStore {
     /// Filter-task pass tallies, keyed by the task's oracle key.
-    filters: HashMap<String, Tally>,
+    pub(crate) filters: HashMap<String, Tally>,
     /// Join-task (pairs asked, matches) tallies, keyed by task name.
-    joins: HashMap<String, Tally>,
+    pub(crate) joins: HashMap<String, Tally>,
     /// Feature-task κ/σ from sampled extractions, keyed by task name.
-    features: HashMap<String, FeatureStat>,
+    pub(crate) features: HashMap<String, FeatureStat>,
     /// Sort-dimension ambiguity in [0, 1], keyed by dimension name.
-    sorts: HashMap<String, Avg>,
+    pub(crate) sorts: HashMap<String, Avg>,
     /// Observed crowd latency: total HITs and elapsed seconds across
     /// completed metering epochs.
-    epoch_hits: u64,
-    epoch_secs: f64,
+    pub(crate) epoch_hits: u64,
+    pub(crate) epoch_secs: f64,
     /// Per-round observations for the latency regression
     /// `round_secs ≈ α + β · work_units`: count, Σw, Σt, Σw², Σw·t.
-    rounds: RoundSums,
+    pub(crate) rounds: RoundSums,
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-struct RoundSums {
-    n: u64,
-    sum_h: f64,
-    sum_t: f64,
-    sum_hh: f64,
-    sum_ht: f64,
+pub(crate) struct RoundSums {
+    pub(crate) n: u64,
+    pub(crate) sum_h: f64,
+    pub(crate) sum_t: f64,
+    pub(crate) sum_hh: f64,
+    pub(crate) sum_ht: f64,
 }
 
 impl StatisticsStore {
@@ -282,6 +282,15 @@ impl StatisticsStore {
 
     /// Fold another store's evidence into this one (e.g. importing a
     /// previous session's statistics).
+    ///
+    /// Merge is **associative**, and **commutative for every tallied
+    /// quantity** (filters, joins, sorts, epochs, rounds are sums).
+    /// The one documented tiebreak: `features` is latest-wins, so when
+    /// both stores carry the same feature key, the store merged
+    /// **later** (submission order in the service's commit loop)
+    /// provides the surviving κ/σ sample. Up to that tiebreak, merge
+    /// is order-insensitive (property-tested in
+    /// `tests/statistics_persistence.rs`).
     pub fn merge(&mut self, other: &StatisticsStore) {
         for (k, t) in &other.filters {
             let e = self.filters.entry(k.clone()).or_default();

@@ -9,6 +9,7 @@
 //! QUERY <tenant> <sql ...>           queue a query for the tenant
 //! RUN                                execute all queued queries concurrently
 //! STATS                              shared-market totals
+//! RECOVER                            resume checkpointed queries (needs --store)
 //! QUIT                               close the connection
 //! ```
 //!
@@ -39,6 +40,8 @@ pub enum Request {
     Run,
     /// `STATS`
     Stats,
+    /// `RECOVER`
+    Recover,
     /// `QUIT`
     Quit,
 }
@@ -82,10 +85,36 @@ impl Request {
             }
             "RUN" if rest.is_empty() => Ok(Request::Run),
             "STATS" if rest.is_empty() => Ok(Request::Stats),
+            "RECOVER" if rest.is_empty() => Ok(Request::Recover),
             "QUIT" if rest.is_empty() => Ok(Request::Quit),
             other => Err(format!("unknown request {other:?}")),
         }
     }
+}
+
+/// Largest frame body [`read_frame`] will accept. A length prefix
+/// above this is treated as a framing error (most likely garbage on
+/// the stream), not an allocation request.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One read off the wire: a frame body, a framing error, or EOF.
+///
+/// Framing errors are **data**, not [`io::Error`]s, so a server can
+/// answer `ERR ...` and decide whether the stream is still usable:
+/// after a bad length line, an oversized prefix, or a truncated body
+/// the reader has lost frame sync (`resync: false`) and the only safe
+/// move is to close; after a well-framed body that merely is not UTF-8
+/// the counted bytes were fully consumed and the next frame parses
+/// normally (`resync: true`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A complete, UTF-8 frame body.
+    Body(String),
+    /// A framing violation. `resync` says whether the reader is still
+    /// aligned on a frame boundary and may keep reading.
+    Malformed { reason: String, resync: bool },
+    /// Clean end of stream (before any length byte).
+    Eof,
 }
 
 /// Write one `<len>\n<body>` frame.
@@ -94,29 +123,53 @@ pub fn write_frame<W: Write>(w: &mut W, body: &str) -> io::Result<()> {
     w.flush()
 }
 
-/// Read one `<len>\n<body>` frame; `Ok(None)` at a clean EOF (before
-/// any length byte). Blank lines between frames are skipped, so a
-/// scripted session can separate frames for readability.
-pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+/// Read one `<len>\n<body>` frame. Blank lines between frames are
+/// skipped, so a scripted session can separate frames for readability.
+/// Malformed input is reported as [`Frame::Malformed`] (see [`Frame`]
+/// for which cases are recoverable); `Err` is reserved for real I/O
+/// failures on the underlying reader.
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Frame> {
     let mut len_line = String::new();
     loop {
         len_line.clear();
         if r.read_line(&mut len_line)? == 0 {
-            return Ok(None);
+            return Ok(Frame::Eof);
         }
         if !len_line.trim().is_empty() {
             break;
         }
     }
-    let len: usize = len_line
-        .trim()
-        .parse()
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad frame length"))?;
+    let Ok(len) = len_line.trim().parse::<usize>() else {
+        return Ok(Frame::Malformed {
+            reason: format!("bad frame length {:?}", len_line.trim()),
+            resync: false,
+        });
+    };
+    if len > MAX_FRAME_BYTES {
+        return Ok(Frame::Malformed {
+            reason: format!("frame length {len} exceeds limit {MAX_FRAME_BYTES}"),
+            resync: false,
+        });
+    }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    String::from_utf8(body)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))
+    if let Err(e) = r.read_exact(&mut body) {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            return Ok(Frame::Malformed {
+                reason: format!("truncated frame: stream ended inside a {len}-byte body"),
+                resync: false,
+            });
+        }
+        return Err(e);
+    }
+    match String::from_utf8(body) {
+        Ok(s) => Ok(Frame::Body(s)),
+        // The counted bytes were consumed, so the stream is still
+        // frame-aligned — the caller may answer ERR and keep going.
+        Err(_) => Ok(Frame::Malformed {
+            reason: "frame body is not UTF-8".to_owned(),
+            resync: true,
+        }),
+    }
 }
 
 /// Stable money formatting for responses (three decimals).
@@ -129,26 +182,84 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn body(f: Frame) -> String {
+        match f {
+            Frame::Body(s) => s,
+            other => panic!("expected a body frame, got {other:?}"),
+        }
+    }
+
     #[test]
     fn frames_round_trip() {
         let mut buf = Vec::new();
         write_frame(&mut buf, "TENANT alice BUDGET 2.5").unwrap();
         write_frame(&mut buf, "RUN").unwrap();
         let mut r = Cursor::new(buf);
-        assert_eq!(
-            read_frame(&mut r).unwrap().as_deref(),
-            Some("TENANT alice BUDGET 2.5")
-        );
-        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("RUN"));
-        assert_eq!(read_frame(&mut r).unwrap(), None);
+        assert_eq!(body(read_frame(&mut r).unwrap()), "TENANT alice BUDGET 2.5");
+        assert_eq!(body(read_frame(&mut r).unwrap()), "RUN");
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Eof);
     }
 
     #[test]
     fn blank_lines_between_frames_are_skipped() {
         let mut r = Cursor::new("\n\n3\nRUN\n\n4\nQUIT\n");
-        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("RUN"));
-        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("QUIT"));
-        assert_eq!(read_frame(&mut r).unwrap(), None);
+        assert_eq!(body(read_frame(&mut r).unwrap()), "RUN");
+        assert_eq!(body(read_frame(&mut r).unwrap()), "QUIT");
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn bad_length_line_is_fatal_malformed() {
+        let mut r = Cursor::new("banana\nRUN\n");
+        match read_frame(&mut r).unwrap() {
+            Frame::Malformed { reason, resync } => {
+                assert!(reason.contains("bad frame length"), "{reason}");
+                assert!(!resync);
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal_malformed() {
+        let mut r = Cursor::new(format!("{}\nRUN", MAX_FRAME_BYTES + 1));
+        match read_frame(&mut r).unwrap() {
+            Frame::Malformed { reason, resync } => {
+                assert!(reason.contains("exceeds limit"), "{reason}");
+                assert!(!resync);
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_fatal_malformed() {
+        let mut r = Cursor::new("10\nRUN");
+        match read_frame(&mut r).unwrap() {
+            Frame::Malformed { reason, resync } => {
+                assert!(reason.contains("truncated frame"), "{reason}");
+                assert!(!resync);
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_body_is_recoverable_malformed() {
+        let mut bytes = b"4\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, 0x41, 0x42]);
+        bytes.extend_from_slice(b"4\nQUIT");
+        let mut r = Cursor::new(bytes);
+        match read_frame(&mut r).unwrap() {
+            Frame::Malformed { reason, resync } => {
+                assert!(reason.contains("not UTF-8"), "{reason}");
+                assert!(resync, "counted bytes were consumed; stream is aligned");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // The next frame parses normally: the bad bytes were consumed.
+        assert_eq!(body(read_frame(&mut r).unwrap()), "QUIT");
+        assert_eq!(read_frame(&mut r).unwrap(), Frame::Eof);
     }
 
     #[test]
@@ -176,6 +287,7 @@ mod tests {
         );
         assert_eq!(Request::parse("RUN"), Ok(Request::Run));
         assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
+        assert_eq!(Request::parse("RECOVER"), Ok(Request::Recover));
         assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
     }
 

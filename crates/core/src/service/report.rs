@@ -31,6 +31,10 @@ pub struct ServiceStats {
     /// Dollars the shared cache saved this query: assignments it would
     /// have paid for, priced at the marketplace's per-assignment rate.
     pub saved_dollars: f64,
+    /// True when the query was resumed from a persisted checkpoint
+    /// after a restart ([`QueryService::recover`](crate::service::QueryService::recover))
+    /// rather than submitted in this process's lifetime.
+    pub resumed: bool,
 }
 
 impl ServiceStats {
@@ -49,6 +53,9 @@ impl ServiceStats {
             "  cache           {} specs served without posting (${:.3} saved)\n",
             self.shared_cache_hits, self.saved_dollars
         ));
+        if self.resumed {
+            out.push_str("  resumed         from a persisted checkpoint after restart\n");
+        }
         out
     }
 }
@@ -66,6 +73,7 @@ mod tests {
             rounds_shared: 2,
             shared_cache_hits: 7,
             saved_dollars: 0.525,
+            resumed: false,
         };
         let text = s.render();
         assert!(text.contains("alice"));
@@ -73,5 +81,8 @@ mod tests {
         assert!(text.contains("3 (2 shared"));
         assert!(text.contains("7 specs"));
         assert!(text.contains("$0.525"));
+        assert!(!text.contains("resumed"));
+        let resumed = ServiceStats { resumed: true, ..s };
+        assert!(resumed.render().contains("resumed"));
     }
 }

@@ -38,7 +38,7 @@ use std::sync::Arc;
 use qurk_crowd::market::RunOutcome;
 
 use crate::analyze::{analyze_query, LintPolicy};
-use crate::backend::CrowdBackend;
+use crate::backend::{CachingBackend, CrowdBackend};
 use crate::catalog::Catalog;
 use crate::error::{QurkError, Result};
 use crate::lang::parser::parse_query;
@@ -46,6 +46,7 @@ use crate::opt::stats::{SharedStatistics, StatisticsStore};
 use crate::service::report::ServiceStats;
 use crate::service::tenant::{SharedMarket, TenantBackend};
 use crate::session::{ExecConfig, QueryReport, Session};
+use crate::store::DurableStore;
 
 /// Wake-up message from scheduler to a parked query thread.
 #[derive(Debug)]
@@ -90,6 +91,10 @@ struct Submission {
     tenant: usize,
     sql: String,
     budget: Option<f64>,
+    /// Durable checkpoint id when the service has a store attached.
+    persist_id: Option<u64>,
+    /// Resubmitted by [`QueryService::recover`] after a restart.
+    resumed: bool,
 }
 
 /// Deadline slack: a round whose deadline the clock has reached within
@@ -119,6 +124,9 @@ pub struct QueryService<'c, B: CrowdBackend> {
     config: ExecConfig,
     tenants: Vec<TenantState>,
     pending: Vec<Submission>,
+    /// Durable state (task cache, statistics, checkpoints, tenants) —
+    /// attached via [`Self::with_store`], absent otherwise.
+    store: Option<Arc<DurableStore>>,
 }
 
 impl<'c, B: CrowdBackend> QueryService<'c, B> {
@@ -137,7 +145,81 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
             config,
             tenants: Vec::new(),
             pending: Vec::new(),
+            store: None,
         }
+    }
+
+    /// A durable service: open-on-start recovery of the task cache,
+    /// learned statistics and tenant registrations from `store`, with
+    /// every paid round, admission and completion journaled back.
+    /// In-flight queries from a previous process are *not* re-queued
+    /// automatically — call [`Self::recover`] to resume them.
+    pub fn with_store(
+        catalog: &'c Catalog,
+        backend: B,
+        config: ExecConfig,
+        store: Arc<DurableStore>,
+    ) -> Self {
+        let caching = CachingBackend::with_journal(backend, Arc::clone(&store));
+        let tenants = store
+            .tenants_snapshot()
+            .into_iter()
+            .map(|t| TenantState {
+                name: t.name,
+                budget: t.budget,
+                spent: t.spent,
+            })
+            .collect();
+        QueryService {
+            catalog,
+            shared: Arc::new(SharedMarket::with_caching(caching)),
+            stats: SharedStatistics::new(store.stats_snapshot()),
+            config,
+            tenants,
+            pending: Vec::new(),
+            store: Some(store),
+        }
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<DurableStore>> {
+        self.store.as_ref()
+    }
+
+    /// Re-queue every live checkpoint (a query admitted but not
+    /// finished when the previous process died) for the next
+    /// [`Self::run_pending`], keeping its original checkpoint id and
+    /// budget. The resumed query replays its already-paid rounds from
+    /// the recovered cache instead of re-posting them, and its report
+    /// is flagged [`ServiceStats::resumed`]. Returns how many queries
+    /// were re-queued. No-op without a store.
+    pub fn recover(&mut self) -> usize {
+        let Some(store) = self.store.clone() else {
+            return 0;
+        };
+        let mut resumed = 0;
+        for cp in store.live_checkpoints() {
+            match self.tenant_index(&cp.tenant) {
+                Ok(tenant) => {
+                    self.pending.push(Submission {
+                        tenant,
+                        sql: cp.sql,
+                        budget: cp.budget,
+                        persist_id: Some(cp.id),
+                        resumed: true,
+                    });
+                    resumed += 1;
+                }
+                Err(_) => {
+                    // The checkpoint's tenant is gone from the log
+                    // (registrations are journaled, so this means a
+                    // truncated tail). Retire it rather than resurrect
+                    // an unattributable query on every restart.
+                    store.append_query_done(cp.id);
+                }
+            }
+        }
+        resumed
     }
 
     /// Register (or re-budget) a tenant. `budget` caps the tenant's
@@ -152,6 +234,14 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                 budget,
                 spent: 0.0,
             });
+        }
+        if let Some(store) = &self.store {
+            let t = self
+                .tenants
+                .iter()
+                .find(|t| t.name == name)
+                .expect("tenant was just inserted above");
+            store.append_tenant(&t.name, t.budget, t.spent);
         }
     }
 
@@ -197,10 +287,19 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                 return Err(QurkError::Rejected { diagnostics });
             }
         }
+        // Checkpoint write-ahead of the queue push: once admission is
+        // acknowledged, a crash before the query finishes leaves a
+        // live checkpoint for `recover()` to resume.
+        let persist_id = self
+            .store
+            .as_ref()
+            .map(|s| s.append_checkpoint(&self.tenants[tenant].name, sql, budget));
         self.pending.push(Submission {
             tenant,
             sql: sql.to_owned(),
             budget,
+            persist_id,
+            resumed: false,
         });
         Ok(self.pending.len() - 1)
     }
@@ -363,6 +462,13 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                     match event_rx.recv() {
                         Ok(SchedulerEvent::NeedCrowd { query, limit_secs }) => {
                             tasks[query].rounds += 1;
+                            // Journal consumed rounds as they happen so
+                            // a crash mid-query leaves an accurate
+                            // checkpoint (its paid work is already in
+                            // the cache records).
+                            if let (Some(store), Some(id)) = (&self.store, jobs[query].persist_id) {
+                                store.append_rounds(id, tasks[query].rounds);
+                            }
                             if self.shared.query_outstanding(tasks[query].market_query) == 0 {
                                 // Fully cached/complete round: runnable
                                 // again without a marketplace step.
@@ -455,6 +561,9 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
             let result = match msg {
                 Some(msg) => {
                     self.stats.commit(&msg.stats_delta);
+                    if let Some(store) = &self.store {
+                        store.append_stats_delta(&msg.stats_delta);
+                    }
                     msg.result.map(|mut report| {
                         report.service = Some(ServiceStats {
                             tenant: self.tenants[job.tenant].name.clone(),
@@ -463,6 +572,7 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                             rounds_shared: task.rounds_shared,
                             shared_cache_hits: self.shared.query_cached_hits(task.market_query),
                             saved_dollars: self.shared.query_saved(task.market_query),
+                            resumed: job.resumed,
                         });
                         report
                     })
@@ -471,6 +581,20 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                     "query thread terminated without a result".to_owned(),
                 )),
             };
+            if result.is_err() {
+                // A failed query abandons its in-flight rounds: drop
+                // its dedup slots so later identical specs re-post
+                // instead of piggybacking on work nobody is driving.
+                self.shared.release_query(task.market_query);
+            }
+            if let (Some(store), Some(id)) = (&self.store, job.persist_id) {
+                // The query resolved (either way) and its result was
+                // delivered: retire the checkpoint so a restart does
+                // not re-run it, and persist the tenant's new spend.
+                store.append_query_done(id);
+                let t = &self.tenants[job.tenant];
+                store.append_tenant(&t.name, t.budget, t.spent);
+            }
             out.push(result);
         }
         out

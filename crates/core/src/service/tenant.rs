@@ -57,9 +57,17 @@ pub struct SharedMarket<B> {
 
 impl<B: CrowdBackend> SharedMarket<B> {
     pub fn new(backend: B) -> Self {
+        Self::with_caching(CachingBackend::new(backend))
+    }
+
+    /// A market over a pre-built cache layer — how
+    /// [`QueryService::with_store`](crate::service::QueryService::with_store)
+    /// injects a journaled, recovery-preloaded
+    /// [`CachingBackend::with_journal`].
+    pub fn with_caching(backend: CachingBackend<B>) -> Self {
         SharedMarket {
             inner: Mutex::new(MarketInner {
-                backend: CachingBackend::new(backend),
+                backend,
                 queries: Vec::new(),
             }),
         }
@@ -210,6 +218,24 @@ impl<B: CrowdBackend> SharedMarket<B> {
     /// [`CachingBackend::shared_hits`]).
     pub fn shared_hits(&self) -> u64 {
         self.lock().backend.shared_hits()
+    }
+
+    /// Spec keys posted live but not yet folded into the cache (the
+    /// in-flight dedup slots).
+    pub fn pending_specs(&self) -> usize {
+        self.lock().backend.pending_len()
+    }
+
+    /// Release the in-flight dedup slots of every group a **failed**
+    /// query posted (see [`CachingBackend::release_in_flight`]):
+    /// nobody will drive those rounds to completion, so later
+    /// identical specs must re-post instead of piggybacking forever.
+    pub fn release_query(&self, query: usize) {
+        let mut m = self.lock();
+        let groups: Vec<HitGroupId> = m.queries[query].groups.iter().map(|&(g, _, _)| g).collect();
+        for g in groups {
+            m.backend.release_in_flight(g);
+        }
     }
 
     /// Tear down the service wrapper, returning the inner backend.

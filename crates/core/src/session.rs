@@ -39,6 +39,8 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
 
 use qurk_crowd::ItemId;
 
@@ -62,6 +64,7 @@ use crate::plan::{plan_query, LogicalPlan};
 use crate::relation::Relation;
 use crate::schema::ValueType;
 use crate::service::report::ServiceStats;
+use crate::store::{DurableStore, StoreHealth};
 use crate::task::TaskType;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -171,6 +174,7 @@ pub struct Session<'c, B: CrowdBackend> {
     backend: MeteringBackend<CachingBackend<B>>,
     config: ExecConfig,
     stats: StatisticsStore,
+    store: Option<Arc<DurableStore>>,
 }
 
 /// Builder for [`Session`]: `Session::builder().catalog(..).backend(..).build()`.
@@ -179,6 +183,7 @@ pub struct SessionBuilder<'c, B: CrowdBackend> {
     backend: Option<B>,
     config: ExecConfig,
     stats: StatisticsStore,
+    store: Option<Arc<DurableStore>>,
 }
 
 impl<'c, B: CrowdBackend> Default for SessionBuilder<'c, B> {
@@ -188,6 +193,7 @@ impl<'c, B: CrowdBackend> Default for SessionBuilder<'c, B> {
             backend: None,
             config: ExecConfig::default(),
             stats: StatisticsStore::new(),
+            store: None,
         }
     }
 }
@@ -244,16 +250,49 @@ impl<'c, B: CrowdBackend> SessionBuilder<'c, B> {
         self
     }
 
+    /// Attach an already-open durable store (see [`crate::store`]).
+    /// The session's task cache is preloaded from it and every paid
+    /// round, plus the per-query statistics deltas, are journaled
+    /// write-ahead; on the next open an identical query replays free.
+    pub fn store(mut self, store: Arc<DurableStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Open (or create) a durable store at `path` and attach it —
+    /// shorthand for [`DurableStore::open`] + [`Self::store`].
+    ///
+    /// # Errors
+    /// Fails if the file cannot be opened or is corrupt beyond the
+    /// torn-tail cases the store repairs itself.
+    pub fn persist_to(self, path: impl AsRef<Path>) -> Result<Self> {
+        let store = DurableStore::open(path).map_err(QurkError::from)?;
+        Ok(self.store(Arc::new(store)))
+    }
+
     /// # Panics
     /// Panics if `catalog` or `backend` was not provided.
     pub fn build(self) -> Session<'c, B> {
         let catalog = self.catalog.expect("SessionBuilder: missing .catalog(..)");
         let backend = self.backend.expect("SessionBuilder: missing .backend(..)");
+        let (caching, stats) = match self.store {
+            Some(store) => {
+                // Recovered statistics are evidence from *earlier*
+                // processes; merge the builder's (possibly seeded)
+                // store over them so fresher κ/σ features win.
+                let mut stats = store.stats_snapshot();
+                stats.merge(&self.stats);
+                (CachingBackend::with_journal(backend, store), stats)
+            }
+            None => (CachingBackend::new(backend), self.stats),
+        };
+        let store = caching.journal().cloned();
         Session {
             catalog,
-            backend: MeteringBackend::new(CachingBackend::new(backend)),
+            backend: MeteringBackend::new(caching),
             config: self.config,
-            stats: self.stats,
+            stats,
+            store,
         }
     }
 }
@@ -313,6 +352,12 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
         self.backend.inner().stats()
     }
 
+    /// The attached durable store, if the session was built with
+    /// [`SessionBuilder::store`] / [`SessionBuilder::persist_to`].
+    pub fn store(&self) -> Option<&Arc<DurableStore>> {
+        self.store.as_ref()
+    }
+
     /// Start building a query. Nothing executes until
     /// [`QueryBuilder::run`] / [`QueryBuilder::report`].
     pub fn query<'s>(&'s mut self, sql: &str) -> QueryBuilder<'s, 'c, B> {
@@ -359,6 +404,7 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
             }
             diagnostics
         };
+        let stats_before = self.store.is_some().then(|| self.stats.clone());
         self.backend.begin_epoch();
         let outcome = self.run_physical(&compiled.root, budget_dollars);
         let usage = self.backend.end_epoch();
@@ -366,6 +412,22 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
             .record_epoch(usage.hits_posted as u64, usage.elapsed_secs);
         for round in self.backend.last_epoch_groups() {
             self.stats.record_round(round.work_units, round.secs);
+        }
+        if outcome.is_err() {
+            // A failed query's live postings are abandoned; release
+            // their in-flight dedup slots so a retry re-posts instead
+            // of piggybacking on work nobody is driving.
+            self.backend.inner_mut().release_all_in_flight();
+        }
+        if let Some(store) = &self.store {
+            let before = stats_before.expect("snapshot taken when store attached");
+            store.append_stats_delta(&self.stats.diff(&before));
+            // The store is this session's durability contract: once it
+            // cannot write, "acknowledged" rounds are no longer safe,
+            // so fail the query loudly (injected test faults excepted).
+            if let StoreHealth::Failed(msg) = store.health() {
+                return Err(QurkError::Store(msg));
+            }
         }
         Ok(QueryReport {
             relation: outcome?,

@@ -1,0 +1,544 @@
+//! The typed durable store over one [`Segment`](super::log).
+//!
+//! Record kinds (payload byte 0):
+//!
+//! | kind | record | payload |
+//! |---|---|---|
+//! | 1 | CacheEntry | spec key + [`TraceEntry`] (a paid round's answers) |
+//! | 2 | StatsDelta | a [`StatisticsStore`] learning delta |
+//! | 3 | Checkpoint | query id, tenant, SQL, budget, rounds consumed |
+//! | 4 | Rounds | query id + cumulative HIT rounds consumed |
+//! | 5 | QueryDone | query id (checkpoint retired) |
+//! | 6 | Tenant | tenant name, budget, attributed spend |
+//!
+//! Recovery folds the records front to back: cache entries accumulate
+//! (first write wins, matching the cache's `or_insert`), stats deltas
+//! merge, checkpoints stay live until their `QueryDone`, and tenant
+//! records are latest-wins. Compaction rewrites exactly that folded
+//! state as one snapshot, in sorted order so equal state produces
+//! equal bytes.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::backend::TraceEntry;
+use crate::opt::stats::StatisticsStore;
+use crate::store::codec::{dec_stats, dec_trace_entry, enc_stats, enc_trace_entry, Dec, Enc};
+use crate::store::fault::FaultPlan;
+use crate::store::log::Segment;
+use crate::store::{StoreError, StoreHealth};
+
+const KIND_CACHE_ENTRY: u8 = 1;
+const KIND_STATS_DELTA: u8 = 2;
+const KIND_CHECKPOINT: u8 = 3;
+const KIND_ROUNDS: u8 = 4;
+const KIND_QUERY_DONE: u8 = 5;
+const KIND_TENANT: u8 = 6;
+
+/// A persisted in-flight query: enough to resubmit it after a crash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCheckpoint {
+    /// Store-assigned id, unique for the lifetime of the log.
+    pub id: u64,
+    pub tenant: String,
+    pub sql: String,
+    pub budget: Option<f64>,
+    /// Cumulative HIT rounds the query had consumed when last heard
+    /// from (its paid work up to there is in the cache records).
+    pub rounds_consumed: u64,
+}
+
+/// A persisted tenant registration (latest record wins).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRecord {
+    pub name: String,
+    pub budget: Option<f64>,
+    /// Dollars attributed across completed batches.
+    pub spent: f64,
+}
+
+/// Everything a fresh process can know after replaying the log.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveredState {
+    /// Spec key → paid assignments (the durable Task Cache).
+    pub cache: HashMap<u64, TraceEntry>,
+    /// Merged statistics deltas.
+    pub stats: StatisticsStore,
+    /// Checkpoints without a matching `QueryDone`, in id order.
+    pub checkpoints: Vec<QueryCheckpoint>,
+    /// Registered tenants with their persisted budgets and spend.
+    pub tenants: Vec<TenantRecord>,
+}
+
+struct Inner {
+    segment: Segment,
+    state: RecoveredState,
+    /// Record payloads appended since the last compaction (compaction
+    /// triggers on log growth, not logical size).
+    bytes_since_compact: u64,
+    compact_threshold: u64,
+    next_query_id: u64,
+}
+
+/// The durable, crash-safe store behind [`CachingBackend`
+/// journaling](crate::backend::CachingBackend::with_journal),
+/// [`Session::persist_to`](crate::session::SessionBuilder::persist_to)
+/// and [`QueryService::with_store`](crate::service::QueryService).
+///
+/// Shareable (`Arc<DurableStore>`) and thread-safe: all methods take
+/// `&self`. Appends are write-ahead — when an `append_*` call returns
+/// on a healthy store, the record is framed, checksummed and flushed.
+/// A store that has **died** (injected [`FaultPlan`] crash or a real
+/// I/O failure, see [`Self::health`]) turns every write into a no-op,
+/// exactly as if the process were gone; readers of the same path see
+/// only what was durable at death.
+pub struct DurableStore {
+    inner: Mutex<Inner>,
+}
+
+/// Compact when at least this much record data accumulated since the
+/// last snapshot (tests shrink it via [`DurableStore::with_compact_threshold`]).
+const DEFAULT_COMPACT_THRESHOLD: u64 = 1 << 20;
+
+impl DurableStore {
+    /// Open (creating if absent) the store at `path`, replaying the
+    /// log into a [`RecoveredState`].
+    pub fn open(path: impl AsRef<Path>) -> Result<DurableStore, StoreError> {
+        Self::open_impl(path.as_ref(), None)
+    }
+
+    /// [`Self::open`] with a fault plan armed — the deterministic
+    /// crash-injection entry point used by the fault-matrix harness.
+    pub fn open_with_faults(
+        path: impl AsRef<Path>,
+        plan: FaultPlan,
+    ) -> Result<DurableStore, StoreError> {
+        Self::open_impl(path.as_ref(), Some(plan))
+    }
+
+    fn open_impl(path: &Path, plan: Option<FaultPlan>) -> Result<DurableStore, StoreError> {
+        let (segment, payloads) = Segment::open(path, plan)?;
+        let mut state = RecoveredState::default();
+        let mut done: Vec<u64> = Vec::new();
+        let mut max_id = 0u64;
+        for payload in &payloads {
+            apply_record(payload, &mut state, &mut done, &mut max_id)?;
+        }
+        state.checkpoints.retain(|c| !done.contains(&c.id));
+        state.checkpoints.sort_by_key(|c| c.id);
+        state.tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(DurableStore {
+            inner: Mutex::new(Inner {
+                segment,
+                state,
+                bytes_since_compact: 0,
+                compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+                next_query_id: max_id + 1,
+            }),
+        })
+    }
+
+    /// Lower (or raise) the automatic compaction threshold, in bytes
+    /// of appended records. Builder-style, before sharing the store.
+    pub fn with_compact_threshold(self, bytes: u64) -> Self {
+        self.lock().compact_threshold = bytes.max(1);
+        self
+    }
+
+    /// Every record is self-contained and the state is re-derivable
+    /// from the log, so a poisoned lock (a panicking query thread mid-
+    /// append) is recovered, not propagated.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn path(&self) -> PathBuf {
+        self.lock().segment.path().to_path_buf()
+    }
+
+    /// Liveness: `Alive`, dead by injected fault, or dead by I/O error.
+    pub fn health(&self) -> StoreHealth {
+        self.lock().segment.health()
+    }
+
+    pub fn is_dead(&self) -> bool {
+        self.lock().segment.is_dead()
+    }
+
+    /// Bytes of valid log on disk.
+    pub fn len_bytes(&self) -> u64 {
+        self.lock().segment.len_bytes()
+    }
+
+    // ------------------------------------------------------- recovery
+
+    /// The durable Task Cache as of the last replay/append.
+    pub fn cache_snapshot(&self) -> HashMap<u64, TraceEntry> {
+        self.lock().state.cache.clone()
+    }
+
+    /// Spec keys with durable paid answers, sorted.
+    pub fn cache_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.lock().state.cache.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The merged learned statistics.
+    pub fn stats_snapshot(&self) -> StatisticsStore {
+        self.lock().state.stats.clone()
+    }
+
+    /// Checkpoints not yet retired by a `QueryDone`, in id order —
+    /// the queries a restarted service should resume.
+    pub fn live_checkpoints(&self) -> Vec<QueryCheckpoint> {
+        self.lock().state.checkpoints.clone()
+    }
+
+    /// Persisted tenant registrations, sorted by name.
+    pub fn tenants_snapshot(&self) -> Vec<TenantRecord> {
+        self.lock().state.tenants.clone()
+    }
+
+    /// The next unused checkpoint id.
+    pub fn next_query_id(&self) -> u64 {
+        self.lock().next_query_id
+    }
+
+    // -------------------------------------------------------- appends
+
+    /// Journal one paid round's answers for `key`. Write-ahead: on a
+    /// healthy store the entry is durable when this returns.
+    pub fn append_cache_entry(&self, key: u64, entry: &TraceEntry) {
+        let mut e = Enc::new();
+        e.u8(KIND_CACHE_ENTRY);
+        e.u64(key);
+        enc_trace_entry(&mut e, entry);
+        let mut inner = self.lock();
+        inner
+            .state
+            .cache
+            .entry(key)
+            .or_insert_with(|| entry.clone());
+        Self::append_and_maybe_compact(&mut inner, e.into_bytes());
+    }
+
+    /// Journal a learning delta (see [`StatisticsStore::diff`]).
+    pub fn append_stats_delta(&self, delta: &StatisticsStore) {
+        if delta.is_empty() {
+            return;
+        }
+        let mut e = Enc::new();
+        e.u8(KIND_STATS_DELTA);
+        enc_stats(&mut e, delta);
+        let mut inner = self.lock();
+        inner.state.stats.merge(delta);
+        Self::append_and_maybe_compact(&mut inner, e.into_bytes());
+    }
+
+    /// Journal a newly admitted query; returns its checkpoint id.
+    pub fn append_checkpoint(&self, tenant: &str, sql: &str, budget: Option<f64>) -> u64 {
+        let mut inner = self.lock();
+        let id = inner.next_query_id;
+        inner.next_query_id += 1;
+        let cp = QueryCheckpoint {
+            id,
+            tenant: tenant.to_owned(),
+            sql: sql.to_owned(),
+            budget,
+            rounds_consumed: 0,
+        };
+        let bytes = enc_checkpoint(&cp);
+        inner.state.checkpoints.push(cp);
+        Self::append_and_maybe_compact(&mut inner, bytes);
+        id
+    }
+
+    /// Journal a query's cumulative consumed HIT rounds (monotone;
+    /// recovery keeps the max seen).
+    pub fn append_rounds(&self, id: u64, rounds_consumed: u64) {
+        let mut e = Enc::new();
+        e.u8(KIND_ROUNDS);
+        e.u64(id);
+        e.u64(rounds_consumed);
+        let mut inner = self.lock();
+        if let Some(cp) = inner.state.checkpoints.iter_mut().find(|c| c.id == id) {
+            cp.rounds_consumed = cp.rounds_consumed.max(rounds_consumed);
+        }
+        Self::append_and_maybe_compact(&mut inner, e.into_bytes());
+    }
+
+    /// Retire a checkpoint: the query finished (either way) and must
+    /// not be resumed by a future recovery.
+    pub fn append_query_done(&self, id: u64) {
+        let mut e = Enc::new();
+        e.u8(KIND_QUERY_DONE);
+        e.u64(id);
+        let mut inner = self.lock();
+        inner.state.checkpoints.retain(|c| c.id != id);
+        Self::append_and_maybe_compact(&mut inner, e.into_bytes());
+    }
+
+    /// Journal a tenant registration / spend update (latest wins).
+    pub fn append_tenant(&self, name: &str, budget: Option<f64>, spent: f64) {
+        let rec = TenantRecord {
+            name: name.to_owned(),
+            budget,
+            spent,
+        };
+        let bytes = enc_tenant(&rec);
+        let mut inner = self.lock();
+        match inner.state.tenants.iter_mut().find(|t| t.name == rec.name) {
+            Some(t) => *t = rec,
+            None => {
+                inner.state.tenants.push(rec);
+                inner.state.tenants.sort_by(|a, b| a.name.cmp(&b.name));
+            }
+        }
+        Self::append_and_maybe_compact(&mut inner, bytes);
+    }
+
+    /// Force a compaction now (normally automatic past the threshold).
+    pub fn compact_now(&self) {
+        let mut inner = self.lock();
+        Self::compact(&mut inner);
+    }
+
+    fn append_and_maybe_compact(inner: &mut Inner, payload: Vec<u8>) {
+        inner.segment.append(&payload);
+        inner.bytes_since_compact += payload.len() as u64 + 8;
+        if inner.bytes_since_compact >= inner.compact_threshold {
+            Self::compact(inner);
+        }
+    }
+
+    /// Rewrite the log as one snapshot of the folded state, in sorted
+    /// order (equal state ⇒ equal bytes).
+    fn compact(inner: &mut Inner) {
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        let mut keys: Vec<u64> = inner.state.cache.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let mut e = Enc::new();
+            e.u8(KIND_CACHE_ENTRY);
+            e.u64(key);
+            enc_trace_entry(&mut e, &inner.state.cache[&key]);
+            payloads.push(e.into_bytes());
+        }
+        if !inner.state.stats.is_empty() {
+            let mut e = Enc::new();
+            e.u8(KIND_STATS_DELTA);
+            enc_stats(&mut e, &inner.state.stats);
+            payloads.push(e.into_bytes());
+        }
+        for cp in &inner.state.checkpoints {
+            payloads.push(enc_checkpoint(cp));
+        }
+        for t in &inner.state.tenants {
+            payloads.push(enc_tenant(t));
+        }
+        inner.segment.rewrite(&payloads);
+        inner.bytes_since_compact = 0;
+    }
+}
+
+fn enc_checkpoint(cp: &QueryCheckpoint) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(KIND_CHECKPOINT);
+    e.u64(cp.id);
+    e.str(&cp.tenant);
+    e.str(&cp.sql);
+    e.opt_f64(cp.budget);
+    e.u64(cp.rounds_consumed);
+    e.into_bytes()
+}
+
+fn enc_tenant(t: &TenantRecord) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(KIND_TENANT);
+    e.str(&t.name);
+    e.opt_f64(t.budget);
+    e.f64(t.spent);
+    e.into_bytes()
+}
+
+fn apply_record(
+    payload: &[u8],
+    state: &mut RecoveredState,
+    done: &mut Vec<u64>,
+    max_id: &mut u64,
+) -> Result<(), StoreError> {
+    let mut d = Dec::new(payload);
+    match d.u8()? {
+        KIND_CACHE_ENTRY => {
+            let key = d.u64()?;
+            let entry = dec_trace_entry(&mut d)?;
+            state.cache.entry(key).or_insert(entry);
+        }
+        KIND_STATS_DELTA => {
+            let delta = dec_stats(&mut d)?;
+            state.stats.merge(&delta);
+        }
+        KIND_CHECKPOINT => {
+            let cp = QueryCheckpoint {
+                id: d.u64()?,
+                tenant: d.str()?,
+                sql: d.str()?,
+                budget: d.opt_f64()?,
+                rounds_consumed: d.u64()?,
+            };
+            *max_id = (*max_id).max(cp.id);
+            state.checkpoints.push(cp);
+        }
+        KIND_ROUNDS => {
+            let id = d.u64()?;
+            let rounds = d.u64()?;
+            if let Some(cp) = state.checkpoints.iter_mut().find(|c| c.id == id) {
+                cp.rounds_consumed = cp.rounds_consumed.max(rounds);
+            }
+        }
+        KIND_QUERY_DONE => {
+            let id = d.u64()?;
+            done.push(id);
+            *max_id = (*max_id).max(id);
+        }
+        KIND_TENANT => {
+            let rec = TenantRecord {
+                name: d.str()?,
+                budget: d.opt_f64()?,
+                spent: d.f64()?,
+            };
+            match state.tenants.iter_mut().find(|t| t.name == rec.name) {
+                Some(t) => *t = rec,
+                None => state.tenants.push(rec),
+            }
+        }
+        kind => return Err(StoreError::corrupt(format!("unknown record kind {kind}"))),
+    }
+    d.finish()
+}
+
+/// Convenience alias used by the wiring layers.
+pub type SharedStore = Arc<DurableStore>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::TraceAssignment;
+    use crate::store::fault::CrashPoint;
+    use crate::store::testutil::tmp_store_path;
+    use qurk_crowd::{Answer, WorkerId};
+
+    fn entry(tag: u64) -> TraceEntry {
+        TraceEntry {
+            question_count: 1,
+            assignments: vec![TraceAssignment {
+                worker: WorkerId(tag as usize),
+                answers: vec![Answer::Bool(tag.is_multiple_of(2))],
+                accept_delay_secs: 1.0,
+                submit_delay_secs: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn full_state_survives_reopen() {
+        let path = tmp_store_path("durable-roundtrip");
+        let store = DurableStore::open(&path).unwrap();
+        store.append_cache_entry(11, &entry(1));
+        store.append_cache_entry(22, &entry(2));
+        let mut delta = StatisticsStore::new();
+        delta.record_filter("isTall", 10, 4);
+        store.append_stats_delta(&delta);
+        let q1 = store.append_checkpoint("alice", "SELECT 1", Some(2.0));
+        let q2 = store.append_checkpoint("bob", "SELECT 2", None);
+        store.append_rounds(q1, 3);
+        store.append_query_done(q2);
+        store.append_tenant("alice", Some(5.0), 1.25);
+        store.append_tenant("alice", Some(5.0), 1.75); // latest wins
+        drop(store);
+
+        let store = DurableStore::open(&path).unwrap();
+        assert_eq!(store.cache_keys(), vec![11, 22]);
+        assert_eq!(store.cache_snapshot()[&11], entry(1));
+        assert_eq!(
+            store.stats_snapshot().filter_selectivity("isTall"),
+            Some(0.4)
+        );
+        let live = store.live_checkpoints();
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].id, q1);
+        assert_eq!(live[0].tenant, "alice");
+        assert_eq!(live[0].rounds_consumed, 3);
+        assert_eq!(live[0].budget, Some(2.0));
+        let tenants = store.tenants_snapshot();
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(tenants[0].spent, 1.75);
+        assert!(store.next_query_id() > q2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_shrinks_the_log() {
+        let path = tmp_store_path("durable-compact");
+        let store = DurableStore::open(&path).unwrap().with_compact_threshold(1);
+        let q = store.append_checkpoint("alice", "SELECT 1", None);
+        store.append_query_done(q); // threshold 1: every append compacts
+        for k in 0..20 {
+            store.append_cache_entry(k, &entry(k));
+            store.append_cache_entry(k, &entry(k + 100)); // duplicate: first wins
+        }
+        let compacted_len = store.len_bytes();
+        drop(store);
+        let store = DurableStore::open(&path).unwrap();
+        assert_eq!(store.len_bytes(), compacted_len);
+        assert_eq!(store.cache_keys().len(), 20);
+        assert_eq!(store.cache_snapshot()[&3], entry(3)); // not entry(103)
+        assert!(store.live_checkpoints().is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_output_is_deterministic_bytes() {
+        let p1 = tmp_store_path("durable-det1");
+        let p2 = tmp_store_path("durable-det2");
+        for p in [&p1, &p2] {
+            let store = DurableStore::open(p).unwrap();
+            // Insert in different orders per path.
+            let keys: Vec<u64> = if p == &p1 {
+                (0..12).collect()
+            } else {
+                (0..12).rev().collect()
+            };
+            for k in keys {
+                store.append_cache_entry(k, &entry(k));
+            }
+            store.append_tenant("bob", None, 0.5);
+            store.append_tenant("alice", Some(1.0), 0.25);
+            store.compact_now();
+        }
+        assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+        std::fs::remove_file(&p1).unwrap();
+        std::fs::remove_file(&p2).unwrap();
+    }
+
+    #[test]
+    fn a_dead_store_loses_only_unflushed_tail() {
+        let path = tmp_store_path("durable-dead");
+        let plan = FaultPlan::at(CrashPoint::AppendDone).on_occurrence(2);
+        let store = DurableStore::open_with_faults(&path, plan).unwrap();
+        store.append_cache_entry(1, &entry(1));
+        store.append_cache_entry(2, &entry(2)); // dies right after this flush
+        assert!(store.is_dead());
+        assert_eq!(
+            store.health(),
+            StoreHealth::FaultInjected(CrashPoint::AppendDone)
+        );
+        store.append_cache_entry(3, &entry(3)); // lost
+        drop(store);
+        let store = DurableStore::open(&path).unwrap();
+        assert_eq!(store.cache_keys(), vec![1, 2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

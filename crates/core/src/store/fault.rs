@@ -1,0 +1,164 @@
+//! Deterministic fault injection for the durable store.
+//!
+//! A [`FaultPlan`] names one numbered durability point
+//! ([`CrashPoint`]) and an occurrence count; when the store reaches
+//! that point for the n-th time it **dies**: every subsequent write
+//! becomes a no-op, leaving the file exactly as a real `kill -9` at
+//! that instant would (torn points first write a partial record so the
+//! tail is genuinely garbage). The process keeps running — the harness
+//! discards the in-memory results, reopens the path, and asserts the
+//! recovery invariants (`tests/crash_matrix.rs`).
+//!
+//! Dying instead of panicking keeps the sweep deterministic: no panic
+//! hooks, no unwind races across query threads, and the same code path
+//! as a real crash (the bytes on disk are all that survives either
+//! way).
+
+use std::fmt;
+
+/// A numbered durability point inside the store where a crash can be
+/// injected. The catalogue is exhaustive over the store's write paths:
+/// three points around a record append, four around a compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// 1 — before any byte of a record append is written.
+    AppendStart,
+    /// 2 — mid-append: the frame header and roughly half the payload
+    /// reach the file, then the process dies (a torn tail).
+    AppendTorn,
+    /// 3 — after an append is fully written and flushed: the record is
+    /// durable, but nothing after it is.
+    AppendDone,
+    /// 4 — a compaction was triggered but dies before the snapshot
+    /// temp file receives any byte.
+    CompactStart,
+    /// 5 — mid-compaction: the temp file is half-written, the live log
+    /// untouched.
+    CompactTorn,
+    /// 6 — the snapshot temp file is complete but the atomic rename
+    /// over the live log never happens.
+    CompactWritten,
+    /// 7 — the rename happened; the process dies before any in-memory
+    /// bookkeeping after the swap.
+    CompactSwapped,
+}
+
+impl CrashPoint {
+    /// Every crash point, in catalogue order — the fault-matrix sweep
+    /// iterates this.
+    pub const ALL: [CrashPoint; 7] = [
+        CrashPoint::AppendStart,
+        CrashPoint::AppendTorn,
+        CrashPoint::AppendDone,
+        CrashPoint::CompactStart,
+        CrashPoint::CompactTorn,
+        CrashPoint::CompactWritten,
+        CrashPoint::CompactSwapped,
+    ];
+
+    /// Stable catalogue number (1-based, matches `docs/store.md`).
+    pub fn code(self) -> u8 {
+        match self {
+            CrashPoint::AppendStart => 1,
+            CrashPoint::AppendTorn => 2,
+            CrashPoint::AppendDone => 3,
+            CrashPoint::CompactStart => 4,
+            CrashPoint::CompactTorn => 5,
+            CrashPoint::CompactWritten => 6,
+            CrashPoint::CompactSwapped => 7,
+        }
+    }
+
+    /// Parse the kebab-case name used by `qurk-serve --crash`.
+    pub fn parse(name: &str) -> Option<CrashPoint> {
+        CrashPoint::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// Kebab-case name (inverse of [`Self::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::AppendStart => "append-start",
+            CrashPoint::AppendTorn => "append-torn",
+            CrashPoint::AppendDone => "append-done",
+            CrashPoint::CompactStart => "compact-start",
+            CrashPoint::CompactTorn => "compact-torn",
+            CrashPoint::CompactWritten => "compact-written",
+            CrashPoint::CompactSwapped => "compact-swapped",
+        }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (#{})", self.name(), self.code())
+    }
+}
+
+/// Kill the store at the n-th occurrence of one [`CrashPoint`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    point: CrashPoint,
+    /// 1-based occurrence at which to die.
+    occurrence: u32,
+    hits: u32,
+}
+
+impl FaultPlan {
+    /// Die the first time `point` is reached.
+    pub fn at(point: CrashPoint) -> Self {
+        FaultPlan {
+            point,
+            occurrence: 1,
+            hits: 0,
+        }
+    }
+
+    /// Die the `n`-th time the point is reached instead of the first
+    /// (`n` is 1-based; 0 is treated as 1).
+    pub fn on_occurrence(mut self, n: u32) -> Self {
+        self.occurrence = n.max(1);
+        self
+    }
+
+    pub fn point(&self) -> CrashPoint {
+        self.point
+    }
+
+    /// Called by the store at each durability point; `true` means "die
+    /// now".
+    pub(crate) fn trip(&mut self, point: CrashPoint) -> bool {
+        if point != self.point {
+            return false;
+        }
+        self.hits += 1;
+        self.hits == self.occurrence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_numbered_and_named() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, p) in CrashPoint::ALL.iter().enumerate() {
+            assert_eq!(usize::from(p.code()), i + 1);
+            assert!(seen.insert(p.code()));
+            assert_eq!(CrashPoint::parse(p.name()), Some(*p));
+        }
+        assert_eq!(CrashPoint::parse("no-such-point"), None);
+    }
+
+    #[test]
+    fn plan_trips_on_the_requested_occurrence_only() {
+        let mut plan = FaultPlan::at(CrashPoint::AppendDone).on_occurrence(3);
+        assert!(!plan.trip(CrashPoint::AppendStart));
+        assert!(!plan.trip(CrashPoint::AppendDone));
+        assert!(!plan.trip(CrashPoint::AppendDone));
+        assert!(plan.trip(CrashPoint::AppendDone));
+        // Past the target occurrence the plan stays quiet (the store
+        // is dead by then anyway).
+        assert!(!plan.trip(CrashPoint::AppendDone));
+    }
+}

@@ -9,8 +9,17 @@
 //! (and paid for) once.
 //!
 //! ```text
-//! qurk-serve [--seed N] [--script FILE]
+//! qurk-serve [--seed N] [--script FILE] [--store FILE] [--crash POINT[:N]]
 //! ```
+//!
+//! With `--store FILE` the service journals every paid round, tenant
+//! ledger, and in-flight query checkpoint to a durable log (see
+//! `qurk::store`); after a crash, restarting with the same `--store`
+//! and sending `RECOVER` resumes unfinished queries from their
+//! checkpoints, replaying already-paid work instead of re-posting it.
+//! `--crash POINT[:N]` arms a deterministic fault (testing aid): the
+//! process's store dies at the N-th occurrence of the named crash
+//! point, exactly as in the fault-injection harness.
 //!
 //! The served world is fixed and deterministic for a given seed: a
 //! `people` table (10 rows, `isTall` filter + `byHeight` rank) and a
@@ -21,9 +30,12 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::process::ExitCode;
 
-use qurk::service::protocol::{fmt_dollars, read_frame, write_frame, Request};
+use std::sync::Arc;
+
+use qurk::service::protocol::{fmt_dollars, read_frame, write_frame, Frame, Request};
 use qurk::service::QueryService;
-use qurk::{Catalog, Relation, Schema, Value, ValueType};
+use qurk::store::{CrashPoint, DurableStore, FaultPlan};
+use qurk::{Catalog, ExecConfig, Relation, Schema, Value, ValueType};
 use qurk_crowd::truth::{DimensionParams, PredicateTruth};
 use qurk_crowd::{CrowdConfig, EntityId, GroundTruth, Marketplace};
 use qurk_data::squares::{squares_dataset, AREA};
@@ -98,12 +110,16 @@ fn world(seed: u64) -> (Catalog, Marketplace) {
 struct Args {
     seed: u64,
     script: Option<String>,
+    store: Option<String>,
+    crash: Option<FaultPlan>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         seed: 7,
         script: None,
+        store: None,
+        crash: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -115,22 +131,66 @@ fn parse_args() -> Result<Args, String> {
             "--script" => {
                 args.script = Some(it.next().ok_or("--script requires a path")?);
             }
+            "--store" => {
+                args.store = Some(it.next().ok_or("--store requires a path")?);
+            }
+            "--crash" => {
+                let v = it.next().ok_or("--crash requires a crash point")?;
+                let (point, occurrence) = match v.split_once(':') {
+                    Some((p, n)) => (
+                        p,
+                        n.parse::<u32>()
+                            .map_err(|_| format!("bad crash occurrence {n:?}"))?,
+                    ),
+                    None => (v.as_str(), 1),
+                };
+                let point = CrashPoint::parse(point)
+                    .ok_or_else(|| format!("unknown crash point {point:?}"))?;
+                args.crash = Some(FaultPlan::at(point).on_occurrence(occurrence));
+            }
             "--help" | "-h" => {
-                return Err("usage: qurk-serve [--seed N] [--script FILE]".to_owned());
+                return Err(
+                    "usage: qurk-serve [--seed N] [--script FILE] [--store FILE] [--crash POINT[:N]]"
+                        .to_owned(),
+                );
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    if args.crash.is_some() && args.store.is_none() {
+        return Err("--crash requires --store".to_owned());
+    }
     Ok(args)
 }
 
-fn serve<R: BufRead, W: Write>(seed: u64, input: &mut R, out: &mut W) -> io::Result<()> {
+fn serve<R: BufRead, W: Write>(
+    seed: u64,
+    store: Option<Arc<DurableStore>>,
+    input: &mut R,
+    out: &mut W,
+) -> io::Result<()> {
     let (catalog, market) = world(seed);
-    let mut svc = QueryService::new(&catalog, market);
+    let mut svc = match store {
+        Some(store) => QueryService::with_store(&catalog, market, ExecConfig::default(), store),
+        None => QueryService::new(&catalog, market),
+    };
     // Tenant names of queued queries, in submission order.
     let mut queued: Vec<String> = Vec::new();
 
-    while let Some(body) = read_frame(input)? {
+    loop {
+        let body = match read_frame(input)? {
+            Frame::Body(body) => body,
+            Frame::Malformed { reason, resync } => {
+                write_frame(out, &format!("ERR {reason}"))?;
+                if resync {
+                    continue;
+                }
+                // Frame sync is lost; anything further would be
+                // misparsed garbage.
+                break;
+            }
+            Frame::Eof => break,
+        };
         let request = match Request::parse(&body) {
             Ok(r) => r,
             Err(e) => {
@@ -161,15 +221,17 @@ fn serve<R: BufRead, W: Write>(seed: u64, input: &mut R, out: &mut W) -> io::Res
                 for (tenant, report) in queued.drain(..).zip(reports) {
                     match report {
                         Ok(r) => {
-                            let saved = r
-                                .service
-                                .as_ref()
-                                .map(|s| s.saved_dollars)
-                                .unwrap_or_default();
+                            let svc_stats = r.service.as_ref();
+                            let saved = svc_stats.map(|s| s.saved_dollars).unwrap_or_default();
+                            let resumed = if svc_stats.is_some_and(|s| s.resumed) {
+                                " resumed"
+                            } else {
+                                ""
+                            };
                             write_frame(
                                 out,
                                 &format!(
-                                    "RESULT {tenant} {} rows {} saved {}",
+                                    "RESULT {tenant} {} rows {} saved {}{resumed}",
                                     r.relation.len(),
                                     fmt_dollars(r.cost_dollars),
                                     fmt_dollars(saved),
@@ -192,6 +254,21 @@ fn serve<R: BufRead, W: Write>(seed: u64, input: &mut R, out: &mut W) -> io::Res
                     ),
                 )?;
             }
+            Request::Recover => {
+                if svc.store().is_none() {
+                    write_frame(out, "ERR RECOVER requires --store")?;
+                } else {
+                    // Recovered queries join the pending queue; remember
+                    // their tenants so RUN's RESULT frames line up.
+                    let resumed_tenants: Vec<String> = svc
+                        .store()
+                        .map(|s| s.live_checkpoints().into_iter().map(|c| c.tenant).collect())
+                        .unwrap_or_default();
+                    let n = svc.recover();
+                    queued.extend(resumed_tenants.into_iter().take(n));
+                    write_frame(out, &format!("OK recovered {n}"))?;
+                }
+            }
             Request::Quit => {
                 write_frame(out, "BYE")?;
                 break;
@@ -209,17 +286,33 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let store = match &args.store {
+        Some(path) => {
+            let opened = match args.crash.clone() {
+                Some(plan) => DurableStore::open_with_faults(path, plan),
+                None => DurableStore::open(path),
+            };
+            match opened {
+                Ok(store) => Some(Arc::new(store)),
+                Err(e) => {
+                    eprintln!("cannot open store {path:?}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     let stdout = io::stdout();
     let mut out = stdout.lock();
     let result = match &args.script {
         Some(path) => match std::fs::File::open(path) {
-            Ok(f) => serve(args.seed, &mut BufReader::new(f), &mut out),
+            Ok(f) => serve(args.seed, store, &mut BufReader::new(f), &mut out),
             Err(e) => {
                 eprintln!("cannot open {path:?}: {e}");
                 return ExitCode::from(2);
             }
         },
-        None => serve(args.seed, &mut io::stdin().lock(), &mut out),
+        None => serve(args.seed, store, &mut io::stdin().lock(), &mut out),
     };
     if let Err(e) = result {
         eprintln!("i/o error: {e}");

@@ -1,0 +1,86 @@
+//! Golden wire-protocol edge cases: each malformed-input script must
+//! produce byte-identical output to its committed expectation, and the
+//! server must degrade the way `qurk::service::protocol::Frame`
+//! documents — close on lost frame sync, keep serving after a
+//! recoverable body error.
+
+use std::process::{Command, Stdio};
+
+fn data(name: &str) -> String {
+    format!("{}/tests/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Run the binary over a script and byte-diff stdout against the
+/// committed golden file. Returns stdout for extra semantic checks.
+fn golden(stem: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_qurk-serve"))
+        .args(["--script", &data(&format!("{stem}.qsh"))])
+        .stdin(Stdio::null())
+        .output()
+        .expect("qurk-serve runs");
+    assert!(
+        out.status.success(),
+        "{stem}: qurk-serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let expected = std::fs::read(data(&format!("{stem}.expected"))).expect("golden file exists");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&expected),
+        "{stem}: output diverged from the committed golden transcript"
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A length prefix above `MAX_FRAME_BYTES` is a framing error, not an
+/// allocation: the server answers ERR and closes (frame sync is lost,
+/// so no BYE — nothing after the bad prefix is trusted).
+#[test]
+fn oversized_length_prefix_is_rejected_and_fatal() {
+    let out = golden("wire_oversized");
+    assert!(out.contains("ERR frame length 1048577 exceeds limit"));
+    assert!(!out.contains("BYE"), "server must not keep parsing");
+    assert!(
+        !out.contains("never read"),
+        "the oversized body must not be echoed or executed"
+    );
+}
+
+/// A stream that ends inside a counted body is reported as truncation
+/// and the connection closes without a BYE.
+#[test]
+fn truncated_body_is_reported_and_fatal() {
+    let out = golden("wire_truncated");
+    assert!(out.contains("ERR truncated frame: stream ended inside a 500-byte body"));
+    assert!(!out.contains("BYE"));
+}
+
+/// A well-framed body that is not UTF-8 consumes exactly its counted
+/// bytes: the server answers ERR and the *next* frames parse normally
+/// (TENANT, STATS, QUIT all still work).
+#[test]
+fn invalid_utf8_body_is_recoverable() {
+    let out = golden("wire_badutf8");
+    assert!(out.contains("ERR frame body is not UTF-8"));
+    assert!(
+        out.contains("OK tenant alice"),
+        "stream stays frame-aligned"
+    );
+    assert!(out.contains("STATS 0 posted"));
+    assert!(out.contains("BYE"), "session still closes cleanly");
+}
+
+/// STATS interleaved between TENANT/QUERY/RUN frames reads consistent
+/// totals at every point: zeros before anything runs, and shared-cache
+/// dedup visible afterwards (bob's identical filter cost $0.000).
+#[test]
+fn interleaved_stats_frames_are_byte_stable() {
+    let out = golden("wire_stats_interleaved");
+    assert_eq!(
+        out.matches("STATS 0 posted 0/0 cache $0.000").count(),
+        2,
+        "both pre-RUN STATS snapshots are zero"
+    );
+    assert!(out.contains("RESULT bob 5 rows $0.000 saved $0.150"));
+    assert!(out.contains("STATS 2 posted 2/2 cache $0.150"));
+}

@@ -1,0 +1,21 @@
+//! Lint fixture: deliberately violates durable-fs exactly once.
+//! Not compiled — scanned by `lint::tests` only.
+
+// fs::write( in a comment should-not-fire.
+
+fn sneaky_persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+fn reading_is_fine(path: &std::path::Path) -> std::io::Result<String> {
+    // File::open and fs::read_to_string are read-side: should-not-fire.
+    let _ = std::fs::File::open(path)?;
+    std::fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_writes_are_fine() {
+        std::fs::write("scratch", b"x").unwrap(); // should-not-fire: test code
+    }
+}

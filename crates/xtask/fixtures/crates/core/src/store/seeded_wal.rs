@@ -1,0 +1,13 @@
+//! Lint fixture: filesystem writes *inside* the store module are the
+//! sanctioned durability path and must not fire durable-fs.
+//! Not compiled — scanned by `lint::tests` only.
+
+fn rewrite_segment(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("compact.tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn append_segment(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::OpenOptions::new().append(true).create(true).open(path)
+}

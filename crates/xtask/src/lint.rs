@@ -1,6 +1,6 @@
 //! Source-level invariant checks over the workspace tree.
 //!
-//! Four rules, all motivated by the multi-tenant service:
+//! Five rules, all motivated by the multi-tenant service:
 //!
 //! * **marketplace-isolation** — production code must speak
 //!   [`CrowdBackend`], never the concrete `Marketplace`. Allowed:
@@ -22,6 +22,13 @@
 //!   `// lint:allow(lock-poison): <why>` marker — a poisoned lock
 //!   would otherwise cascade one query's panic into the whole
 //!   service (prefer `unwrap_or_else(PoisonError::into_inner)`).
+//! * **durable-fs** — no direct filesystem *writes* (`fs::write`,
+//!   `fs::rename`, `File::create`, `OpenOptions::new`, …) in
+//!   production code outside `crates/core/src/store/`. Durability has
+//!   exactly one implementation — the checksummed, crash-tested log in
+//!   `qurk::store` — and a stray ad-hoc write would silently escape
+//!   its torn-tail recovery and fault-injection coverage. Reading
+//!   (`File::open`, `fs::read*`) is unrestricted.
 //!
 //! The scanner is line-based and deliberately simple: comment lines
 //! are skipped, and `#[cfg(test)]`-annotated blocks are excluded by
@@ -87,6 +94,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
         check_ops_unwrap(&rel, &rel_str, &text, &lines, &mut out);
         check_interior_mutability(&rel, &rel_str, &lines, &mut out);
         check_service_blocking(&rel, &rel_str, &text, &lines, &mut out);
+        check_durable_fs(&rel, &rel_str, &lines, &mut out);
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
@@ -362,6 +370,40 @@ fn check_service_blocking(
     }
 }
 
+/// Filesystem-write APIs that only `crates/core/src/store/` may call.
+/// Read-side APIs (`File::open`, `fs::read_to_string`, …) are fine —
+/// qurk-serve reads script files, for instance.
+fn check_durable_fs(file: &Path, rel: &str, lines: &[(usize, String)], out: &mut Vec<Violation>) {
+    if rel.starts_with("crates/core/src/store/") {
+        return;
+    }
+    const WRITE_APIS: &[&str] = &[
+        "fs::write(",
+        "fs::rename(",
+        "fs::remove_file(",
+        "fs::remove_dir",
+        "fs::create_dir",
+        "fs::copy(",
+        "fs::set_permissions(",
+        "File::create(",
+        "OpenOptions::new(",
+    ];
+    for (n, line) in lines {
+        if let Some(pat) = WRITE_APIS.iter().find(|p| line.contains(*p)) {
+            out.push(Violation {
+                rule: "durable-fs",
+                file: file.to_path_buf(),
+                line: *n,
+                message: format!(
+                    "`{pat}` outside crates/core/src/store/: all durable writes \
+                     must go through the crash-tested qurk::store log, not \
+                     ad-hoc filesystem calls"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +455,10 @@ mod tests {
             rules.contains(&"service-blocking"),
             "expected service-blocking violation, got {violations:?}"
         );
+        assert!(
+            rules.contains(&"durable-fs"),
+            "expected durable-fs violation, got {violations:?}"
+        );
     }
 
     #[test]
@@ -426,6 +472,7 @@ mod tests {
             "marketplace-isolation",
             "interior-mutability",
             "service-blocking",
+            "durable-fs",
         ] {
             let count = violations.iter().filter(|v| v.rule == rule).count();
             assert_eq!(count, 1, "rule {rule}: {violations:?}");

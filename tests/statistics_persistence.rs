@@ -1,0 +1,170 @@
+//! Property tests for `StatisticsStore::merge` and its durable
+//! persistence (`DurableStore::append_stats_delta`).
+//!
+//! Stores are generated from random op sequences whose float inputs
+//! are dyadic rationals (multiples of 1/8), so every sum the merge
+//! performs is exact in binary floating point and the algebraic
+//! properties can be asserted with `==` instead of epsilons:
+//!
+//! * merge is **associative**: `(a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)`;
+//! * merge is **order-insensitive up to the documented tiebreak**:
+//!   every tallied estimate agrees between `a ⊔ b` and `b ⊔ a`, and
+//!   `features` follows latest-wins (the store merged later supplies
+//!   the surviving κ/σ sample);
+//! * a store journaled as deltas and reloaded from disk — including
+//!   through a compaction — is `==` to the in-memory original.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use qurk::{DurableStore, StatisticsStore};
+
+const FILTERS: [&str; 2] = ["f1", "f2"];
+const JOINS: [&str; 2] = ["j1", "j2"];
+const FEATURES: [&str; 2] = ["ft1", "ft2"];
+const SORTS: [&str; 2] = ["s1", "s2"];
+
+/// One recorded observation: (kind, key index, x, y). Float inputs are
+/// derived as small dyadic rationals so merge arithmetic is exact.
+type Op = (u8, u8, u64, u64);
+
+fn apply(store: &mut StatisticsStore, &(kind, key, x, y): &Op) {
+    let key = key as usize % 2;
+    match kind % 6 {
+        0 => store.record_filter(FILTERS[key], x as usize, (y.min(x)) as usize),
+        1 => store.record_join(JOINS[key], x as usize, (y.min(x)) as usize),
+        2 => store.record_feature(FEATURES[key], (x % 9) as f64 / 8.0, (y % 9) as f64 / 8.0),
+        3 => store.record_sort(SORTS[key], (x % 17) as f64 / 8.0),
+        4 => store.record_epoch(x, (y % 64) as f64 * 0.25),
+        _ => store.record_round((x % 32) as f64 * 0.5, (y % 64) as f64 * 0.25),
+    }
+}
+
+fn build(ops: &[Op]) -> StatisticsStore {
+    let mut s = StatisticsStore::new();
+    for op in ops {
+        apply(&mut s, op);
+    }
+    s
+}
+
+fn merged(a: &StatisticsStore, b: &StatisticsStore) -> StatisticsStore {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+fn tmp_store_path() -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "qurk-stats-persist-{}-{}.qwal",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..6, 0u8..2, 0u64..50, 0u64..50), 0..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        ops_a in ops_strategy(),
+        ops_b in ops_strategy(),
+        ops_c in ops_strategy(),
+    ) {
+        let (a, b, c) = (build(&ops_a), build(&ops_b), build(&ops_c));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_up_to_feature_tiebreak(
+        ops_a in ops_strategy(),
+        ops_b in ops_strategy(),
+    ) {
+        let (a, b) = (build(&ops_a), build(&ops_b));
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+
+        // Every tallied estimate is commutative...
+        for k in FILTERS {
+            prop_assert_eq!(ab.filter_selectivity(k), ba.filter_selectivity(k));
+        }
+        for k in JOINS {
+            prop_assert_eq!(ab.join_selectivity(k), ba.join_selectivity(k));
+        }
+        for k in SORTS {
+            prop_assert_eq!(ab.sort_ambiguity(k), ba.sort_ambiguity(k));
+        }
+        prop_assert_eq!(ab.secs_per_hit(), ba.secs_per_hit());
+        prop_assert_eq!(ab.latency_params(), ba.latency_params());
+
+        // ...and features follow the documented latest-wins tiebreak:
+        // the store merged later provides the surviving sample.
+        for k in FEATURES {
+            let want_ab = b.feature(k).or_else(|| a.feature(k));
+            let want_ba = a.feature(k).or_else(|| b.feature(k));
+            prop_assert_eq!(ab.feature(k), want_ab);
+            prop_assert_eq!(ba.feature(k), want_ba);
+        }
+    }
+
+    #[test]
+    fn persisted_then_reloaded_store_is_equal(
+        ops_a in ops_strategy(),
+        ops_b in ops_strategy(),
+    ) {
+        let (a, b) = (build(&ops_a), build(&ops_b));
+        let want = merged(&a, &b);
+        let path = tmp_store_path();
+
+        // Journal as two separate deltas (the shape the service's
+        // commit loop produces), then reload from the bytes.
+        {
+            let store = DurableStore::open(&path).expect("fresh store opens");
+            store.append_stats_delta(&a);
+            store.append_stats_delta(&b);
+        }
+        {
+            let store = DurableStore::open(&path).expect("store reopens");
+            prop_assert_eq!(store.stats_snapshot(), want.clone());
+
+            // Compaction rewrites the log as one snapshot record; the
+            // reloaded state must be unchanged by it.
+            store.compact_now();
+        }
+        {
+            let store = DurableStore::open(&path).expect("store reopens after compaction");
+            prop_assert_eq!(store.stats_snapshot(), want);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// The store is shareable; deltas appended through clones of one
+/// `Arc<DurableStore>` land in one log.
+#[test]
+fn deltas_through_shared_handles_accumulate() {
+    let mut a = StatisticsStore::new();
+    a.record_filter("f1", 10, 5);
+    let mut b = StatisticsStore::new();
+    b.record_filter("f1", 10, 3);
+
+    let path = tmp_store_path();
+    {
+        let store = Arc::new(DurableStore::open(&path).expect("fresh store opens"));
+        let clone = Arc::clone(&store);
+        store.append_stats_delta(&a);
+        clone.append_stats_delta(&b);
+    }
+    let store = DurableStore::open(&path).expect("store reopens");
+    assert_eq!(store.stats_snapshot().filter_selectivity("f1"), Some(0.4));
+    let _ = std::fs::remove_file(&path);
+}
