@@ -16,6 +16,7 @@
 //! | [`sort_exps`] | §4.2.2 microbenchmarks, Figure 6, Figure 7, §4.2.4 |
 //! | [`end_to_end`] | Table 5, §3.3.2/§3.4 cost arithmetic |
 //! | [`opt_exps`] | cost-based optimizer vs as-written plans (ISSUE 2) |
+//! | [`wallclock`] | data-layout pass wall-clock gate (ISSUE 9) |
 //! | [`ablations`] | DESIGN.md §5 design-choice ablations |
 //! | [`world`] | shared dataset/marketplace builders |
 //! | [`report`] | table/series formatting |
@@ -27,4 +28,5 @@ pub mod join_exps;
 pub mod opt_exps;
 pub mod report;
 pub mod sort_exps;
+pub mod wallclock;
 pub mod world;

@@ -89,16 +89,17 @@ pub struct WorkloadComparison {
 }
 
 /// A workload: a catalog + SQL + a way to mint fresh same-seed crowds.
-struct Workload {
-    name: &'static str,
-    catalog: Catalog,
-    sql: String,
-    make_market: Box<dyn Fn() -> Marketplace>,
+/// Crate-visible so the wall-clock suite can time the same workloads.
+pub(crate) struct Workload {
+    pub(crate) name: &'static str,
+    pub(crate) catalog: Catalog,
+    pub(crate) sql: String,
+    pub(crate) make_market: Box<dyn Fn() -> Marketplace>,
 }
 
 /// Pass 1: run the query as written, returning its numbers and the
 /// statistics the session learned.
-fn learn(w: &Workload) -> (RunNumbers, StatisticsStore) {
+pub(crate) fn learn(w: &Workload) -> (RunNumbers, StatisticsStore) {
     let mut aw_session = Session::builder()
         .catalog(&w.catalog)
         .backend((w.make_market)())
@@ -315,7 +316,7 @@ fn movie_filters_workload(seed: u64) -> Workload {
 /// criterion meaningful).
 pub const DEFAULT_TRIALS: u64 = 5;
 
-fn trial_workloads(seed: u64) -> [Workload; 3] {
+pub(crate) fn trial_workloads(seed: u64) -> [Workload; 3] {
     [
         celebrity_workload(15, seed),
         squares_workload(24, seed.wrapping_add(0x100)),

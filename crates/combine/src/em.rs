@@ -23,6 +23,20 @@
 //! negatives twice as heavily as false positives; see
 //! [`QualityAdjustConfig::iterations`] and
 //! [`QualityAdjustConfig::cost`].
+//!
+//! ## Layout
+//!
+//! EM is the machine-side hot loop (it runs once per HIT round), so
+//! internally everything is flat: posteriors are one `num_items × k`
+//! buffer, confusion matrices one `num_workers × k × k` buffer, votes
+//! a CSR-style `(offsets, flat votes)` pair, and the per-item E-step
+//! scratch is reused across items and iterations — no allocation
+//! inside the EM loop. The arithmetic is performed in exactly the
+//! same order as the reference nested-`Vec` formulation (kept as
+//! `qurk-bench`'s baseline), so results are bit-identical; only the
+//! memory layout changed. The public [`QualityAdjustOutput`] keeps
+//! the nested shape, converted once at the end.
+// lint:hot-path
 
 /// One worker response: `worker` assigned `label` to `item`.
 ///
@@ -178,58 +192,63 @@ impl QualityAdjust {
             assert!(o.label < k, "label {} out of range {k}", o.label);
         }
 
-        // Group observations by item for the E-step.
-        let mut by_item: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_items];
+        // Group observations by item, CSR-style: `votes[offsets[i]..
+        // offsets[i+1]]` are item i's (worker, label) pairs, in input
+        // order — one flat buffer instead of a Vec per item.
+        let mut offsets = vec![0usize; num_items + 1];
         for o in observations {
-            by_item[o.item].push((o.worker, o.label));
+            offsets[o.item + 1] += 1;
         }
+        for i in 0..num_items {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets[..num_items].to_vec();
+        let mut votes = vec![(0usize, 0usize); observations.len()];
+        for o in observations {
+            votes[cursor[o.item]] = (o.worker, o.label);
+            cursor[o.item] += 1;
+        }
+        let item_votes = |item: usize| &votes[offsets[item]..offsets[item + 1]];
+
         let mut worker_answer_counts = vec![0usize; num_workers];
         for o in observations {
             worker_answer_counts[o.worker] += 1;
         }
 
         // --- Initialization: posteriors from raw vote proportions. ---
-        let mut posteriors: Vec<Vec<f64>> = by_item
-            .iter()
-            .map(|votes| {
-                let mut p = vec![1e-9; k];
-                for &(_, l) in votes {
-                    p[l] += 1.0;
-                }
-                normalize_in_place(&mut p);
-                p
-            })
-            .collect();
+        // `posteriors[item*k..][..k]` is item's distribution (flat).
+        let mut posteriors = vec![1e-9f64; num_items * k];
+        for item in 0..num_items {
+            let row = &mut posteriors[item * k..(item + 1) * k];
+            for &(_, l) in item_votes(item) {
+                row[l] += 1.0;
+            }
+            normalize_in_place(row);
+        }
 
-        let mut confusion = vec![vec![vec![0.0; k]; k]; num_workers];
+        // `confusion[(w*k + t)*k + l]` = π_w[t][l] (flat k×k per worker).
+        let mut confusion = vec![0.0f64; num_workers * k * k];
         let mut priors = vec![1.0 / k as f64; k];
+        // E-step scratch, reused across items and iterations.
+        let mut log_p = vec![0.0f64; k];
 
         for _ in 0..self.config.iterations {
             // --- M-step: confusion matrices and priors. ---
             let s = self.config.smoothing;
-            for w in confusion.iter_mut() {
-                for row in w.iter_mut() {
-                    for cell in row.iter_mut() {
-                        *cell = s;
+            confusion.fill(s);
+            for item in 0..num_items {
+                for &(w, l) in item_votes(item) {
+                    let base = w * k * k;
+                    for t in 0..k {
+                        confusion[base + t * k + l] += posteriors[item * k + t];
                     }
                 }
             }
-            for (item, votes) in by_item.iter().enumerate() {
-                for &(w, l) in votes {
-                    for (t, &post) in posteriors[item].iter().enumerate() {
-                        confusion[w][t][l] += post;
-                    }
-                }
+            for row in confusion.chunks_mut(k) {
+                normalize_in_place(row);
             }
-            for w in confusion.iter_mut() {
-                for row in w.iter_mut() {
-                    normalize_in_place(row);
-                }
-            }
-            for p in priors.iter_mut() {
-                *p = s;
-            }
-            for post in &posteriors {
+            priors.fill(s);
+            for post in posteriors.chunks(k) {
                 for (t, &p) in post.iter().enumerate() {
                     priors[t] += p;
                 }
@@ -237,43 +256,51 @@ impl QualityAdjust {
             normalize_in_place(&mut priors);
 
             // --- E-step: item posteriors (log space for stability). ---
-            for (item, votes) in by_item.iter().enumerate() {
-                if votes.is_empty() {
-                    posteriors[item] = priors.clone();
+            for item in 0..num_items {
+                let vs = item_votes(item);
+                let row = &mut posteriors[item * k..(item + 1) * k];
+                if vs.is_empty() {
+                    // In-place copy — no per-item allocation.
+                    row.copy_from_slice(&priors);
                     continue;
                 }
-                let mut log_p: Vec<f64> = priors.iter().map(|p| p.max(1e-300).ln()).collect();
-                for &(w, l) in votes {
+                for (t, lp) in log_p.iter_mut().enumerate() {
+                    *lp = priors[t].max(1e-300).ln();
+                }
+                for &(w, l) in vs {
+                    let base = w * k * k;
                     for (t, lp) in log_p.iter_mut().enumerate() {
-                        *lp += confusion[w][t][l].max(1e-300).ln();
+                        *lp += confusion[base + t * k + l].max(1e-300).ln();
                     }
                 }
-                let max = log_p.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let mut post: Vec<f64> = log_p.iter().map(|lp| (lp - max).exp()).collect();
-                normalize_in_place(&mut post);
-                posteriors[item] = post;
+                let max = log_p.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                for lp in log_p.iter_mut() {
+                    *lp = (*lp - max).exp();
+                }
+                normalize_in_place(&mut log_p);
+                row.copy_from_slice(&log_p);
             }
         }
 
         // --- Decisions: minimize expected cost. ---
-        let decisions: Vec<usize> = posteriors
-            .iter()
-            .map(|post| self.min_cost_decision(post))
+        let decisions: Vec<usize> = (0..num_items)
+            .map(|item| self.min_cost_decision(&posteriors[item * k..(item + 1) * k]))
             .collect();
 
         // --- Spam scores. ---
-        let spammer_score = self.spam_scores(
-            &confusion,
-            &priors,
-            &by_item,
-            num_workers,
-            &worker_answer_counts,
-        );
+        let spammer_score =
+            self.spam_scores(&confusion, &priors, num_workers, &worker_answer_counts);
 
         QualityAdjustOutput {
-            posteriors,
+            posteriors: posteriors.chunks(k).map(<[f64]>::to_vec).collect(),
             decisions,
-            confusion,
+            confusion: (0..num_workers)
+                .map(|w| {
+                    (0..k)
+                        .map(|t| confusion[(w * k + t) * k..(w * k + t + 1) * k].to_vec())
+                        .collect()
+                })
+                .collect(),
             priors,
             spammer_score,
             worker_answer_counts,
@@ -306,9 +333,8 @@ impl QualityAdjust {
     /// best a zero-information spammer can do).
     fn spam_scores(
         &self,
-        confusion: &[Vec<Vec<f64>>],
+        confusion: &[f64], // flat: [(w*k + t)*k + l]
         priors: &[f64],
-        by_item: &[Vec<(usize, usize)>],
         num_workers: usize,
         counts: &[usize],
     ) -> Vec<f64> {
@@ -325,16 +351,19 @@ impl QualityAdjust {
         let spam_baseline = soft_cost(priors).max(1e-12);
 
         let mut scores = vec![1.0f64; num_workers];
-        // P(worker emits l) = Σ_t prior[t] π_w[t][l]; soft label for l:
-        // q[t] ∝ prior[t] π_w[t][l].
+        let mut q = vec![0.0f64; k]; // soft-label scratch, reused
+                                     // P(worker emits l) = Σ_t prior[t] π_w[t][l]; soft label for l:
+                                     // q[t] ∝ prior[t] π_w[t][l].
         for w in 0..num_workers {
             if counts[w] == 0 {
                 continue;
             }
+            let base = w * k * k;
             let mut expected = 0.0;
-            #[allow(clippy::needless_range_loop)] // l indexes the label axis of a 3-D matrix
             for l in 0..k {
-                let mut q: Vec<f64> = (0..k).map(|t| priors[t] * confusion[w][t][l]).collect();
+                for (t, qt) in q.iter_mut().enumerate() {
+                    *qt = priors[t] * confusion[base + t * k + l];
+                }
                 let mass: f64 = q.iter().sum();
                 if mass <= 0.0 {
                     continue;
@@ -346,7 +375,6 @@ impl QualityAdjust {
         }
         // Workers with no answers keep score 1 (unknown = spam-neutral)
         // but are excluded by `spammers()` via the count check.
-        let _ = by_item;
         scores
     }
 }

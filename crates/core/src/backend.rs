@@ -247,10 +247,11 @@ impl<B: CrowdBackend + ?Sized> CrowdBackend for &mut B {
 /// Identical questions + interface + assignment count ⇒ identical key.
 fn spec_key(spec: &HitSpec, assignments: Option<u32>) -> u64 {
     let mut h = DefaultHasher::new();
-    // Question carries Vec/String fields without Hash; its Debug form
-    // is stable and content-complete (same trick the seed's TaskCache
-    // used).
-    format!("{:?}|{:?}", spec.kind, spec.questions).hash(&mut h);
+    // Question and HitKind are Hash, so the key is computed directly
+    // from content with zero allocation (the seed rendered both to a
+    // Debug string first).
+    spec.kind.hash(&mut h);
+    spec.questions.hash(&mut h);
     assignments.hash(&mut h);
     h.finish()
 }

@@ -1,0 +1,176 @@
+//! Column-major batches: the cache-side layout of a [`Relation`].
+//!
+//! Machine-side operators (predicate evaluation, sort keys, candidate
+//! pre-pruning) touch one or two columns of many rows; the row-major
+//! `Vec<Tuple>` layout makes every access chase a per-row heap `Vec`.
+//! Each relation therefore also maintains a [`ColumnStore`]: one flat
+//! `Vec<Value>` per column, appended in lock-step with the row view.
+//! Since [`Value`](crate::Value) is a 16-byte `Copy` type (text is
+//! interned), a column of n values is a contiguous 16·n-byte slab that
+//! streams through the cache.
+//!
+//! Operators process columns in fixed-size windows
+//! ([`PROCESSING_WINDOW_SIZE`] rows) so a working set of a few columns
+//! stays cache-resident even for large relations; [`RelationWindow`]
+//! hands out zero-copy `&[Value]` slices per column per window. The
+//! row-level [`Tuple`](crate::Tuple) API stays intact as a view, so
+//! callers migrate incrementally.
+//!
+//! [`Relation`]: crate::Relation
+// lint:hot-path
+
+use crate::value::Value;
+
+/// Rows per processing window: 1024 rows × 16 B/value keeps a handful
+/// of columns comfortably inside L2 while amortizing per-window
+/// overhead.
+pub const PROCESSING_WINDOW_SIZE: usize = 1024;
+
+/// Column-major storage: `cols[c][r]` is row `r`'s value in column `c`.
+/// Append-only, kept in lock-step with the owning relation's row view.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct ColumnStore {
+    cols: Vec<Vec<Value>>,
+    len: usize,
+}
+
+impl ColumnStore {
+    pub(crate) fn new(width: usize) -> ColumnStore {
+        ColumnStore {
+            cols: vec![Vec::new(); width],
+            len: 0,
+        }
+    }
+
+    /// Build directly from pre-validated columns (all the same length).
+    pub(crate) fn from_columns(cols: Vec<Vec<Value>>) -> ColumnStore {
+        let len = cols.first().map(Vec::len).unwrap_or(0);
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        ColumnStore { cols, len }
+    }
+
+    pub(crate) fn push_row(&mut self, values: &[Value]) {
+        debug_assert_eq!(values.len(), self.cols.len());
+        for (col, v) in self.cols.iter_mut().zip(values) {
+            col.push(*v);
+        }
+        self.len += 1;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn column(&self, idx: usize) -> &[Value] {
+        &self.cols[idx]
+    }
+
+    #[cfg(test)]
+    pub(crate) fn width(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// Zero-copy view of one processing window: a contiguous row range
+/// with per-column `&[Value]` slices.
+#[derive(Clone, Copy)]
+pub struct RelationWindow<'a> {
+    store: &'a ColumnStore,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> RelationWindow<'a> {
+    /// Index (into the whole relation) of this window's first row.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Rows in this window (≤ the window size it was cut with).
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// This window's slice of column `idx` — zero-copy into the
+    /// column store.
+    pub fn column(&self, idx: usize) -> &'a [Value] {
+        &self.store.column(idx)[self.start..self.end]
+    }
+}
+
+/// Iterator over a column store in fixed-size windows.
+pub(crate) fn windows(
+    store: &ColumnStore,
+    size: usize,
+) -> impl Iterator<Item = RelationWindow<'_>> {
+    let size = size.max(1);
+    let n = store.len();
+    (0..n.div_ceil(size)).map(move |w| {
+        let start = w * size;
+        RelationWindow {
+            store,
+            start,
+            end: (start + size).min(n),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(n: usize) -> ColumnStore {
+        let mut s = ColumnStore::new(2);
+        for i in 0..n {
+            s.push_row(&[Value::Int(i as i64), Value::text(format!("r{i}"))]);
+        }
+        s
+    }
+
+    #[test]
+    fn lockstep_append_and_column_access() {
+        let s = store(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.column(0), &[Value::Int(0), Value::Int(1), Value::Int(2)]);
+        assert_eq!(s.column(1)[2], Value::text("r2"));
+    }
+
+    #[test]
+    fn windows_cover_all_rows_without_overlap() {
+        let s = store(10);
+        let w: Vec<_> = windows(&s, 4).collect();
+        assert_eq!(w.len(), 3);
+        assert_eq!((w[0].start(), w[0].len()), (0, 4));
+        assert_eq!((w[1].start(), w[1].len()), (4, 4));
+        assert_eq!((w[2].start(), w[2].len()), (8, 2));
+        assert!(!w[2].is_empty());
+        let reassembled: Vec<Value> = w.iter().flat_map(|w| w.column(0).iter().copied()).collect();
+        assert_eq!(reassembled, s.column(0));
+    }
+
+    #[test]
+    fn empty_store_yields_no_windows() {
+        let s = ColumnStore::new(1);
+        assert_eq!(windows(&s, 8).count(), 0);
+    }
+
+    #[test]
+    fn exact_multiple_window() {
+        let s = store(8);
+        let w: Vec<_> = windows(&s, 4).collect();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1].len(), 4);
+    }
+
+    #[test]
+    fn from_columns_matches_push_row() {
+        let a = store(5);
+        let b = ColumnStore::from_columns(vec![a.column(0).to_vec(), a.column(1).to_vec()]);
+        assert_eq!(a, b);
+    }
+}

@@ -123,9 +123,11 @@ pub mod adaptive;
 pub mod analyze;
 pub mod backend;
 pub mod catalog;
+pub mod columnar;
 pub mod error;
 pub mod exec;
 pub mod hit;
+pub mod intern;
 pub mod lang;
 pub mod ops;
 pub mod opt;
@@ -160,9 +162,11 @@ pub use backend::{
     ReplayTrace,
 };
 pub use catalog::Catalog;
+pub use columnar::{RelationWindow, PROCESSING_WINDOW_SIZE};
 pub use error::QurkError;
 #[allow(deprecated)]
 pub use exec::Executor;
+pub use intern::{IStr, SymbolTable, ValueId};
 pub use opt::{CostEstimate, CostModel, OptimizeMode, PlanReport, StatisticsStore};
 pub use relation::Relation;
 pub use schema::{Schema, ValueType};

@@ -185,7 +185,7 @@ impl GenerativeOp {
                             let outcome = majority_vote(&normalized);
                             rows[ii].insert(
                                 f.name.clone(),
-                                outcome.winner.map(Value::Text).unwrap_or(Value::Null),
+                                outcome.winner.map(Value::text).unwrap_or(Value::Null),
                             );
                         }
                     }

@@ -550,25 +550,17 @@ pub mod feature_filter {
         }
 
         /// Candidate pairs under the selected features: pass iff every
-        /// selected feature agrees or either side is UNKNOWN.
+        /// selected feature agrees or either side is UNKNOWN. Runs via
+        /// the hash-partitioned generator in [`crate::ops::partition`],
+        /// which produces the same set as the full |L|×|R| scan.
         pub fn candidates(
             selected: &[usize],
             left: &Extraction,
             right: &Extraction,
         ) -> HashSet<(usize, usize)> {
-            let mut out = HashSet::new();
-            for (i, lrow) in left.values.iter().enumerate() {
-                for (j, rrow) in right.values.iter().enumerate() {
-                    let pass = selected.iter().all(|&fi| match (lrow[fi], rrow[fi]) {
-                        (Some(a), Some(b)) => a == b,
-                        _ => true, // UNKNOWN matches anything
-                    });
-                    if pass {
-                        out.insert((i, j));
-                    }
-                }
-            }
-            out
+            crate::ops::partition::candidate_pairs(selected, &left.values, &right.values)
+                .into_iter()
+                .collect()
         }
 
         /// Run the full pipeline: sample-extract, test features

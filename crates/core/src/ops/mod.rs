@@ -14,6 +14,7 @@ pub mod common;
 pub mod filter;
 pub mod generative;
 pub mod join;
+pub mod partition;
 pub mod sort;
 
 pub use filter::FilterOp;

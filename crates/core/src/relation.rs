@@ -5,23 +5,33 @@
 //! files." We reproduce the tab-delimited path; rows type-check against
 //! the declared schema on the way in.
 
+use crate::columnar::{self, ColumnStore, RelationWindow, PROCESSING_WINDOW_SIZE};
 use crate::error::{QurkError, Result};
 use crate::schema::{Schema, ValueType};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
 /// A schema-checked bag of tuples.
+///
+/// Storage is dual-layout: the row view (`Vec<Tuple>`, the original
+/// API) and a column-major [`ColumnStore`] mirror kept in lock-step on
+/// every append (relations are append-only, so the two can never
+/// diverge). Machine-side operators read flat [`Self::column`] slices
+/// and [`Self::windows`]; crowd-side code keeps using [`Self::rows`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Relation {
     schema: Schema,
     rows: Vec<Tuple>,
+    cols: ColumnStore,
 }
 
 impl Relation {
     pub fn new(schema: Schema) -> Self {
+        let cols = ColumnStore::new(schema.len());
         Relation {
             schema,
             rows: Vec::new(),
+            cols,
         }
     }
 
@@ -58,6 +68,7 @@ impl Relation {
                 )));
             }
         }
+        self.cols.push_row(&values);
         self.rows.push(Tuple::new(values));
         Ok(())
     }
@@ -66,7 +77,84 @@ impl Relation {
     /// operators that construct rows from existing relations).
     pub(crate) fn push_unchecked(&mut self, tuple: Tuple) {
         debug_assert_eq!(tuple.len(), self.schema.len());
+        self.cols.push_row(tuple.values());
         self.rows.push(tuple);
+    }
+
+    /// Build column-wise from pre-assembled columns (one `Vec<Value>`
+    /// per schema field, all the same length). Type-checks exactly
+    /// like [`Self::push`]; the result is indistinguishable from the
+    /// same data pushed row-wise.
+    pub fn from_columns(schema: Schema, columns: Vec<Vec<Value>>) -> Result<Relation> {
+        if columns.len() != schema.len() {
+            return Err(QurkError::Schema(format!(
+                "{} columns supplied, schema has {}",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let n = columns.first().map(Vec::len).unwrap_or(0);
+        for (col, f) in columns.iter().zip(schema.fields()) {
+            if col.len() != n {
+                return Err(QurkError::Schema(format!(
+                    "column {} has {} values, expected {n}",
+                    f.name,
+                    col.len()
+                )));
+            }
+            for v in col {
+                if !f.ty.admits(v) {
+                    return Err(QurkError::Schema(format!(
+                        "value {v:?} does not fit column {} ({:?})",
+                        f.name, f.ty
+                    )));
+                }
+            }
+        }
+        let rows = (0..n)
+            .map(|r| Tuple::new(columns.iter().map(|c| c[r]).collect()))
+            .collect();
+        Ok(Relation {
+            schema,
+            rows,
+            cols: ColumnStore::from_columns(columns),
+        })
+    }
+
+    /// Zero-copy column slice: all rows' values for schema field
+    /// `idx`, contiguous in memory.
+    pub fn column(&self, idx: usize) -> &[Value] {
+        self.cols.column(idx)
+    }
+
+    /// Iterate the relation in fixed-size processing windows
+    /// ([`PROCESSING_WINDOW_SIZE`] rows) of zero-copy column slices.
+    pub fn windows(&self) -> impl Iterator<Item = RelationWindow<'_>> {
+        columnar::windows(&self.cols, PROCESSING_WINDOW_SIZE)
+    }
+
+    /// Like [`Self::windows`] with an explicit window size (tests,
+    /// benches, and operators with unusual working sets).
+    pub fn windows_of(&self, size: usize) -> impl Iterator<Item = RelationWindow<'_>> {
+        columnar::windows(&self.cols, size)
+    }
+
+    /// Columnar gather: a new relation containing `indices`' rows (in
+    /// the given order, duplicates allowed). Copies column-by-column —
+    /// a flat sweep per column instead of a `Tuple` clone per row.
+    pub fn gather(&self, indices: &[usize]) -> Relation {
+        let columns: Vec<Vec<Value>> = (0..self.schema.len())
+            .map(|c| {
+                let col = self.cols.column(c);
+                indices.iter().map(|&r| col[r]).collect()
+            })
+            .collect();
+        let rows = indices.iter().map(|&r| self.rows[r].clone()).collect();
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+            cols: ColumnStore::from_columns(columns),
+        }
     }
 
     /// Iterate rows.
@@ -207,6 +295,86 @@ mod tests {
     fn tsv_skips_blank_lines() {
         let r = Relation::from_tsv(schema(), "\n1\ta\titem://1\n\n").unwrap();
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn from_columns_equals_row_wise() {
+        let text = "1\talice\titem://4\n2\tNULL\titem://5\n";
+        let row_wise = Relation::from_tsv(schema(), text).unwrap();
+        let col_wise = Relation::from_columns(
+            schema(),
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::text("alice"), Value::Null],
+                vec![
+                    Value::Item(qurk_crowd::ItemId(4)),
+                    Value::Item(qurk_crowd::ItemId(5)),
+                ],
+            ],
+        )
+        .unwrap();
+        assert_eq!(row_wise, col_wise);
+        assert_eq!(col_wise.to_tsv(), text);
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        // Wrong column count.
+        assert!(Relation::from_columns(schema(), vec![vec![]]).is_err());
+        // Ragged columns.
+        assert!(Relation::from_columns(
+            schema(),
+            vec![vec![Value::Int(1)], vec![Value::text("a")], vec![]],
+        )
+        .is_err());
+        // Type mismatch.
+        assert!(Relation::from_columns(
+            schema(),
+            vec![
+                vec![Value::text("x")],
+                vec![Value::text("a")],
+                vec![Value::Null]
+            ],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn column_slices_mirror_rows() {
+        let r = Relation::from_tsv(schema(), "1\ta\titem://1\n2\tb\titem://2\n").unwrap();
+        assert_eq!(r.column(0), &[Value::Int(1), Value::Int(2)]);
+        assert_eq!(r.column(1), &[Value::text("a"), Value::text("b")]);
+        for (ri, row) in r.rows().iter().enumerate() {
+            for ci in 0..r.schema().len() {
+                assert_eq!(r.column(ci)[ri], row[ci]);
+            }
+        }
+    }
+
+    #[test]
+    fn windows_reassemble() {
+        let mut r = Relation::new(Schema::new(&[("x", ValueType::Int)]));
+        for i in 0..10 {
+            r.push(vec![Value::Int(i)]).unwrap();
+        }
+        let vals: Vec<Value> = r
+            .windows_of(3)
+            .flat_map(|w| w.column(0).iter().copied())
+            .collect();
+        assert_eq!(vals, r.column(0));
+        assert_eq!(r.windows().count(), 1); // default window > 10 rows
+    }
+
+    #[test]
+    fn gather_selects_rows_in_order() {
+        let r = Relation::from_tsv(schema(), "1\ta\titem://1\n2\tb\titem://2\n3\tc\titem://3\n")
+            .unwrap();
+        let g = r.gather(&[2, 0, 2]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.rows()[0], r.rows()[2]);
+        assert_eq!(g.rows()[1], r.rows()[0]);
+        assert_eq!(g.column(0), &[Value::Int(3), Value::Int(1), Value::Int(3)]);
+        assert_eq!(g.schema(), r.schema());
     }
 
     #[test]

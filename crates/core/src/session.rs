@@ -642,6 +642,14 @@ struct BudgetGuard {
 
 /// Executes one physical plan against a backend, feeding the session's
 /// statistics store with every operator outcome.
+/// One side of a compiled machine-filter comparison: a resolved column
+/// index (read from the relation's column slices) or a pre-evaluated
+/// literal.
+enum FilterOperand {
+    Col(usize),
+    Const(Value),
+}
+
 struct PlanRunner<'r, B: CrowdBackend> {
     catalog: &'r Catalog,
     backend: &'r mut B,
@@ -754,6 +762,54 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
     }
 
     fn machine_filter(&self, rel: Relation, predicates: &[Predicate]) -> Result<Relation> {
+        // Columnar fast path: when every predicate is a comparison over
+        // resolvable columns/literals, compile it once and sweep the
+        // relation's column slices window by window instead of walking
+        // row objects. Falls back to the row loop otherwise so error
+        // behaviour (unknown columns, crowd predicates, UDF operands)
+        // is byte-for-byte what it was.
+        if let Some(compiled) = Self::compile_machine_predicates(&rel, predicates) {
+            let mut keep: Vec<usize> = Vec::new();
+            let mut mask: Vec<bool> = Vec::new();
+            for w in rel.windows() {
+                mask.clear();
+                mask.resize(w.len(), true);
+                for (lop, op, rop) in &compiled {
+                    match (lop, rop) {
+                        (FilterOperand::Col(li), FilterOperand::Col(ri)) => {
+                            let (lc, rc) = (w.column(*li), w.column(*ri));
+                            for (k, m) in mask.iter_mut().enumerate() {
+                                *m = *m && lc[k].sql_cmp(&rc[k]).is_some_and(|ord| op.eval(ord));
+                            }
+                        }
+                        (FilterOperand::Col(li), FilterOperand::Const(v)) => {
+                            let lc = w.column(*li);
+                            for (k, m) in mask.iter_mut().enumerate() {
+                                *m = *m && lc[k].sql_cmp(v).is_some_and(|ord| op.eval(ord));
+                            }
+                        }
+                        (FilterOperand::Const(v), FilterOperand::Col(ri)) => {
+                            let rc = w.column(*ri);
+                            for (k, m) in mask.iter_mut().enumerate() {
+                                *m = *m && v.sql_cmp(&rc[k]).is_some_and(|ord| op.eval(ord));
+                            }
+                        }
+                        (FilterOperand::Const(l), FilterOperand::Const(r)) => {
+                            if !l.sql_cmp(r).is_some_and(|ord| op.eval(ord)) {
+                                mask.fill(false);
+                            }
+                        }
+                    }
+                }
+                keep.extend(
+                    mask.iter()
+                        .enumerate()
+                        .filter_map(|(k, &m)| m.then_some(w.start() + k)),
+                );
+            }
+            return Ok(rel.gather(&keep));
+        }
+
         let mut out = Relation::new(rel.schema().clone());
         'rows: for row in rel.rows() {
             for p in predicates {
@@ -772,6 +828,39 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
             out.push_unchecked(row.clone());
         }
         Ok(out)
+    }
+
+    /// Compile machine predicates to column indices and constants for
+    /// the columnar sweep. `None` means "use the row loop" — some
+    /// predicate is not a plain comparison or references something the
+    /// schema cannot resolve.
+    fn compile_machine_predicates(
+        rel: &Relation,
+        predicates: &[Predicate],
+    ) -> Option<Vec<(FilterOperand, CmpOp, FilterOperand)>> {
+        let operand = |e: &Expr| -> Option<FilterOperand> {
+            match e {
+                Expr::Column(name) => rel.schema().resolve(name).map(FilterOperand::Col),
+                Expr::Literal(Literal::Number(n)) => {
+                    Some(FilterOperand::Const(if n.fract() == 0.0 {
+                        Value::Int(*n as i64)
+                    } else {
+                        Value::Float(*n)
+                    }))
+                }
+                Expr::Literal(Literal::Str(s)) => Some(FilterOperand::Const(Value::text(s))),
+                Expr::Udf(_) => None,
+            }
+        };
+        predicates
+            .iter()
+            .map(|p| match p {
+                Predicate::Compare { left, op, right } => {
+                    Some((operand(left)?, *op, operand(right)?))
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     /// Resolve a UDF argument to an Item-typed column index.
@@ -1183,7 +1272,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
                 (Value::Text(t), CmpOp::Ne) => *t != want,
                 (Value::Text(t), _) => {
                     // Ordered comparison over the option order.
-                    let ti = opts.iter().position(|o| o == t);
+                    let ti = opts.iter().position(|o| *t == *o);
                     let wi = opts.iter().position(|o| *o == want);
                     match (ti, wi) {
                         (Some(a), Some(b)) => op.eval(a.cmp(&b)),
@@ -1265,13 +1354,18 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
             }
         }
 
-        // Machine sort (stable).
+        // Machine sort (stable). The comparator reads the key columns'
+        // contiguous slices rather than indexing into row objects, so
+        // each key comparison touches only the cache lines of the
+        // columns actually being sorted on.
+        let key_cols: Vec<(&[Value], bool)> = machine
+            .iter()
+            .map(|&(col, desc)| (rel.column(col), desc))
+            .collect();
         let mut order: Vec<usize> = (0..rel.len()).collect();
         order.sort_by(|&a, &b| {
-            for &(col, desc) in &machine {
-                let va = &rel.rows()[a][col];
-                let vb = &rel.rows()[b][col];
-                let ord = va.sql_cmp(vb).unwrap_or(std::cmp::Ordering::Equal);
+            for &(col, desc) in &key_cols {
+                let ord = col[a].sql_cmp(&col[b]).unwrap_or(std::cmp::Ordering::Equal);
                 let ord = if desc { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -1476,7 +1570,7 @@ impl<B: CrowdBackend> PlanRunner<'_, B> {
             let values: Vec<Value> = cols
                 .iter()
                 .map(|c| match c {
-                    Col::Copy(i) => row[*i].clone(),
+                    Col::Copy(i) => row[*i],
                     Col::Gen { values } => values.get(ri).cloned().unwrap_or(Value::Null),
                 })
                 .collect();

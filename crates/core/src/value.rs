@@ -5,25 +5,30 @@
 //! image in the paper's datasets). Items are what HIT questions are
 //! asked about; everything else is ordinary scalar data.
 
+use crate::intern::IStr;
 use qurk_crowd::ItemId;
 
 /// A single attribute value.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy` (16 bytes): text is an interned [`IStr`] handle, so copying
+/// a value — and therefore a whole tuple — is a flat memcpy with no
+/// heap traffic, and text equality is an integer compare.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     Null,
     Bool(bool),
     Int(i64),
     Float(f64),
-    Text(String),
+    Text(IStr),
     /// Reference to a crowd-visible item (e.g. an image URL in the
     /// original system; here a handle into the ground-truth oracle).
     Item(ItemId),
 }
 
 impl Value {
-    /// Convenience constructor for text values.
-    pub fn text(s: impl Into<String>) -> Value {
-        Value::Text(s.into())
+    /// Convenience constructor for text values (interns the string).
+    pub fn text(s: impl AsRef<str>) -> Value {
+        Value::Text(IStr::new(s.as_ref()))
     }
 
     pub fn as_bool(&self) -> Option<bool> {
@@ -50,7 +55,7 @@ impl Value {
 
     pub fn as_text(&self) -> Option<&str> {
         match self {
-            Value::Text(t) => Some(t),
+            Value::Text(t) => Some(t.as_str()),
             _ => None,
         }
     }
@@ -73,7 +78,7 @@ impl Value {
             Value::Bool(b) => b.to_string(),
             Value::Int(i) => i.to_string(),
             Value::Float(f) => format!("{f}"),
-            Value::Text(t) => t.clone(),
+            Value::Text(t) => t.as_str().to_owned(),
             Value::Item(i) => format!("item://{}", i.0),
         }
     }
@@ -121,12 +126,18 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_owned())
+        Value::Text(IStr::new(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Text(IStr::new(&v))
+    }
+}
+
+impl From<IStr> for Value {
+    fn from(v: IStr) -> Self {
         Value::Text(v)
     }
 }

@@ -15,7 +15,11 @@ use crate::truth::ItemId;
 pub const UNKNOWN: usize = usize::MAX;
 
 /// A single question within a HIT.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// No variant carries floats, so the enum is `Eq + Hash`: backends key
+/// their Task Cache on hashed question content directly instead of
+/// going through a rendered `Debug` string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Question {
     /// Yes/No predicate about one item (Filter task).
     Filter { item: ItemId, predicate: String },
@@ -94,7 +98,7 @@ impl Question {
 /// on the interface, not just the questions: the paper finds e.g. that
 /// large SmartBatch grids induce missed pairs (§3.3.2) and that asking
 /// all features at once improves answers (§3.3.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HitKind {
     /// One join pair with Yes/No buttons (Figure 2a).
     JoinSimple,

@@ -12,6 +12,8 @@
 //! (the denominator), i.e. reports `P̄ − P̄ₑ` instead of
 //! `(P̄ − P̄ₑ)/(1 − P̄ₑ)`. That is [`modified_fleiss_kappa`].
 
+// lint:hot-path
+
 /// Errors produced by κ computations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KappaError {
@@ -73,14 +75,20 @@ fn validate(counts: &[Vec<u32>]) -> Result<usize, KappaError> {
     Ok(k)
 }
 
-/// Mean observed pairwise agreement `P̄` and chance agreement `P̄ₑ`.
-fn agreement_components(counts: &[Vec<u32>]) -> Result<(f64, f64), KappaError> {
-    let k = validate(counts)?;
+/// Mean observed pairwise agreement `P̄` and chance agreement `P̄ₑ`
+/// over an iterator of per-subject count rows (shared by the nested
+/// and the flat [`CountMatrix`] entry points — same arithmetic, same
+/// order).
+fn agreement_components_rows<'a>(
+    rows: impl Iterator<Item = &'a [u32]>,
+    k: usize,
+    num_subjects: usize,
+) -> (f64, f64) {
     let mut p_bar = 0.0f64;
     let mut category_totals = vec![0.0f64; k];
     let mut grand_total = 0.0f64;
 
-    for row in counts {
+    for row in rows {
         let n: u32 = row.iter().sum();
         let n = n as f64;
         // P_i = (sum n_ij^2 - n) / (n (n - 1))
@@ -91,7 +99,7 @@ fn agreement_components(counts: &[Vec<u32>]) -> Result<(f64, f64), KappaError> {
         }
         grand_total += n;
     }
-    p_bar /= counts.len() as f64;
+    p_bar /= num_subjects as f64;
 
     let p_e: f64 = category_totals
         .iter()
@@ -100,7 +108,16 @@ fn agreement_components(counts: &[Vec<u32>]) -> Result<(f64, f64), KappaError> {
             p * p
         })
         .sum();
-    Ok((p_bar, p_e))
+    (p_bar, p_e)
+}
+
+fn agreement_components(counts: &[Vec<u32>]) -> Result<(f64, f64), KappaError> {
+    let k = validate(counts)?;
+    Ok(agreement_components_rows(
+        counts.iter().map(Vec::as_slice),
+        k,
+        counts.len(),
+    ))
 }
 
 /// Standard Fleiss' κ over a subjects × categories count matrix.
@@ -146,6 +163,104 @@ pub fn modified_fleiss_kappa(counts: &[Vec<u32>]) -> Result<f64, KappaError> {
 /// Subjects with fewer than two answers are dropped (a lone vote carries
 /// no agreement information), mirroring how Qurk assembles κ input from
 /// incomplete assignment sets.
+/// Flat subjects × categories count matrix.
+///
+/// The cache-friendly κ input: one contiguous `Vec<u32>` instead of a
+/// heap row per subject, and [`Self::fill_from_labels`] reuses the
+/// buffer across calls — callers that recompute κ every HIT round
+/// (feature filters, sort ambiguity) keep one matrix alive and refill
+/// it with zero steady-state allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CountMatrix {
+    num_categories: usize,
+    data: Vec<u32>,
+}
+
+impl CountMatrix {
+    pub fn new(num_categories: usize) -> CountMatrix {
+        CountMatrix {
+            num_categories,
+            data: Vec::new(),
+        }
+    }
+
+    /// Rebuild from per-subject label assignments, reusing the
+    /// existing buffer. Same semantics as [`counts_from_labels`]:
+    /// subjects with fewer than two answers are dropped.
+    pub fn fill_from_labels(&mut self, labels: &[Vec<usize>], num_categories: usize) {
+        self.num_categories = num_categories;
+        self.data.clear();
+        for row in labels.iter().filter(|row| row.len() >= 2) {
+            let start = self.data.len();
+            self.data.resize(start + num_categories, 0);
+            for &l in row {
+                assert!(
+                    l < num_categories,
+                    "label {l} out of range {num_categories}"
+                );
+                self.data[start + l] += 1;
+            }
+        }
+    }
+
+    pub fn num_subjects(&self) -> usize {
+        self.data
+            .len()
+            .checked_div(self.num_categories)
+            .unwrap_or(0)
+    }
+
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Count rows, one `&[u32]` per subject (zero-copy).
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> {
+        self.data.chunks(self.num_categories.max(1))
+    }
+
+    fn components(&self) -> Result<(f64, f64), KappaError> {
+        if self.is_empty() {
+            return Err(KappaError::NoSubjects);
+        }
+        for (i, row) in self.rows().enumerate() {
+            let n: u32 = row.iter().sum();
+            if n < 2 {
+                return Err(KappaError::TooFewRatings {
+                    subject: i,
+                    ratings: n as usize,
+                });
+            }
+        }
+        Ok(agreement_components_rows(
+            self.rows(),
+            self.num_categories,
+            self.num_subjects(),
+        ))
+    }
+}
+
+/// [`fleiss_kappa`] over a flat [`CountMatrix`] — identical arithmetic
+/// in identical order, without the per-subject heap rows.
+pub fn fleiss_kappa_flat(counts: &CountMatrix) -> Result<f64, KappaError> {
+    let (p_bar, p_e) = counts.components()?;
+    let denom = 1.0 - p_e;
+    if denom.abs() < 1e-12 {
+        return Err(KappaError::Degenerate);
+    }
+    Ok((p_bar - p_e) / denom)
+}
+
+/// [`modified_fleiss_kappa`] over a flat [`CountMatrix`].
+pub fn modified_fleiss_kappa_flat(counts: &CountMatrix) -> Result<f64, KappaError> {
+    let (p_bar, p_e) = counts.components()?;
+    Ok(p_bar - p_e)
+}
+
 pub fn counts_from_labels(labels: &[Vec<usize>], num_categories: usize) -> Vec<Vec<u32>> {
     labels
         .iter()
@@ -272,6 +387,68 @@ mod tests {
     fn counts_from_labels_panics_on_bad_label() {
         counts_from_labels(&[vec![0, 5]], 2);
     }
+
+    fn matrix_from_nested(counts: &[Vec<u32>]) -> CountMatrix {
+        let k = counts.first().map(Vec::len).unwrap_or(0);
+        CountMatrix {
+            num_categories: k,
+            data: counts.iter().flatten().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn flat_kappa_matches_nested_exactly() {
+        let counts = vec![
+            vec![0, 0, 0, 0, 14],
+            vec![0, 2, 6, 4, 2],
+            vec![0, 0, 3, 5, 6],
+            vec![2, 2, 8, 1, 1],
+        ];
+        let m = matrix_from_nested(&counts);
+        assert_eq!(m.num_subjects(), 4);
+        assert_eq!(m.num_categories(), 5);
+        // Bit-identical, not just approximately equal: same arithmetic
+        // in the same order.
+        assert_eq!(
+            fleiss_kappa(&counts).unwrap(),
+            fleiss_kappa_flat(&m).unwrap()
+        );
+        assert_eq!(
+            modified_fleiss_kappa(&counts).unwrap(),
+            modified_fleiss_kappa_flat(&m).unwrap()
+        );
+    }
+
+    #[test]
+    fn flat_kappa_error_paths() {
+        assert_eq!(
+            fleiss_kappa_flat(&CountMatrix::new(2)),
+            Err(KappaError::NoSubjects)
+        );
+        let lone = matrix_from_nested(&[vec![1, 0]]);
+        assert_eq!(
+            fleiss_kappa_flat(&lone),
+            Err(KappaError::TooFewRatings {
+                subject: 0,
+                ratings: 1
+            })
+        );
+        let degenerate = matrix_from_nested(&[vec![5, 0], vec![5, 0]]);
+        assert_eq!(fleiss_kappa_flat(&degenerate), Err(KappaError::Degenerate));
+    }
+
+    #[test]
+    fn fill_from_labels_reuses_buffer_and_matches() {
+        let labels = vec![vec![0, 0, 1], vec![1], vec![1, 1]];
+        let mut m = CountMatrix::new(2);
+        m.fill_from_labels(&labels, 2);
+        let nested = counts_from_labels(&labels, 2);
+        assert_eq!(m, matrix_from_nested(&nested));
+        // Refill with different data: old contents fully replaced.
+        m.fill_from_labels(&[vec![0, 1, 1, 1]], 2);
+        assert_eq!(m.num_subjects(), 1);
+        assert_eq!(m.rows().next().unwrap(), &[1, 3]);
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +489,21 @@ mod proptests {
                 (Err(_), Err(_)) => {}
                 (a, b) => prop_assert!(false, "inconsistent: {a:?} vs {b:?}"),
             }
+        }
+
+        /// The flat CountMatrix path is bit-identical to the nested
+        /// path on every input (same arithmetic, different layout).
+        #[test]
+        fn flat_matches_nested(counts in count_matrix()) {
+            let k = counts[0].len();
+            let mut m = CountMatrix::new(k);
+            m.num_categories = k;
+            m.data = counts.iter().flatten().copied().collect();
+            prop_assert_eq!(fleiss_kappa(&counts), fleiss_kappa_flat(&m));
+            prop_assert_eq!(
+                modified_fleiss_kappa(&counts),
+                modified_fleiss_kappa_flat(&m)
+            );
         }
 
         /// Permuting category columns (consistently across subjects)

@@ -30,8 +30,11 @@ pub mod regression;
 pub mod stats;
 pub mod tau;
 
-pub use kappa::{fleiss_kappa, modified_fleiss_kappa, KappaError};
-pub use rank::{average_ranks, dense_ranks, rank_of_items};
+pub use kappa::{
+    fleiss_kappa, fleiss_kappa_flat, modified_fleiss_kappa, modified_fleiss_kappa_flat,
+    CountMatrix, KappaError,
+};
+pub use rank::{average_ranks, average_ranks_into, dense_ranks, rank_of_items, RankScratch};
 pub use regression::{linear_regression, Regression, RegressionError};
 pub use stats::{mean, percentile, sample_std, summary, Summary};
-pub use tau::{kendall_tau_b, tau_between_orders, TauError};
+pub use tau::{kendall_tau_b, kendall_tau_b_quadratic, tau_between_orders, TauError};

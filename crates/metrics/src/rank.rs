@@ -5,19 +5,41 @@
 //! consistently: τ-b expects *average ranks* for tied groups, while some
 //! reports use *dense ranks*.
 
+// lint:hot-path
+
+/// Reusable scratch for [`average_ranks_into`]: callers ranking scores
+/// every HIT round (hybrid sorts, report builders) keep one of these
+/// alive instead of allocating an index permutation per call.
+#[derive(Debug, Clone, Default)]
+pub struct RankScratch {
+    idx: Vec<usize>,
+}
+
 /// Assign average ranks (1-based) to `scores`, higher score = better
 /// (rank 1). Tied values share the mean of the ranks they span —
 /// the convention required for τ-b to treat them as ties.
 pub fn average_ranks(scores: &[f64]) -> Vec<f64> {
+    let mut ranks = Vec::new();
+    average_ranks_into(scores, &mut RankScratch::default(), &mut ranks);
+    ranks
+}
+
+/// [`average_ranks`] writing into a caller-owned output buffer with
+/// caller-owned scratch — zero steady-state allocation when both are
+/// reused across calls.
+pub fn average_ranks_into(scores: &[f64], scratch: &mut RankScratch, ranks: &mut Vec<f64>) {
     let n = scores.len();
-    let mut idx: Vec<usize> = (0..n).collect();
+    let idx = &mut scratch.idx;
+    idx.clear();
+    idx.extend(0..n);
     // Sort descending by score; NaNs sink to the end deterministically.
     idx.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
             .unwrap_or_else(|| b.cmp(&a))
     });
-    let mut ranks = vec![0.0f64; n];
+    ranks.clear();
+    ranks.resize(n, 0.0);
     let mut i = 0;
     while i < n {
         let mut j = i;
@@ -31,7 +53,6 @@ pub fn average_ranks(scores: &[f64]) -> Vec<f64> {
         }
         i = j + 1;
     }
-    ranks
 }
 
 /// Assign dense ranks (1-based): tied values share a rank and the next
@@ -66,6 +87,7 @@ pub fn rank_of_items<T: Eq + std::hash::Hash + Clone>(
     order
         .iter()
         .enumerate()
+        // lint:allow(hot-clone): generic key owned by the returned map
         .map(|(i, t)| (t.clone(), i))
         .collect()
 }
@@ -111,6 +133,19 @@ mod tests {
     fn empty_inputs() {
         assert!(average_ranks(&[]).is_empty());
         assert!(dense_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_across_calls() {
+        let mut scratch = RankScratch::default();
+        let mut ranks = Vec::new();
+        average_ranks_into(&[5.0, 5.0, 3.0], &mut scratch, &mut ranks);
+        assert_eq!(ranks, vec![1.5, 1.5, 3.0]);
+        // Second call with different length: output fully replaced.
+        average_ranks_into(&[10.0, 30.0, 20.0, 40.0], &mut scratch, &mut ranks);
+        assert_eq!(ranks, vec![4.0, 2.0, 3.0, 1.0]);
+        average_ranks_into(&[], &mut scratch, &mut ranks);
+        assert!(ranks.is_empty());
     }
 }
 

@@ -4,6 +4,15 @@
 //! the **τ-b** variant which allows two items to share a rank. The value
 //! lies in `[-1, 1]`: `-1` is inverse correlation, `0` no correlation,
 //! `1` perfect correlation.
+//!
+//! Two implementations share one formula: the O(n²) pair-counting
+//! reference ([`kendall_tau_b_quadratic`]) and a cache-friendly
+//! O(n log n) path using a **non-recursive (bottom-up) merge sort** to
+//! count discordant pairs plus run-length scans for the tie
+//! corrections. All pair counts are exact integers, so the two paths
+//! are bit-identical; [`kendall_tau_b`] picks the merge path for large
+//! NaN-free inputs and the reference otherwise.
+// lint:hot-path
 
 /// Errors produced by τ computations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,14 +51,42 @@ impl std::error::Error for TauError {}
 /// and `n1`/`n2` are the tie corrections `Σ t(t-1)/2` over tie groups of
 /// each vector.
 ///
-/// Complexity is O(n²); the paper's datasets (≤ a few hundred items) make
-/// the simple implementation preferable to an O(n log n) merge-sort
-/// variant. A property test cross-checks the two pair-counting paths.
+/// Dispatches to an O(n log n) merge-count for large NaN-free inputs
+/// and to the O(n²) reference ([`kendall_tau_b_quadratic`]) for small
+/// ones (below [`MERGE_CUTOVER`]) or when NaNs are present (NaN pairs
+/// count as ties-in-both, which the merge path does not model). Both
+/// paths compute identical integer pair counts, so the result is
+/// bit-identical either way; a property test pins that.
 ///
 /// # Errors
 /// Returns [`TauError`] on mismatched lengths, fewer than 2 items, or a
 /// fully-tied (zero-variance) vector.
 pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> Result<f64, TauError> {
+    if xs.len() != ys.len() {
+        return Err(TauError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    let n = xs.len();
+    if n < 2 {
+        return Err(TauError::TooFewItems(n));
+    }
+    if n >= MERGE_CUTOVER && !xs.iter().chain(ys.iter()).any(|v| v.is_nan()) {
+        return kendall_tau_b_merge(xs, ys);
+    }
+    kendall_tau_b_quadratic(xs, ys)
+}
+
+/// Below this size the quadratic path wins (no sort/scratch setup) and
+/// above it the merge path does; the exact value only affects speed,
+/// never results.
+pub const MERGE_CUTOVER: usize = 32;
+
+/// The O(n²) pair-counting reference implementation. Public because
+/// `qurk-bench` uses it as the wall-clock baseline, and the property
+/// tests cross-check it against the merge path.
+pub fn kendall_tau_b_quadratic(xs: &[f64], ys: &[f64]) -> Result<f64, TauError> {
     if xs.len() != ys.len() {
         return Err(TauError::LengthMismatch {
             left: xs.len(),
@@ -93,14 +130,132 @@ pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> Result<f64, TauError> {
         }
     }
 
-    let n0 = (n as i64) * (n as i64 - 1) / 2;
     let n1 = ties_x + ties_both;
     let n2 = ties_y + ties_both;
+    tau_from_counts(n, concordant - discordant, n1, n2)
+}
+
+/// Final τ-b formula from exact integer pair counts (shared by both
+/// paths so they cannot drift apart).
+fn tau_from_counts(n: usize, c_minus_d: i64, n1: i64, n2: i64) -> Result<f64, TauError> {
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
     let denom = ((n0 - n1) as f64) * ((n0 - n2) as f64);
     if denom <= 0.0 {
         return Err(TauError::Degenerate);
     }
-    Ok((concordant - discordant) as f64 / denom.sqrt())
+    Ok(c_minus_d as f64 / denom.sqrt())
+}
+
+/// O(n log n) τ-b (Knight's algorithm). Inputs are NaN-free with n ≥ 2.
+///
+/// Sort indices by (x, y); tie corrections n1 (pairs tied in x) and n3
+/// (pairs tied in both) fall out of run-length scans of that order, n2
+/// (pairs tied in y) from a sort of y alone. Discordant pairs are
+/// exactly the strict inversions of y in (x, y)-order, counted by a
+/// bottom-up merge sort — within an x-tie run y ascends, so no
+/// inversion is counted there, and equal ys merge stably without
+/// counting. Then C − D = n0 − n1 − n2 + n3 − 2·D by
+/// inclusion–exclusion over tie classes.
+fn kendall_tau_b_merge(xs: &[f64], ys: &[f64]) -> Result<f64, TauError> {
+    use std::cmp::Ordering;
+    let n = xs.len();
+    // partial_cmp never sees NaN here; Equal fallback keeps ±0.0 ties
+    // identical to the quadratic path (total_cmp would order them).
+    let cmp = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        cmp(xs[a as usize], xs[b as usize]).then_with(|| cmp(ys[a as usize], ys[b as usize]))
+    });
+
+    // Tie corrections from run lengths in (x, y)-order.
+    let mut n1 = 0i64; // pairs tied in x (incl. tied in both)
+    let mut n3 = 0i64; // pairs tied in both
+    let mut i = 0;
+    while i < n {
+        let xi = xs[idx[i] as usize];
+        let mut j = i + 1;
+        while j < n && xs[idx[j] as usize] == xi {
+            j += 1;
+        }
+        let t = (j - i) as i64;
+        n1 += t * (t - 1) / 2;
+        let mut a = i;
+        while a < j {
+            let ya = ys[idx[a] as usize];
+            let mut b = a + 1;
+            while b < j && ys[idx[b] as usize] == ya {
+                b += 1;
+            }
+            let t = (b - a) as i64;
+            n3 += t * (t - 1) / 2;
+            a = b;
+        }
+        i = j;
+    }
+
+    // Discordant pairs = strict inversions of y in (x, y)-order.
+    let mut in_x_order: Vec<f64> = idx.iter().map(|&i| ys[i as usize]).collect();
+    let discordant = count_inversions(&mut in_x_order);
+
+    // Pairs tied in y (incl. tied in both), from y alone.
+    let mut y_sorted = ys.to_vec();
+    y_sorted.sort_unstable_by(|&a, &b| cmp(a, b));
+    let mut n2 = 0i64;
+    let mut i = 0;
+    while i < n {
+        let yi = y_sorted[i];
+        let mut j = i + 1;
+        while j < n && y_sorted[j] == yi {
+            j += 1;
+        }
+        let t = (j - i) as i64;
+        n2 += t * (t - 1) / 2;
+        i = j;
+    }
+
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
+    let c_minus_d = n0 - n1 - n2 + n3 - 2 * discordant;
+    tau_from_counts(n, c_minus_d, n1, n2)
+}
+
+/// Strict inversion count via **non-recursive** (bottom-up) merge
+/// sort: doubling run widths sweep the array sequentially — no call
+/// stack, one reused scratch buffer, cache-friendly streaming merges.
+/// `vals` is sorted ascending on return.
+fn count_inversions(vals: &mut Vec<f64>) -> i64 {
+    let n = vals.len();
+    let mut buf = vec![0.0f64; n];
+    let mut inversions = 0i64;
+    let mut width = 1;
+    while width < n {
+        let mut lo = 0;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (lo, mid, lo);
+            while i < mid && j < hi {
+                if vals[j] < vals[i] {
+                    // vals[j] jumps ahead of every element left in the
+                    // left run: each is a strict inversion.
+                    inversions += (mid - i) as i64;
+                    buf[k] = vals[j];
+                    j += 1;
+                } else {
+                    buf[k] = vals[i];
+                    i += 1;
+                }
+                k += 1;
+            }
+            buf[k..k + (mid - i)].copy_from_slice(&vals[i..mid]);
+            let k = k + (mid - i);
+            buf[k..k + (hi - j)].copy_from_slice(&vals[j..hi]);
+            lo = hi;
+        }
+        std::mem::swap(vals, &mut buf);
+        width *= 2;
+    }
+    inversions
 }
 
 /// τ-b between two *orderings* of the same item set.
@@ -238,6 +393,66 @@ mod tests {
         let t = kendall_tau_b(&xs, &ys).unwrap();
         assert!(t > 0.0 && t < 1.0);
     }
+
+    /// Deterministic pseudo-random vector with plenty of ties.
+    fn lcg_vec(n: usize, seed: u64, modulo: u64) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) % modulo) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_path_matches_quadratic_bit_for_bit() {
+        for n in [MERGE_CUTOVER, 100, 257, 1000] {
+            for seed in 1..4u64 {
+                // modulo 7 forces heavy ties in both vectors.
+                let xs = lcg_vec(n, seed, 7);
+                let ys = lcg_vec(n, seed ^ 0xdead_beef, 7);
+                assert_eq!(
+                    kendall_tau_b(&xs, &ys),
+                    kendall_tau_b_quadratic(&xs, &ys),
+                    "n={n} seed={seed}"
+                );
+                // Distinct values too.
+                let xs = lcg_vec(n, seed + 10, u64::MAX / 2);
+                let ys = lcg_vec(n, seed + 20, u64::MAX / 2);
+                assert_eq!(kendall_tau_b(&xs, &ys), kendall_tau_b_quadratic(&xs, &ys));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_path_degenerate_all_tied() {
+        let xs = vec![1.0; 64];
+        let ys = lcg_vec(64, 3, 1000);
+        assert_eq!(kendall_tau_b(&xs, &ys), Err(TauError::Degenerate));
+    }
+
+    #[test]
+    fn nan_inputs_take_the_reference_path_at_any_size() {
+        let mut xs = lcg_vec(128, 5, 50);
+        let ys = lcg_vec(128, 6, 50);
+        xs[64] = f64::NAN;
+        assert_eq!(kendall_tau_b(&xs, &ys), kendall_tau_b_quadratic(&xs, &ys));
+    }
+
+    #[test]
+    fn count_inversions_sorts_and_counts() {
+        let mut v = vec![3.0, 1.0, 2.0, 1.0];
+        // Inversions: (3,1),(3,2),(3,1),(2,1) = 4; equal pair (1,1) not counted.
+        assert_eq!(count_inversions(&mut v), 4);
+        assert_eq!(v, vec![1.0, 1.0, 2.0, 3.0]);
+        let mut sorted = vec![1.0, 2.0, 3.0];
+        assert_eq!(count_inversions(&mut sorted), 0);
+        let mut empty: Vec<f64> = Vec::new();
+        assert_eq!(count_inversions(&mut empty), 0);
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +480,20 @@ mod proptests {
                 let t = kendall_tau_b(&xs, &xs).unwrap();
                 prop_assert!((t - 1.0).abs() < 1e-12);
             }
+        }
+
+        /// The merge path and the quadratic reference agree exactly —
+        /// same Ok value bit-for-bit or same error — on arbitrary
+        /// inputs (ties included via coarse rounding).
+        #[test]
+        fn merge_equals_quadratic(
+            xs in prop::collection::vec(-50..50i32, 32..200),
+            ys in prop::collection::vec(-50..50i32, 32..200))
+        {
+            let n = xs.len().min(ys.len());
+            let xs: Vec<f64> = xs[..n].iter().map(|&v| v as f64).collect();
+            let ys: Vec<f64> = ys[..n].iter().map(|&v| v as f64).collect();
+            prop_assert_eq!(kendall_tau_b(&xs, &ys), kendall_tau_b_quadratic(&xs, &ys));
         }
 
         /// Negating one vector negates τ (no ties case).

@@ -1,0 +1,30 @@
+//! Lint fixture: deliberately violates the hot-clone rule once.
+//! Not compiled — scanned by `lint::tests` only.
+// lint:hot-path
+
+fn unmarked() -> Vec<u32> {
+    let v: Vec<u32> = vec![1, 2, 3];
+    v.clone()
+}
+
+fn marked() -> Vec<u32> {
+    let v: Vec<u32> = vec![1, 2, 3];
+    // lint:allow(hot-clone): should-not-fire — one-time setup copy
+    v.clone()
+}
+
+fn marked_inline() -> Vec<u32> {
+    let v: Vec<u32> = vec![1, 2, 3];
+    v.clone() // lint:allow(hot-clone): should-not-fire — one-time setup copy
+}
+
+// A clone mentioned in a comment must not fire: v.clone()
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clone_in_tests_is_fine() {
+        let v: Vec<u32> = vec![1];
+        let _ = v.clone();
+    }
+}

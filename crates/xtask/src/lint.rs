@@ -29,6 +29,13 @@
 //!   `qurk::store` — and a stray ad-hoc write would silently escape
 //!   its torn-tail recovery and fault-injection coverage. Reading
 //!   (`File::open`, `fs::read*`) is unrestricted.
+//! * **hot-clone** — in modules that declare `// lint:hot-path` (the
+//!   data-layout pass's interning, columnar, EM, metrics, and
+//!   candidate-generation modules), no `.clone()` in production code
+//!   unless the call site carries a `// lint:allow(hot-clone): <why>`
+//!   marker. Those modules were flattened specifically to kill
+//!   steady-state allocation; an unexamined clone is how the layout
+//!   work silently rots.
 //!
 //! The scanner is line-based and deliberately simple: comment lines
 //! are skipped, and `#[cfg(test)]`-annotated blocks are excluded by
@@ -77,6 +84,12 @@ const UNWRAP_MARKER: &str = "lint:allow(unwrap)";
 /// Marker that justifies a poisoning lock acquisition in service code.
 const LOCK_MARKER: &str = "lint:allow(lock-poison)";
 
+/// Files carrying this marker opt in to the hot-clone rule.
+const HOT_PATH_MARKER: &str = "lint:hot-path";
+
+/// Marker that justifies a `.clone()` inside a hot-path module.
+const HOT_CLONE_MARKER: &str = "lint:allow(hot-clone)";
+
 /// Run every rule over the workspace at `root`.
 pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -95,6 +108,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
         check_interior_mutability(&rel, &rel_str, &lines, &mut out);
         check_service_blocking(&rel, &rel_str, &text, &lines, &mut out);
         check_durable_fs(&rel, &rel_str, &lines, &mut out);
+        check_hot_clone(&rel, &text, &lines, &mut out);
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
@@ -404,6 +418,47 @@ fn check_durable_fs(file: &Path, rel: &str, lines: &[(usize, String)], out: &mut
     }
 }
 
+/// `.clone()` is banned in modules that declared themselves hot paths
+/// (via `// lint:hot-path`, anywhere in the file) unless the call site
+/// carries a justification marker.
+fn check_hot_clone(
+    file: &Path,
+    raw_text: &str,
+    lines: &[(usize, String)],
+    out: &mut Vec<Violation>,
+) {
+    if !raw_text.contains(HOT_PATH_MARKER) {
+        return;
+    }
+    let raw_lines: Vec<&str> = raw_text.lines().collect();
+    // Markers live in comments, which production_lines strips —
+    // consult the raw line and its predecessor.
+    let has_marker = |n: usize| {
+        n >= 1
+            && raw_lines
+                .get(n - 1)
+                .is_some_and(|l| l.contains(HOT_CLONE_MARKER))
+    };
+    for (n, line) in lines {
+        if !line.contains(".clone()") {
+            continue;
+        }
+        if has_marker(*n) || has_marker(n.saturating_sub(1)) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "hot-clone",
+            file: file.to_path_buf(),
+            line: *n,
+            message: format!(
+                ".clone() in a `// {HOT_PATH_MARKER}` module without a \
+                 `// {HOT_CLONE_MARKER}: <why>` justification; hot paths \
+                 reuse flat scratch buffers instead of allocating"
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +514,10 @@ mod tests {
             rules.contains(&"durable-fs"),
             "expected durable-fs violation, got {violations:?}"
         );
+        assert!(
+            rules.contains(&"hot-clone"),
+            "expected hot-clone violation, got {violations:?}"
+        );
     }
 
     #[test]
@@ -473,6 +532,7 @@ mod tests {
             "interior-mutability",
             "service-blocking",
             "durable-fs",
+            "hot-clone",
         ] {
             let count = violations.iter().filter(|v| v.rule == rule).count();
             assert_eq!(count, 1, "rule {rule}: {violations:?}");

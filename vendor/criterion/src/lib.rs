@@ -2,11 +2,12 @@
 //!
 //! Provides the benchmarking surface this workspace uses —
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
-//! [`Bencher::iter`], [`BenchmarkId`], and the `criterion_group!` /
-//! `criterion_main!` macros — with a simple timing loop: a warm-up
-//! iteration followed by `sample_size` timed iterations, reporting the
-//! mean and min per-iteration wall-clock time. No statistics, plots,
-//! or baselines.
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple timing
+//! loop: `warm_up_iters` untimed calls (default 1) followed by
+//! `sample_size` timed iterations, reporting mean, median, and min
+//! per-iteration wall-clock time plus elements/sec when a throughput is
+//! set. No statistics beyond that, no plots, no baselines.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -39,20 +40,74 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
+/// How much work one benchmark iteration performs, for rate reporting
+/// (mirrors criterion's `Throughput`; only elements are supported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements (rows, votes,
+    /// pairs); reports add elements/sec computed from the median.
+    Elements(u64),
+}
+
 /// Runs one benchmark's iterations.
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    warm_up_iters: usize,
 }
 
 impl Bencher {
-    /// Time `routine`: one warm-up call, then `sample_size` timed calls.
+    /// Time `routine`: `warm_up_iters` untimed calls, then
+    /// `sample_size` timed calls.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        black_box(routine());
+        for _ in 0..self.warm_up_iters {
+            black_box(routine());
+        }
         for _ in 0..self.sample_size {
             let start = Instant::now();
             black_box(routine());
             self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// One benchmark's timing summary, also returned programmatically so
+/// harnesses (the wall-clock suite) can consume numbers instead of
+/// parsing stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSummary {
+    pub mean: Duration,
+    pub median: Duration,
+    pub min: Duration,
+    pub samples: usize,
+}
+
+impl SampleSummary {
+    fn from_samples(samples: &[Duration]) -> Option<SampleSummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let total: Duration = samples.iter().sum();
+        let mut sorted = samples.to_vec();
+        sorted.sort();
+        // Even count: lower-middle (medians stay actual observations).
+        let median = sorted[(sorted.len() - 1) / 2];
+        Some(SampleSummary {
+            mean: total / samples.len() as u32,
+            median,
+            min: sorted[0],
+            samples: samples.len(),
+        })
+    }
+
+    /// Elements/sec at the median, given per-iteration work.
+    pub fn elements_per_sec(&self, throughput: Throughput) -> f64 {
+        let Throughput::Elements(n) = throughput;
+        let secs = self.median.as_secs_f64();
+        if secs > 0.0 {
+            n as f64 / secs
+        } else {
+            f64::INFINITY
         }
     }
 }
@@ -62,6 +117,8 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    warm_up_iters: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -70,13 +127,32 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+    /// Number of untimed warm-up calls before sampling (default 1).
+    /// Real criterion warms up for a time budget; a fixed iteration
+    /// count keeps this stand-in deterministic.
+    pub fn warm_up_iters(&mut self, n: usize) -> &mut Self {
+        self.warm_up_iters = n;
+        self
+    }
+
+    /// Declare per-iteration work so reports include elements/sec.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> Option<SampleSummary> {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            warm_up_iters: self.warm_up_iters,
         };
         f(&mut b);
-        self.report(&id.to_string(), &b.samples);
+        self.report(&id.to_string(), &b.samples)
     }
 
     pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
@@ -84,29 +160,38 @@ impl BenchmarkGroup<'_> {
         id: BenchmarkId,
         input: &I,
         mut f: F,
-    ) {
+    ) -> Option<SampleSummary> {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            warm_up_iters: self.warm_up_iters,
         };
         f(&mut b, input);
-        self.report(&id.to_string(), &b.samples);
+        self.report(&id.to_string(), &b.samples)
     }
 
-    fn report(&mut self, id: &str, samples: &[Duration]) {
+    fn report(&mut self, id: &str, samples: &[Duration]) -> Option<SampleSummary> {
         let _ = &self.criterion;
-        if samples.is_empty() {
+        let Some(summary) = SampleSummary::from_samples(samples) else {
             println!("{}/{id}: no samples", self.name);
-            return;
+            return None;
+        };
+        match self.throughput {
+            Some(tp) => println!(
+                "{}/{id}: mean {:?}, median {:?}, min {:?}, {:.0} elem/s ({} samples)",
+                self.name,
+                summary.mean,
+                summary.median,
+                summary.min,
+                summary.elements_per_sec(tp),
+                summary.samples
+            ),
+            None => println!(
+                "{}/{id}: mean {:?}, median {:?}, min {:?} ({} samples)",
+                self.name, summary.mean, summary.median, summary.min, summary.samples
+            ),
         }
-        let total: Duration = samples.iter().sum();
-        let mean = total / samples.len() as u32;
-        let min = samples.iter().min().copied().unwrap_or_default();
-        println!(
-            "{}/{id}: mean {mean:?}, min {min:?} ({} samples)",
-            self.name,
-            samples.len()
-        );
+        Some(summary)
     }
 
     pub fn finish(&mut self) {}
@@ -122,6 +207,8 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             sample_size: 10,
+            warm_up_iters: 1,
+            throughput: None,
         }
     }
 
@@ -169,5 +256,46 @@ mod tests {
         g.finish();
         // 1 warm-up + 3 samples.
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn warm_up_iters_are_untimed_but_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).warm_up_iters(5);
+        let mut runs = 0usize;
+        let summary = g
+            .bench_function("f", |b| b.iter(|| runs += 1))
+            .expect("samples were taken");
+        // 5 warm-ups + 2 samples ran, but only 2 were timed.
+        assert_eq!(runs, 7);
+        assert_eq!(summary.samples, 2);
+    }
+
+    #[test]
+    fn summary_median_is_an_observed_sample() {
+        let samples = [
+            Duration::from_micros(30),
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+            Duration::from_micros(40),
+        ];
+        let s = SampleSummary::from_samples(&samples).unwrap();
+        // Even count: lower-middle of {10,20,30,40}.
+        assert_eq!(s.median, Duration::from_micros(20));
+        assert_eq!(s.min, Duration::from_micros(10));
+        assert_eq!(s.mean, Duration::from_micros(25));
+    }
+
+    #[test]
+    fn elements_per_sec_uses_median() {
+        let s = SampleSummary {
+            mean: Duration::from_millis(2),
+            median: Duration::from_millis(1),
+            min: Duration::from_micros(500),
+            samples: 3,
+        };
+        let rate = s.elements_per_sec(Throughput::Elements(1000));
+        assert!((rate - 1_000_000.0).abs() < 1e-6);
     }
 }
