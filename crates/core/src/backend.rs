@@ -369,6 +369,19 @@ pub struct CachingBackend<B> {
     /// handed to the caller, so an acknowledged paid round is never
     /// lost to a crash (see [`crate::store`]).
     journal: Option<Arc<DurableStore>>,
+    /// Cache growth bound: when set, least-recently-used entries are
+    /// evicted once `cache` exceeds this many specs (see
+    /// [`Self::set_max_entries`]). `None` = unbounded (the default).
+    max_entries: Option<usize>,
+    /// Monotone recency counter; bumped on every cache touch.
+    tick: u64,
+    /// Last-touch tick per cached spec key.
+    recency: HashMap<u64, u64>,
+    /// Entries touched at or after this tick are pinned: a batch's
+    /// live groups hold bare spec keys, so anything referenced since
+    /// [`Self::begin_batch`] must stay resident until the next batch.
+    batch_floor: u64,
+    evictions: u64,
 }
 
 impl<B: CrowdBackend> CachingBackend<B> {
@@ -384,6 +397,11 @@ impl<B: CrowdBackend> CachingBackend<B> {
             cache_misses: 0,
             shared_hits: 0,
             journal: None,
+            max_entries: None,
+            tick: 0,
+            recency: HashMap::new(),
+            batch_floor: 0,
+            evictions: 0,
         }
     }
 
@@ -393,6 +411,15 @@ impl<B: CrowdBackend> CachingBackend<B> {
     pub fn with_journal(inner: B, journal: Arc<DurableStore>) -> Self {
         let mut backend = CachingBackend::new(inner);
         backend.cache = journal.cache_snapshot();
+        // Seed recency in sorted-key order so a later eviction pass
+        // over recovered entries is deterministic (the snapshot is a
+        // HashMap; its iteration order is not).
+        let mut keys: Vec<u64> = backend.cache.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            backend.tick += 1;
+            backend.recency.insert(key, backend.tick);
+        }
         backend.journal = Some(journal);
         backend
     }
@@ -448,6 +475,7 @@ impl<B: CrowdBackend> CachingBackend<B> {
     /// Drop all recorded answers (subsequent identical specs re-post).
     pub fn clear(&mut self) {
         self.cache.clear();
+        self.recency.clear();
         self.cache_hits = 0;
         self.cache_misses = 0;
     }
@@ -457,6 +485,74 @@ impl<B: CrowdBackend> CachingBackend<B> {
     pub fn export_trace(&self) -> ReplayTrace {
         ReplayTrace {
             entries: self.cache.clone(),
+        }
+    }
+
+    /// Bound the cache to at most `max` recorded specs, evicting the
+    /// least recently used beyond that (`None` removes the bound).
+    ///
+    /// Eviction is memory-only and journal-aware: a journaled entry is
+    /// never deleted from the durable log, so recovery still replays
+    /// every paid round. An evicted spec that is posted again is a
+    /// cache miss — it re-posts live and is paid for again, exactly as
+    /// if it had never been seen. Entries touched since the last
+    /// [`Self::begin_batch`] are pinned (live groups reference them by
+    /// key), so the cache may transiently overshoot `max` within a
+    /// batch.
+    pub fn set_max_entries(&mut self, max: Option<usize>) {
+        self.max_entries = max;
+        self.enforce_cap();
+    }
+
+    /// Builder form of [`Self::set_max_entries`].
+    pub fn with_max_entries(mut self, max: usize) -> Self {
+        self.set_max_entries(Some(max));
+        self
+    }
+
+    /// The configured cache bound, if any.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
+    }
+
+    /// Entries evicted by the [`Self::set_max_entries`] bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Mark a batch boundary: everything cached so far becomes
+    /// eligible for eviction, and entries touched from here on are
+    /// pinned until the next boundary. The service scheduler calls
+    /// this at the top of every `run_pending` batch; standalone
+    /// sessions call it per query.
+    pub fn begin_batch(&mut self) {
+        self.batch_floor = self.tick;
+        self.enforce_cap();
+    }
+
+    fn touch(&mut self, key: u64) {
+        self.tick += 1;
+        self.recency.insert(key, self.tick);
+    }
+
+    /// Evict least-recently-used unpinned entries until the cache fits
+    /// `max_entries`. Linear scans per eviction are fine at the cache
+    /// sizes a bound is meant for (thousands of specs).
+    fn enforce_cap(&mut self) {
+        let Some(max) = self.max_entries else { return };
+        while self.cache.len() > max {
+            let victim = self
+                .cache
+                .keys()
+                .map(|&k| (self.recency.get(&k).copied().unwrap_or(0), k))
+                .filter(|&(tick, _)| tick < self.batch_floor)
+                .min();
+            let Some((_, key)) = victim else {
+                break; // everything resident is pinned by the current batch
+            };
+            self.cache.remove(&key);
+            self.recency.remove(&key);
+            self.evictions += 1;
         }
     }
 
@@ -472,6 +568,9 @@ impl<B: CrowdBackend> CachingBackend<B> {
             group_hits.push(hit_id);
             let source = if self.cache.contains_key(&key) {
                 self.cache_hits += 1;
+                // Pin the entry for the rest of the batch: this group
+                // holds only the bare key and will replay it later.
+                self.touch(key);
                 VirtualSource::Cached(key)
             } else if let Some(&owner) = self.pending.get(&key) {
                 self.cache_hits += 1;
@@ -547,6 +646,7 @@ impl<B: CrowdBackend> CachingBackend<B> {
         );
         for &(_, key) in &keys_by_pos {
             self.pending.remove(&key);
+            self.touch(key);
         }
         // Write-ahead: the paid round becomes durable before its
         // assignments are returned to (acknowledged by) the caller.
@@ -558,6 +658,7 @@ impl<B: CrowdBackend> CachingBackend<B> {
             }
         }
         self.groups[group.0].recorded = true;
+        self.enforce_cap();
     }
 
     /// Release the in-flight dedup slots owned by `group` (the
@@ -615,7 +716,16 @@ impl<B: CrowdBackend> CachingBackend<B> {
 
     fn replay(&mut self, key: u64, hit: HitId, group: HitGroupId) -> Vec<Assignment> {
         let posted_at = self.groups[group.0].posted_at;
-        let cached = self.cache[&key].assignments.clone();
+        // Cached sources are pinned against eviction from post time
+        // (`touch` in `post_impl`) until the next batch boundary, so
+        // the entry is present for any group still being read; a group
+        // read across batches degrades to no answers rather than a
+        // panic.
+        let Some(entry) = self.cache.get(&key) else {
+            return Vec::new();
+        };
+        let cached = entry.assignments.clone();
+        self.touch(key);
         cached
             .into_iter()
             .map(|t| {
@@ -657,7 +767,11 @@ impl<B: CrowdBackend> CachingBackend<B> {
                 t
             }
         };
-        let cached = self.cache[&key].assignments.clone();
+        let Some(entry) = self.cache.get(&key) else {
+            return Vec::new();
+        };
+        let cached = entry.assignments.clone();
+        self.touch(key);
         cached
             .into_iter()
             .map(|t| {
@@ -749,8 +863,10 @@ impl<B: CrowdBackend> CrowdBackend for CachingBackend<B> {
         for &h in &g.hits {
             match self.hits[h.0].source {
                 VirtualSource::Cached(key) => {
-                    // Replayed answers arrive instantly.
-                    out.extend(std::iter::repeat_n(0.0, self.cache[&key].assignments.len()));
+                    // Replayed answers arrive instantly. Missing means
+                    // evicted after the group's batch ended.
+                    let n = self.cache.get(&key).map_or(0, |e| e.assignments.len());
+                    out.extend(std::iter::repeat_n(0.0, n));
                 }
                 VirtualSource::Shared { owner } => {
                     // The sharer waits for the owner's live round: its
@@ -1788,5 +1904,91 @@ mod tests {
         let g = post_via(&mut (&mut m), filter_specs(&items));
         CrowdBackend::run_to_completion(&mut m);
         assert_eq!(CrowdBackend::assignments(&mut m, g).len(), 10);
+    }
+
+    #[test]
+    fn lru_bound_evicts_only_at_batch_boundaries() {
+        let (m, items) = market(6);
+        let mut b = CachingBackend::new(m).with_max_entries(2);
+        // First batch: record 6 entries. All were touched since the
+        // (implicit) batch start, so none is evictable yet — the cache
+        // overshoots its bound rather than dropping a key a live group
+        // still references.
+        let g1 = b.post_group(filter_specs(&items));
+        b.run_to_completion();
+        assert_eq!(b.assignments(g1).len(), 6 * 5);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.evictions(), 0, "same-batch entries are pinned");
+
+        // The batch boundary unpins them: trim to the bound, LRU-first.
+        b.begin_batch();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.evictions(), 4);
+
+        // Re-posting all 6 specs re-pays the 4 evicted ones (they post
+        // live again) and still completes with full answers.
+        let posted = b.hits_posted();
+        let g2 = b.post_group(filter_specs(&items));
+        b.run_to_completion();
+        assert_eq!(b.assignments(g2).len(), 6 * 5);
+        assert_eq!(
+            b.hits_posted(),
+            posted + 4,
+            "evicted specs re-post; survivors replay from cache"
+        );
+    }
+
+    #[test]
+    fn lru_touch_on_hit_refreshes_recency() {
+        let (m, items) = market(4);
+        let mut b = CachingBackend::new(m).with_max_entries(3);
+        // Record items 0..3; exactly at the bound.
+        let g1 = b.post_group(filter_specs(&items[..3]));
+        b.run_to_completion();
+        let _ = b.assignments(g1);
+        b.begin_batch();
+        assert_eq!(b.len(), 3, "at the bound, nothing to evict yet");
+
+        // Touch item 0 (a cache hit re-pins it for this batch), then
+        // record the brand-new item 3: the cache overshoots to 4 and
+        // must evict the least recently used *unpinned* entry —
+        // item 1, not the just-touched item 0.
+        let _ = b.post_group(filter_specs(&items[..1]));
+        let g3 = b.post_group(filter_specs(&items[3..]));
+        b.run_to_completion();
+        let _ = b.assignments(g3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.evictions(), 1);
+        let posted = b.hits_posted();
+        let _ = b.post_group(filter_specs(&items[..1]));
+        assert_eq!(b.hits_posted(), posted, "the touched entry survived");
+        let _ = b.post_group(filter_specs(&items[1..2]));
+        assert!(
+            b.hits_posted() > posted,
+            "the untouched entry was the eviction victim"
+        );
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let (m, items) = market(6);
+        let mut b = CachingBackend::new(m);
+        let g = b.post_group(filter_specs(&items));
+        b.run_to_completion();
+        let _ = b.assignments(g);
+        b.begin_batch();
+        b.begin_batch();
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.evictions(), 0);
+        // Dropping the bound after the fact also stops eviction.
+        b.set_max_entries(Some(2));
+        b.begin_batch();
+        assert_eq!(b.len(), 2);
+        b.set_max_entries(None);
+        let g2 = b.post_group(filter_specs(&items));
+        b.run_to_completion();
+        let _ = b.assignments(g2);
+        b.begin_batch();
+        assert_eq!(b.len(), 6, "unbounded again: everything stays");
     }
 }

@@ -40,6 +40,11 @@ pub enum QurkError {
         budget_dollars: f64,
         spent_dollars: f64,
     },
+    /// A crowd round was posted with a non-finite or negative time
+    /// limit. The scheduler rejects the round before it can poison the
+    /// shared marketplace clock (an infinite deadline would run the
+    /// simulation forever; a NaN made resume order nondeterministic).
+    InvalidDeadline { limit_secs: f64 },
     /// The pre-flight analyzer found Error-level diagnostics and the
     /// lint policy is [`LintPolicy::Deny`](crate::analyze::LintPolicy):
     /// the query was rejected before any HIT was posted.
@@ -91,6 +96,13 @@ impl fmt::Display for QurkError {
                 write!(
                     f,
                     "query budget exhausted: spent ${spent_dollars:.3} of ${budget_dollars:.3}"
+                )
+            }
+            QurkError::InvalidDeadline { limit_secs } => {
+                write!(
+                    f,
+                    "invalid round deadline: limit of {limit_secs} seconds is not a finite, \
+                     non-negative duration"
                 )
             }
             QurkError::Rejected { diagnostics } => {

@@ -38,12 +38,13 @@
 //!                         └─ B: CrowdBackend    Marketplace | Replay | …
 //!
 //!   MULTI-TENANT (qurk-serve):
-//!                  service::QueryService        admission + tenant budgets
-//!                    └─ service::scheduler      deterministic cooperative
-//!                         │                     rounds (N queries, 1 clock)
+//!                  service::QueryService        admission gate + budgets +
+//!                    └─ service::scheduler      fairness policy; PARALLEL
+//!                         │                     machine phase, barrier per
+//!                         │                     HIT round, 1 serialized clock
 //!                         └─ service::TenantBackend ──▶ service::SharedMarket
-//!                              (yields on `run`)        (cross-tenant Task
-//!                                                        Cache + attribution)
+//!                              (stages posts,           (LRU-bounded cross-
+//!                               yields on `run`)         tenant Task Cache)
 //! ```
 //!
 //! ## The paper's contributions, mapped
@@ -170,7 +171,9 @@ pub use intern::{IStr, SymbolTable, ValueId};
 pub use opt::{CostEstimate, CostModel, OptimizeMode, PlanReport, StatisticsStore};
 pub use relation::Relation;
 pub use schema::{Schema, ValueType};
-pub use service::{QueryService, ServiceStats, SharedMarket, TenantBackend};
+pub use service::{
+    PollOrder, QueryService, SchedulePolicy, ServiceStats, SharedMarket, TenantBackend,
+};
 pub use session::{ExecConfig, QueryBuilder, QueryReport, Session, SessionBuilder, SortMode};
 pub use store::{CrashPoint, DurableStore, FaultPlan, QueryCheckpoint, StoreError, StoreHealth};
 pub use tuple::Tuple;

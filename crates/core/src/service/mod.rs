@@ -10,23 +10,29 @@
 //! ```text
 //!   tenant A ──┐                              ┌────────────────────┐
 //!   tenant B ──┼─ submit ─► QueryService ───► │ deterministic      │
-//!   tenant C ──┘  (admission: lint gate,      │ cooperative        │
-//!                  per-tenant budgets)        │ scheduler          │
+//!   tenant C ──┘  (admission: lint gate,      │ barrier scheduler  │
+//!                  budgets, fairness policy)  │ (commits in policy │
+//!                                             │  order)            │
 //!                                             └───────┬────────────┘
-//!                       one thread per query,         │ one
-//!                       resumed one at a time         ▼ marketplace step
-//!                  ┌──────────────┐  post   ┌────────────────────┐
+//!             machine phase: ALL runnable            │ marketplace
+//!             query threads run in PARALLEL,         ▼ phase: one
+//!             then barrier on their events             shared clock
+//!                  ┌──────────────┐  stage   ┌────────────────────┐
 //!                  │ TenantBackend │ ──────► │ SharedMarket       │
-//!                  │ (yields on    │ ◄────── │ (CachingBackend:   │
-//!                  │  `run`)       │ results │  cross-tenant      │
-//!                  └──────────────┘          │  dedup, one clock) │
+//!                  │ (stages posts,│ ◄────── │ (CachingBackend:   │
+//!                  │  yields on    │ results │  cross-tenant      │
+//!                  │  `run`)       │         │  dedup, LRU bound, │
+//!                  └──────────────┘          │  one clock)        │
 //!                                            └────────────────────┘
 //! ```
 //!
 //! * [`scheduler`] — [`QueryService`](scheduler::QueryService): admission,
-//!   tenant budgets, and the rendezvous scheduler that interleaves
-//!   query rounds deterministically (N concurrent queries produce
-//!   byte-identical results to running them sequentially).
+//!   tenant budgets, fairness ([`SchedulePolicy`](scheduler::SchedulePolicy)),
+//!   and the barrier scheduler: between yield points all runnable
+//!   query threads execute concurrently (machine-side work genuinely
+//!   overlaps on multi-core hosts); shared-state writes happen only at
+//!   barriers, in policy order, so N concurrent queries still produce
+//!   byte-identical results to running them sequentially.
 //! * [`tenant`] — [`SharedMarket`](tenant::SharedMarket) (the one
 //!   mutex-guarded backend + per-query meters) and
 //!   [`TenantBackend`](tenant::TenantBackend) (a query's yielding
@@ -46,5 +52,5 @@ pub mod tenant;
 
 pub use protocol::Request;
 pub use report::ServiceStats;
-pub use scheduler::QueryService;
-pub use tenant::{SharedMarket, TenantBackend};
+pub use scheduler::{PollOrder, QueryService, SchedulePolicy};
+pub use tenant::{SharedMarket, StagedPost, TenantBackend};

@@ -11,7 +11,12 @@
 //! STATS                              shared-market totals
 //! RECOVER                            resume checkpointed queries (needs --store)
 //! QUIT                               close the connection
+//! SHUTDOWN                           close the connection AND stop the listener
 //! ```
+//!
+//! `QUIT` and `SHUTDOWN` are identical for a stdin/script session; on
+//! a TCP listener (`qurk-serve --listen`) `QUIT` ends one connection
+//! while `SHUTDOWN` also stops accepting new ones (graceful shutdown).
 //!
 //! Response bodies (one frame per request; `RUN` answers with one
 //! frame per queued query, in submission order, then an `OK` frame):
@@ -44,6 +49,9 @@ pub enum Request {
     Recover,
     /// `QUIT`
     Quit,
+    /// `SHUTDOWN` — like `QUIT`, but a TCP listener also stops
+    /// accepting new connections.
+    Shutdown,
 }
 
 impl Request {
@@ -87,6 +95,7 @@ impl Request {
             "STATS" if rest.is_empty() => Ok(Request::Stats),
             "RECOVER" if rest.is_empty() => Ok(Request::Recover),
             "QUIT" if rest.is_empty() => Ok(Request::Quit),
+            "SHUTDOWN" if rest.is_empty() => Ok(Request::Shutdown),
             other => Err(format!("unknown request {other:?}")),
         }
     }
@@ -118,7 +127,7 @@ pub enum Frame {
 }
 
 /// Write one `<len>\n<body>` frame.
-pub fn write_frame<W: Write>(w: &mut W, body: &str) -> io::Result<()> {
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, body: &str) -> io::Result<()> {
     write!(w, "{}\n{}", body.len(), body)?;
     w.flush()
 }
@@ -128,7 +137,7 @@ pub fn write_frame<W: Write>(w: &mut W, body: &str) -> io::Result<()> {
 /// Malformed input is reported as [`Frame::Malformed`] (see [`Frame`]
 /// for which cases are recoverable); `Err` is reserved for real I/O
 /// failures on the underlying reader.
-pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Frame> {
+pub fn read_frame<R: BufRead + ?Sized>(r: &mut R) -> io::Result<Frame> {
     let mut len_line = String::new();
     loop {
         len_line.clear();
@@ -289,6 +298,7 @@ mod tests {
         assert_eq!(Request::parse("STATS"), Ok(Request::Stats));
         assert_eq!(Request::parse("RECOVER"), Ok(Request::Recover));
         assert_eq!(Request::parse("QUIT"), Ok(Request::Quit));
+        assert_eq!(Request::parse("SHUTDOWN"), Ok(Request::Shutdown));
     }
 
     #[test]
@@ -300,6 +310,7 @@ mod tests {
         assert!(Request::parse("QUERY").is_err());
         assert!(Request::parse("EXPLODE now").is_err());
         assert!(Request::parse("RUN now").is_err());
+        assert!(Request::parse("SHUTDOWN now").is_err());
     }
 
     #[test]

@@ -1,28 +1,46 @@
-//! The deterministic cooperative scheduler.
+//! The deterministic scheduler with a parallel machine phase.
 //!
 //! No async runtime is available (dependencies are vendored), so
-//! concurrency is plain threads in **strict rendezvous**: every query
-//! runs on its own OS thread, but the scheduler resumes exactly one
-//! thread at a time and blocks until that thread either *yields* (its
-//! next crowd round is posted and it needs the marketplace to run —
-//! [`TenantBackend`]'s `run` sends [`SchedulerEvent::NeedCrowd`]) or
-//! *finishes*. At any instant at most one query executes, so a batch
-//! of N concurrent queries is a deterministic interleaving — byte-
-//! identical results to sequential execution on a replayed crowd
-//! (tested in `tests/service_multi_tenant.rs`).
+//! concurrency is plain threads. Every query runs on its own OS
+//! thread; only the **marketplace** is serialized on the one shared
+//! clock. Between yield points all runnable query threads execute
+//! **concurrently** — planning, EM combining, machine filters and
+//! sorts from N tenants genuinely overlap on a multi-core host — and
+//! determinism is preserved by a barrier:
 //!
-//! The scheduler alternates two phases:
-//!
-//! 1. **Poll** — resume runnable queries in submission order. A query
-//!    that yields with all its groups already complete (fully cached
-//!    round) becomes runnable again immediately, no marketplace step.
-//! 2. **Marketplace** — every running query is parked on a posted
-//!    round. Run the one shared backend in stages toward the waiting
-//!    queries' deadlines (nearest first) and stop as soon as any
-//!    query's round resolves: complete (its outstanding work hit
+//! 1. **Parallel machine phase** — resume *every* runnable query at
+//!    once. Each resumed thread runs machine-side until its next yield
+//!    and sends exactly one event: [`SchedulerEvent::NeedCrowd`] (its
+//!    next crowd round, with the posts it staged locally — see
+//!    [`TenantBackend`]) or [`SchedulerEvent::Done`]. The scheduler
+//!    collects exactly one event per resumed thread (the barrier),
+//!    then processes them in **policy order** (tenant priority, then
+//!    submission order): staged posts are committed to the shared
+//!    market, rounds journaled, and completed work folded into the
+//!    shared cache — all on the scheduler thread, so the marketplace,
+//!    the meters and the durable journal never observe thread-timing
+//!    nondeterminism. A query whose round is already complete (fully
+//!    cached) becomes runnable again immediately.
+//! 2. **Marketplace phase** — every running query is parked on a
+//!    posted round. Run the one shared backend in stages toward the
+//!    waiting queries' deadlines (nearest first) and stop as soon as
+//!    any query's round resolves: complete (its outstanding work hit
 //!    zero) or timed out (the shared clock passed its deadline).
 //!    Queries resolved while ≥ 2 were parked count the round as
 //!    *shared* — one marketplace step served several tenants.
+//!
+//! Because the clock only advances in the marketplace phase and all
+//! shared-state writes happen on the scheduler thread in policy order,
+//! a batch of N concurrent queries is still byte-identical to running
+//! them sequentially on a replayed crowd (tested in
+//! `tests/service_multi_tenant.rs` and `tests/service_parallel.rs`).
+//!
+//! **Fairness** is a [`SchedulePolicy`]: per-tenant priorities order
+//! both thread admission and barrier commits; [`PollOrder::RoundRobin`]
+//! interleaves tenants when admitting queued queries; `max_active` /
+//! `max_per_tenant` cap how many query threads run at once (queries
+//! over the cap stay queued and are admitted as slots free up —
+//! [`ServiceStats::admitted_round`] records the wait).
 //!
 //! Statistics follow **snapshot isolation** (see
 //! [`SharedStatistics`]): each query learns into a private copy seeded
@@ -31,20 +49,22 @@
 //! each other's half-finished evidence, and what a batch learns only
 //! steers the *next* batch's plans.
 
+use std::cmp::Reverse;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 
-use qurk_crowd::market::RunOutcome;
+use qurk_crowd::market::{HitGroupId, RunOutcome};
 
 use crate::analyze::{analyze_query, LintPolicy};
 use crate::backend::{CachingBackend, CrowdBackend};
 use crate::catalog::Catalog;
 use crate::error::{QurkError, Result};
+use crate::lang::ast::Query as ParsedQuery;
 use crate::lang::parser::parse_query;
 use crate::opt::stats::{SharedStatistics, StatisticsStore};
 use crate::service::report::ServiceStats;
-use crate::service::tenant::{SharedMarket, TenantBackend};
+use crate::service::tenant::{SharedMarket, StagedPost, TenantBackend};
 use crate::session::{ExecConfig, QueryReport, Session};
 use crate::store::DurableStore;
 
@@ -54,16 +74,27 @@ pub enum Resume {
     /// Begin executing (sent exactly once, before the session runs).
     Start,
     /// The marketplace step for the query's posted round finished with
-    /// this outcome.
-    Round(RunOutcome),
+    /// this outcome. `groups` are the shared-market ids the barrier
+    /// assigned to the posts the query staged before yielding, in
+    /// staging order (empty when the round was refused — see
+    /// [`QurkError::InvalidDeadline`]).
+    Round {
+        outcome: RunOutcome,
+        groups: Vec<HitGroupId>,
+    },
 }
 
-/// What a query thread sends the scheduler.
+/// What a query thread sends the scheduler. Exactly one event is sent
+/// per resume — that's what makes the barrier sound.
 #[derive(Debug)]
 pub enum SchedulerEvent {
-    /// The query posted a round and yields until the shared
+    /// The query staged `posts` and yields until the shared
     /// marketplace has run for up to `limit_secs` of virtual time.
-    NeedCrowd { query: usize, limit_secs: f64 },
+    NeedCrowd {
+        query: usize,
+        limit_secs: f64,
+        posts: Vec<StagedPost>,
+    },
     /// The query finished (successfully or not).
     Done { query: usize, msg: Box<DoneMsg> },
 }
@@ -76,6 +107,34 @@ pub struct DoneMsg {
     pub stats_delta: StatisticsStore,
 }
 
+/// How the scheduler orders queued queries when admitting them to the
+/// machine phase (within one priority level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollOrder {
+    /// First submitted, first admitted (the historical behavior).
+    #[default]
+    Submission,
+    /// Interleave tenants: the tenant with the fewest queries admitted
+    /// this batch goes first, so one tenant flooding `submit()` cannot
+    /// starve another tenant's single query behind its queue.
+    RoundRobin,
+}
+
+/// Fairness knobs for [`QueryService::run_pending`]. The default is
+/// fully permissive: submission order, no caps — every admitted query
+/// starts immediately and the parallel machine phase runs them all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulePolicy {
+    /// Admission order among queued queries of equal priority.
+    pub order: PollOrder,
+    /// Cap on concurrently executing queries across all tenants
+    /// (`None` = unlimited; `Some(0)` is treated as 1).
+    pub max_active: Option<usize>,
+    /// Cap on concurrently executing queries per tenant
+    /// (`None` = unlimited; `Some(0)` is treated as 1).
+    pub max_per_tenant: Option<usize>,
+}
+
 /// One registered tenant.
 #[derive(Debug, Clone)]
 struct TenantState {
@@ -84,12 +143,18 @@ struct TenantState {
     budget: Option<f64>,
     /// Dollars attributed so far.
     spent: f64,
+    /// Scheduling priority (higher first; default 0). A process-local
+    /// knob — not journaled to the durable store.
+    priority: i32,
 }
 
 /// One admitted, not-yet-executed query.
 struct Submission {
     tenant: usize,
     sql: String,
+    /// The AST the admission gate analyzed — the query thread executes
+    /// exactly this, never a re-parse of `sql`.
+    parsed: ParsedQuery,
     budget: Option<f64>,
     /// Durable checkpoint id when the service has a store attached.
     persist_id: Option<u64>,
@@ -116,12 +181,14 @@ const DEADLINE_EPS: f64 = 1e-9;
 /// Queries admitted by [`Self::submit`] execute concurrently on the
 /// next [`Self::run_pending`], sharing the marketplace clock, the
 /// task cache (identical specs across tenants are paid for once) and
-/// the statistics store.
+/// the statistics store. Machine-side work overlaps on real OS
+/// threads; only marketplace steps are serialized (module docs).
 pub struct QueryService<'c, B: CrowdBackend> {
     catalog: &'c Catalog,
     shared: Arc<SharedMarket<B>>,
     stats: SharedStatistics,
     config: ExecConfig,
+    policy: SchedulePolicy,
     tenants: Vec<TenantState>,
     pending: Vec<Submission>,
     /// Durable state (task cache, statistics, checkpoints, tenants) —
@@ -143,6 +210,7 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
             shared: Arc::new(SharedMarket::new(backend)),
             stats: SharedStatistics::default(),
             config,
+            policy: SchedulePolicy::default(),
             tenants: Vec::new(),
             pending: Vec::new(),
             store: None,
@@ -168,6 +236,7 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                 name: t.name,
                 budget: t.budget,
                 spent: t.spent,
+                priority: 0,
             })
             .collect();
         QueryService {
@@ -175,6 +244,7 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
             shared: Arc::new(SharedMarket::with_caching(caching)),
             stats: SharedStatistics::new(store.stats_snapshot()),
             config,
+            policy: SchedulePolicy::default(),
             tenants,
             pending: Vec::new(),
             store: Some(store),
@@ -186,12 +256,45 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
         self.store.as_ref()
     }
 
+    /// The fairness policy for subsequent [`Self::run_pending`] calls.
+    pub fn set_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// The current fairness policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Set a tenant's scheduling priority (higher runs first; default
+    /// 0). Priorities order both admission of queued queries and
+    /// barrier commits within a batch.
+    pub fn set_tenant_priority(&mut self, name: &str, priority: i32) -> Result<()> {
+        let t = self.tenant_index(name)?;
+        self.tenants[t].priority = priority;
+        Ok(())
+    }
+
+    /// Bound the shared task cache to `max` recorded specs, evicting
+    /// least-recently-used entries at batch boundaries. Journal-aware:
+    /// eviction is memory-only, so durable recovery still replays
+    /// every paid round; an evicted spec that is posted again is paid
+    /// for again. `None` removes the bound.
+    pub fn set_cache_max_entries(&mut self, max: Option<usize>) {
+        self.shared.set_cache_max_entries(max);
+    }
+
     /// Re-queue every live checkpoint (a query admitted but not
     /// finished when the previous process died) for the next
     /// [`Self::run_pending`], keeping its original checkpoint id and
-    /// budget. The resumed query replays its already-paid rounds from
-    /// the recovered cache instead of re-posting them, and its report
-    /// is flagged [`ServiceStats::resumed`]. Returns how many queries
+    /// budget. Each checkpoint is **re-admitted through the same gate
+    /// as [`Self::submit`]** against the recovered statistics: under
+    /// [`LintPolicy::Deny`] a checkpoint that would be rejected today
+    /// is retired (its checkpoint is marked done) instead of executed —
+    /// a crash must not smuggle a query past the admission analyzer.
+    /// The resumed queries replay their already-paid rounds from the
+    /// recovered cache instead of re-posting them, and their reports
+    /// are flagged [`ServiceStats::resumed`]. Returns how many queries
     /// were re-queued. No-op without a store.
     pub fn recover(&mut self) -> usize {
         let Some(store) = self.store.clone() else {
@@ -199,11 +302,20 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
         };
         let mut resumed = 0;
         for cp in store.live_checkpoints() {
-            match self.tenant_index(&cp.tenant) {
-                Ok(tenant) => {
+            let Ok(tenant) = self.tenant_index(&cp.tenant) else {
+                // The checkpoint's tenant is gone from the log
+                // (registrations are journaled, so this means a
+                // truncated tail). Retire it rather than resurrect
+                // an unattributable query on every restart.
+                store.append_query_done(cp.id);
+                continue;
+            };
+            match self.admit(&cp.sql, cp.budget) {
+                Ok(parsed) => {
                     self.pending.push(Submission {
                         tenant,
                         sql: cp.sql,
+                        parsed,
                         budget: cp.budget,
                         persist_id: Some(cp.id),
                         resumed: true,
@@ -211,10 +323,9 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                     resumed += 1;
                 }
                 Err(_) => {
-                    // The checkpoint's tenant is gone from the log
-                    // (registrations are journaled, so this means a
-                    // truncated tail). Retire it rather than resurrect
-                    // an unattributable query on every restart.
+                    // Admission says no under today's statistics and
+                    // policy. Retire the checkpoint so the rejected
+                    // query is not resurrected on every restart.
                     store.append_query_done(cp.id);
                 }
             }
@@ -233,6 +344,7 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                 name: name.to_owned(),
                 budget,
                 spent: 0.0,
+                priority: 0,
             });
         }
         if let Some(store) = &self.store {
@@ -257,6 +369,25 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
         Ok(self.tenants[self.tenant_index(name)?].spent)
     }
 
+    /// The admission gate shared by [`Self::submit`] and
+    /// [`Self::recover`]: parse, then run the pre-flight analyzer
+    /// against the current shared statistics. Returns the parsed AST —
+    /// the exact query that will execute.
+    fn admit(&self, sql: &str, budget: Option<f64>) -> Result<ParsedQuery> {
+        let parsed = parse_query(sql)?;
+        if self.config.lint.policy != LintPolicy::Allow {
+            let snapshot = self.stats.snapshot();
+            let diagnostics =
+                analyze_query(sql, &parsed, self.catalog, &self.config, &snapshot, budget)?;
+            if self.config.lint.policy == LintPolicy::Deny
+                && diagnostics.iter().any(crate::analyze::Diagnostic::is_error)
+            {
+                return Err(QurkError::Rejected { diagnostics });
+            }
+        }
+        Ok(parsed)
+    }
+
     /// Admit a query for a tenant. Admission runs the pre-flight
     /// analyzer ([`crate::analyze`]) against the current shared
     /// statistics: under [`LintPolicy::Deny`] a query with error-level
@@ -276,17 +407,7 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
         budget: Option<f64>,
     ) -> Result<usize> {
         let tenant = self.tenant_index(tenant)?;
-        let parsed = parse_query(sql)?;
-        if self.config.lint.policy != LintPolicy::Allow {
-            let snapshot = self.stats.snapshot();
-            let diagnostics =
-                analyze_query(sql, &parsed, self.catalog, &self.config, &snapshot, budget)?;
-            if self.config.lint.policy == LintPolicy::Deny
-                && diagnostics.iter().any(crate::analyze::Diagnostic::is_error)
-            {
-                return Err(QurkError::Rejected { diagnostics });
-            }
-        }
+        let parsed = self.admit(sql, budget)?;
         // Checkpoint write-ahead of the queue push: once admission is
         // acknowledged, a crash before the query finishes leaves a
         // live checkpoint for `recover()` to resume.
@@ -297,11 +418,27 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
         self.pending.push(Submission {
             tenant,
             sql: sql.to_owned(),
+            parsed,
             budget,
             persist_id,
             resumed: false,
         });
         Ok(self.pending.len() - 1)
+    }
+
+    /// Test-only: enqueue a submission whose carried AST deliberately
+    /// differs from its SQL text, proving execution uses the admitted
+    /// AST and never re-parses.
+    #[cfg(test)]
+    fn push_raw_submission(&mut self, tenant: usize, sql: &str, parsed: ParsedQuery) {
+        self.pending.push(Submission {
+            tenant,
+            sql: sql.to_owned(),
+            parsed,
+            budget: None,
+            persist_id: None,
+            resumed: false,
+        });
     }
 
     /// Number of admitted, not-yet-executed queries.
@@ -349,8 +486,10 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
     /// Execute every pending query **concurrently** against the shared
     /// marketplace and return their reports in submission order.
     ///
-    /// Concurrency is cooperative and deterministic (module docs);
-    /// budgets are fixed at batch start, so two same-tenant queries in
+    /// Machine-side work runs in parallel on real OS threads; shared
+    /// state is only written at barriers and marketplace steps, in
+    /// policy order, so results are deterministic (module docs).
+    /// Budgets are fixed at batch start, so two same-tenant queries in
     /// one batch can jointly overshoot a tenant budget by at most one
     /// round each — the budget is re-checked before every subsequent
     /// batch.
@@ -359,21 +498,41 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
         if jobs.is_empty() {
             return Vec::new();
         }
+        // Batch boundary for the shared cache's eviction bound.
+        self.shared.begin_batch();
         let snapshot = self.stats.snapshot();
         let budgets: Vec<Option<f64>> = jobs.iter().map(|j| self.effective_budget(j)).collect();
+        let policy = self.policy;
 
         enum TaskState {
+            /// Admitted; thread not yet started (fairness caps).
+            Queued,
+            /// Thread parked, waiting for this resume.
             Runnable(Resume),
-            Waiting { deadline: f64 },
+            /// Resumed; its barrier event has not been collected yet.
+            Running,
+            /// Parked on a posted round with a marketplace deadline.
+            Waiting {
+                deadline: f64,
+            },
             Finished,
         }
         struct TaskCtl {
-            resume_tx: Sender<Resume>,
+            resume_tx: Option<Sender<Resume>>,
             state: TaskState,
-            market_query: usize,
+            /// Market-side meter id; assigned when the thread starts.
+            market_query: Option<usize>,
             rounds: u64,
             rounds_shared: u64,
             queue_wait_secs: f64,
+            /// Shared-market ids committed for the query's staged
+            /// posts, delivered with its next resume.
+            pending_groups: Vec<HitGroupId>,
+            /// Barrier index at which the thread was admitted.
+            admitted_round: u64,
+            /// Set when a round carried an invalid deadline: the round
+            /// was refused and this error replaces the query's result.
+            poisoned: Option<QurkError>,
             done: Option<Box<DoneMsg>>,
         }
 
@@ -384,112 +543,245 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
         // unparks the query threads so the scope's implicit join can
         // finish instead of deadlocking.
         let mut tasks = std::thread::scope(|scope| {
-            let mut tasks: Vec<TaskCtl> = Vec::new();
-            for (i, job) in jobs.iter().enumerate() {
-                let market_query = self.shared.register_query();
-                let (resume_tx, resume_rx) = channel::<Resume>();
-                let shared = Arc::clone(&self.shared);
-                let catalog = self.catalog;
-                let config = self.config.clone();
-                let seed_stats = snapshot.clone();
-                let budget = budgets[i];
-                let sql = job.sql.clone();
-                let tx = event_tx.clone();
-                scope.spawn(move || {
-                    // Rendezvous: do nothing until the scheduler says
-                    // so — at most one query thread runs at a time.
-                    if resume_rx.recv().is_err() {
-                        return; // scheduler vanished before start
-                    }
-                    let backend =
-                        TenantBackend::new(shared, market_query, i, tx.clone(), resume_rx);
-                    let msg = catch_unwind(AssertUnwindSafe(|| {
-                        let mut session = Session::builder()
-                            .catalog(catalog)
-                            .backend(backend)
-                            .config(config)
-                            .statistics(seed_stats.clone())
-                            .build();
-                        let builder = session.query(&sql);
-                        let builder = match budget {
-                            Some(b) => builder.budget_dollars(b),
-                            None => builder,
-                        };
-                        let result = builder.report();
-                        let stats_delta = session.statistics().diff(&seed_stats);
-                        DoneMsg {
-                            result,
-                            stats_delta,
-                        }
-                    }))
-                    .unwrap_or_else(|_| DoneMsg {
-                        result: Err(QurkError::Other("query thread panicked".to_owned())),
-                        stats_delta: StatisticsStore::new(),
-                    });
-                    let _ = tx.send(SchedulerEvent::Done {
-                        query: i,
-                        msg: Box::new(msg),
-                    });
-                });
-                tasks.push(TaskCtl {
-                    resume_tx,
-                    state: TaskState::Runnable(Resume::Start),
-                    market_query,
+            let mut tasks: Vec<TaskCtl> = jobs
+                .iter()
+                .map(|_| TaskCtl {
+                    resume_tx: None,
+                    state: TaskState::Queued,
+                    market_query: None,
                     rounds: 0,
                     rounds_shared: 0,
                     queue_wait_secs: 0.0,
+                    pending_groups: Vec::new(),
+                    admitted_round: 0,
+                    poisoned: None,
                     done: None,
-                });
-            }
-            // The scheduler's own sender would keep `event_rx` alive
-            // past the last Done; the threads hold their clones.
-            drop(event_tx);
-
+                })
+                .collect();
+            let mut active_per_tenant = vec![0usize; self.tenants.len()];
+            let mut admitted_per_tenant = vec![0usize; self.tenants.len()];
+            let mut total_active = 0usize;
+            let mut barrier_no: u64 = 0;
             let mut finished = 0usize;
+
             while finished < tasks.len() {
-                // ---- poll phase: resume runnable queries in order.
-                if let Some(i) = tasks
-                    .iter()
-                    .position(|t| matches!(t.state, TaskState::Runnable(_)))
-                {
-                    let resume = match std::mem::replace(&mut tasks[i].state, TaskState::Finished) {
-                        TaskState::Runnable(r) => r,
-                        _ => unreachable!("guarded by the position() match above"),
-                    };
-                    // A failed send means the thread already finished;
-                    // its Done event is queued and consumed below.
-                    let _ = tasks[i].resume_tx.send(resume);
-                    match event_rx.recv() {
-                        Ok(SchedulerEvent::NeedCrowd { query, limit_secs }) => {
-                            tasks[query].rounds += 1;
-                            // Journal consumed rounds as they happen so
-                            // a crash mid-query leaves an accurate
-                            // checkpoint (its paid work is already in
-                            // the cache records).
-                            if let (Some(store), Some(id)) = (&self.store, jobs[query].persist_id) {
-                                store.append_rounds(id, tasks[query].rounds);
-                            }
-                            if self.shared.query_outstanding(tasks[query].market_query) == 0 {
-                                // Fully cached/complete round: runnable
-                                // again without a marketplace step.
-                                tasks[query].state =
-                                    TaskState::Runnable(Resume::Round(RunOutcome::Completed));
-                            } else {
-                                tasks[query].state = TaskState::Waiting {
-                                    deadline: self.shared.now().secs() + limit_secs,
-                                };
-                            }
-                        }
-                        Ok(SchedulerEvent::Done { query, msg }) => {
-                            tasks[query].done = Some(msg);
-                            tasks[query].state = TaskState::Finished;
-                            finished += 1;
-                        }
-                        Err(_) => {
-                            // All threads gone without a Done: every
-                            // remaining task is dead.
+                // ---- admission: start queued threads as the fairness
+                // caps allow, highest priority first; within a
+                // priority, round-robin interleaves tenants by how
+                // many queries each has had admitted this batch.
+                loop {
+                    if let Some(cap) = policy.max_active {
+                        if total_active >= cap.max(1) {
                             break;
                         }
+                    }
+                    let per_tenant_cap = policy.max_per_tenant.map(|c| c.max(1));
+                    let next = jobs
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, job)| {
+                            matches!(tasks[i].state, TaskState::Queued)
+                                && per_tenant_cap
+                                    .is_none_or(|cap| active_per_tenant[job.tenant] < cap)
+                        })
+                        .min_by_key(|&(i, job)| {
+                            let rr = match policy.order {
+                                PollOrder::Submission => 0,
+                                PollOrder::RoundRobin => admitted_per_tenant[job.tenant],
+                            };
+                            (Reverse(self.tenants[job.tenant].priority), rr, i)
+                        })
+                        .map(|(i, _)| i);
+                    let Some(i) = next else { break };
+                    let job = &jobs[i];
+                    let market_query = self.shared.register_query();
+                    let (resume_tx, resume_rx) = channel::<Resume>();
+                    let shared = Arc::clone(&self.shared);
+                    let catalog = self.catalog;
+                    let config = self.config.clone();
+                    let seed_stats = snapshot.clone();
+                    let budget = budgets[i];
+                    let sql = job.sql.clone();
+                    let parsed = job.parsed.clone();
+                    let tx = event_tx.clone();
+                    scope.spawn(move || {
+                        // Rendezvous: do nothing until the scheduler
+                        // says so.
+                        if resume_rx.recv().is_err() {
+                            return; // scheduler vanished before start
+                        }
+                        let backend =
+                            TenantBackend::new(shared, market_query, i, tx.clone(), resume_rx);
+                        let msg = catch_unwind(AssertUnwindSafe(|| {
+                            let exec_config = config.clone();
+                            let mut session = Session::builder()
+                                .catalog(catalog)
+                                .backend(backend)
+                                .config(config)
+                                .statistics(seed_stats.clone())
+                                .build();
+                            // Execute the AST admission analyzed — the
+                            // SQL text is only for diagnostics.
+                            let result =
+                                session.execute_parsed(&sql, &parsed, &exec_config, budget);
+                            let stats_delta = session.statistics().diff(&seed_stats);
+                            DoneMsg {
+                                result,
+                                stats_delta,
+                            }
+                        }))
+                        .unwrap_or_else(|_| DoneMsg {
+                            result: Err(QurkError::Other("query thread panicked".to_owned())),
+                            stats_delta: StatisticsStore::new(),
+                        });
+                        let _ = tx.send(SchedulerEvent::Done {
+                            query: i,
+                            msg: Box::new(msg),
+                        });
+                    });
+                    tasks[i].resume_tx = Some(resume_tx);
+                    tasks[i].market_query = Some(market_query);
+                    tasks[i].admitted_round = barrier_no;
+                    tasks[i].state = TaskState::Runnable(Resume::Start);
+                    active_per_tenant[job.tenant] += 1;
+                    admitted_per_tenant[job.tenant] += 1;
+                    total_active += 1;
+                }
+
+                // ---- parallel machine phase: resume every runnable
+                // thread at once and collect one event from each.
+                let mut resumed = 0usize;
+                for task in tasks.iter_mut() {
+                    if !matches!(task.state, TaskState::Runnable(_)) {
+                        continue;
+                    }
+                    let resume = match std::mem::replace(&mut task.state, TaskState::Running) {
+                        TaskState::Runnable(r) => r,
+                        _ => unreachable!("guarded by the matches! above"),
+                    };
+                    // A failed send means the thread already finished;
+                    // its Done event is queued and collected below.
+                    let _ = task
+                        .resume_tx
+                        .as_ref()
+                        .expect("runnable tasks have started threads")
+                        .send(resume);
+                    resumed += 1;
+                }
+                if resumed > 0 {
+                    let mut events = Vec::with_capacity(resumed);
+                    let mut dead = false;
+                    for _ in 0..resumed {
+                        match event_rx.recv() {
+                            Ok(ev) => events.push(ev),
+                            Err(_) => {
+                                // All threads gone without their
+                                // events: every remaining task is dead.
+                                dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    barrier_no += 1;
+                    // The barrier: process events in policy order —
+                    // priority first, then submission order — so every
+                    // shared-state write below is deterministic no
+                    // matter how the threads interleaved.
+                    events.sort_by_key(|ev| {
+                        let q = match ev {
+                            SchedulerEvent::NeedCrowd { query, .. } => *query,
+                            SchedulerEvent::Done { query, .. } => *query,
+                        };
+                        (Reverse(self.tenants[jobs[q].tenant].priority), q)
+                    });
+                    // Pass 1: commit staged posts to the shared market
+                    // and journal round heartbeats. All posts land
+                    // before any completion check, so same-barrier
+                    // spec sharing is order-stable.
+                    for ev in &mut events {
+                        let SchedulerEvent::NeedCrowd {
+                            query,
+                            limit_secs,
+                            posts,
+                        } = ev
+                        else {
+                            continue;
+                        };
+                        let q = *query;
+                        if tasks[q].poisoned.is_some() {
+                            continue;
+                        }
+                        if !(limit_secs.is_finite() && *limit_secs >= 0.0) {
+                            // Refuse the round: an infinite deadline
+                            // would run the simulation forever, a NaN
+                            // made resume order nondeterministic. The
+                            // posts are never committed and the query
+                            // fails with a typed error.
+                            tasks[q].poisoned = Some(QurkError::InvalidDeadline {
+                                limit_secs: *limit_secs,
+                            });
+                            continue;
+                        }
+                        let mq = tasks[q]
+                            .market_query
+                            .expect("running tasks have market ids");
+                        for post in posts.drain(..) {
+                            let g = self.shared.post(mq, post.specs, post.assignments);
+                            tasks[q].pending_groups.push(g);
+                        }
+                        tasks[q].rounds += 1;
+                        // Journal consumed rounds as they happen so a
+                        // crash mid-query leaves an accurate
+                        // checkpoint (its paid work is already in the
+                        // cache records).
+                        if let (Some(store), Some(id)) = (&self.store, jobs[q].persist_id) {
+                            store.append_rounds(id, tasks[q].rounds);
+                        }
+                    }
+                    // Pass 2: classify, in the same order.
+                    for ev in events {
+                        match ev {
+                            SchedulerEvent::NeedCrowd {
+                                query, limit_secs, ..
+                            } => {
+                                if tasks[query].poisoned.is_some() {
+                                    tasks[query].state = TaskState::Runnable(Resume::Round {
+                                        outcome: RunOutcome::TimedOut,
+                                        groups: Vec::new(),
+                                    });
+                                    continue;
+                                }
+                                let mq = tasks[query]
+                                    .market_query
+                                    .expect("running tasks have market ids");
+                                if self.shared.query_outstanding(mq) == 0 {
+                                    // Fully cached/complete round:
+                                    // runnable again without a
+                                    // marketplace step. Fold on the
+                                    // scheduler thread so the journal
+                                    // never sees thread-timing order.
+                                    self.shared.fold_completed(mq);
+                                    tasks[query].state = TaskState::Runnable(Resume::Round {
+                                        outcome: RunOutcome::Completed,
+                                        groups: std::mem::take(&mut tasks[query].pending_groups),
+                                    });
+                                } else {
+                                    tasks[query].state = TaskState::Waiting {
+                                        deadline: self.shared.now().secs() + limit_secs,
+                                    };
+                                }
+                            }
+                            SchedulerEvent::Done { query, msg } => {
+                                tasks[query].done = Some(msg);
+                                tasks[query].state = TaskState::Finished;
+                                finished += 1;
+                                total_active -= 1;
+                                active_per_tenant[jobs[query].tenant] -= 1;
+                            }
+                        }
+                    }
+                    if dead {
+                        break;
                     }
                     continue;
                 }
@@ -508,7 +800,10 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                 if waiting.is_empty() {
                     break; // defensive: nothing runnable, nothing waiting
                 }
-                waiting.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                // total_cmp: deadlines are validated finite at the
+                // barrier, but a total order keeps resume order
+                // well-defined no matter what.
+                waiting.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 let shared_round = waiting.len() >= 2;
                 let mut stages: Vec<f64> = waiting.iter().map(|&(d, _)| d).collect();
                 stages.dedup();
@@ -523,7 +818,10 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                         if !matches!(tasks[i].state, TaskState::Waiting { .. }) {
                             continue;
                         }
-                        let outstanding = self.shared.query_outstanding(tasks[i].market_query);
+                        let mq = tasks[i]
+                            .market_query
+                            .expect("waiting tasks have market ids");
+                        let outstanding = self.shared.query_outstanding(mq);
                         let outcome = if outstanding == 0 {
                             Some(RunOutcome::Completed)
                         } else if now + DEADLINE_EPS >= deadline {
@@ -532,20 +830,36 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                             None
                         };
                         let Some(outcome) = outcome else { continue };
+                        // Fold whatever completed into the shared
+                        // cache *here*, in resolution order — on a
+                        // timeout the query may still read its
+                        // finished groups, and those folds (journal
+                        // appends included) must not race other
+                        // threads in the next machine phase.
                         if outcome == RunOutcome::Completed {
-                            let completion = self.shared.completion_time(tasks[i].market_query);
+                            let completion = self.shared.completion_time(mq);
                             tasks[i].queue_wait_secs += (now - completion).max(0.0);
+                        } else {
+                            self.shared.fold_completed(mq);
                         }
                         if shared_round {
                             tasks[i].rounds_shared += 1;
                         }
-                        tasks[i].state = TaskState::Runnable(Resume::Round(outcome));
+                        tasks[i].state = TaskState::Runnable(Resume::Round {
+                            outcome,
+                            groups: std::mem::take(&mut tasks[i].pending_groups),
+                        });
                         resolved_any = true;
                     }
                     if resolved_any {
                         break;
                     }
                 }
+            }
+            // Wake any still-parked thread (only on abnormal exits) so
+            // the scope's implicit join cannot deadlock.
+            for task in &mut tasks {
+                task.resume_tx = None;
             }
             tasks
         });
@@ -556,7 +870,9 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
         for (i, job) in jobs.iter().enumerate() {
             let task = &mut tasks[i];
             let msg = task.done.take();
-            let spend = self.shared.query_spend(task.market_query);
+            let spend = task
+                .market_query
+                .map_or(0.0, |mq| self.shared.query_spend(mq));
             self.tenants[job.tenant].spent += spend;
             let result = match msg {
                 Some(msg) => {
@@ -564,14 +880,25 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                     if let Some(store) = &self.store {
                         store.append_stats_delta(&msg.stats_delta);
                     }
-                    msg.result.map(|mut report| {
+                    // A refused round (invalid deadline) overrides the
+                    // thread's own error with the typed cause.
+                    let base = match task.poisoned.take() {
+                        Some(e) => Err(e),
+                        None => msg.result,
+                    };
+                    base.map(|mut report| {
                         report.service = Some(ServiceStats {
                             tenant: self.tenants[job.tenant].name.clone(),
                             queue_wait_secs: task.queue_wait_secs,
                             rounds: task.rounds,
                             rounds_shared: task.rounds_shared,
-                            shared_cache_hits: self.shared.query_cached_hits(task.market_query),
-                            saved_dollars: self.shared.query_saved(task.market_query),
+                            shared_cache_hits: task
+                                .market_query
+                                .map_or(0, |mq| self.shared.query_cached_hits(mq)),
+                            saved_dollars: task
+                                .market_query
+                                .map_or(0.0, |mq| self.shared.query_saved(mq)),
+                            admitted_round: task.admitted_round,
                             resumed: job.resumed,
                         });
                         report
@@ -585,7 +912,9 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
                 // A failed query abandons its in-flight rounds: drop
                 // its dedup slots so later identical specs re-post
                 // instead of piggybacking on work nobody is driving.
-                self.shared.release_query(task.market_query);
+                if let Some(mq) = task.market_query {
+                    self.shared.release_query(mq);
+                }
             }
             if let (Some(store), Some(id)) = (&self.store, job.persist_id) {
                 // The query resolved (either way) and its result was
@@ -598,5 +927,38 @@ impl<'c, B: CrowdBackend> QueryService<'c, B> {
             out.push(result);
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Relation, Schema, Value, ValueType};
+    use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
+
+    /// The query thread must execute the AST the admission gate
+    /// analyzed, never a re-parse of the SQL text. The submission
+    /// below carries SQL naming a table that does not exist — if
+    /// execution re-parsed, planning would fail with UnknownTable.
+    #[test]
+    fn execution_uses_the_admitted_ast_not_a_reparse() {
+        let mut catalog = Catalog::new();
+        let mut rel = Relation::new(Schema::new(&[("id", ValueType::Int)]));
+        for i in 0..4 {
+            rel.push(vec![Value::Int(i)]).unwrap();
+        }
+        catalog.register_table("nums", rel);
+        let market = Marketplace::new(&CrowdConfig::default().with_seed(1), GroundTruth::new());
+        let mut svc = QueryService::new(&catalog, market);
+        svc.register_tenant("t", None);
+        let parsed = parse_query("SELECT n.id FROM nums AS n").unwrap();
+        svc.push_raw_submission(0, "SELECT x.id FROM nosuch AS x", parsed);
+        let report = svc
+            .run_pending()
+            .pop()
+            .unwrap()
+            .expect("the admitted AST plans and executes");
+        assert_eq!(report.relation.len(), 4);
+        assert_eq!(report.hits_posted, 0);
     }
 }

@@ -5,13 +5,18 @@
 //! every tenant's query. Each running query talks to it through its
 //! own [`TenantBackend`], which
 //!
-//! * forwards posts under the lock, **metering** which of the query's
-//!   specs were served live vs. from the shared cache (including
-//!   piggybacking on another tenant's identical in-flight spec), and
+//! * **stages** posts locally during the parallel machine phase —
+//!   between yields, query threads run concurrently, so posts buffer
+//!   under local group ids ([`StagedPost`]) and travel with the
+//!   [`SchedulerEvent::NeedCrowd`] yield; the scheduler commits them
+//!   to the shared market in deterministic policy order at the
+//!   barrier, metering which of the query's specs were served live
+//!   vs. from the shared cache (including piggybacking on another
+//!   tenant's identical in-flight spec), and
 //! * turns [`CrowdBackend::run`] into the cooperative **yield point**:
-//!   instead of driving the clock itself, the query parks on a
-//!   rendezvous channel and the scheduler advances the one shared
-//!   marketplace for everybody.
+//!   instead of driving the clock itself, the query flushes its staged
+//!   posts, parks on a rendezvous channel, and the scheduler advances
+//!   the one shared marketplace for everybody.
 //!
 //! Per-query dollar attribution is exact: every completed live
 //! assignment belongs to exactly one query's group, and both the
@@ -226,6 +231,43 @@ impl<B: CrowdBackend> SharedMarket<B> {
         self.lock().backend.pending_len()
     }
 
+    /// Fold every completed group of `query` into the shared cache
+    /// (and its journal). The scheduler calls this at deterministic
+    /// points — barrier resolutions, in policy order — **before**
+    /// resuming threads, so journal append order never depends on how
+    /// the parallel machine phase's threads interleave.
+    pub fn fold_completed(&self, query: usize) {
+        let mut m = self.lock();
+        let groups: Vec<HitGroupId> = m.queries[query].groups.iter().map(|&(g, _, _)| g).collect();
+        for g in groups {
+            if m.backend.group_outstanding(g) == 0 {
+                let _ = m.backend.assignments(g);
+            }
+        }
+    }
+
+    /// Batch boundary for the shared cache's eviction bound (see
+    /// [`CachingBackend::begin_batch`]).
+    pub fn begin_batch(&self) {
+        self.lock().backend.begin_batch();
+    }
+
+    /// Bound the shared task cache to `max` recorded specs, LRU-evicted
+    /// at batch boundaries (see [`CachingBackend::set_max_entries`]).
+    pub fn set_cache_max_entries(&self, max: Option<usize>) {
+        self.lock().backend.set_max_entries(max);
+    }
+
+    /// Entries evicted by the shared cache's bound so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.lock().backend.evictions()
+    }
+
+    /// Number of distinct specs currently resident in the shared cache.
+    pub fn cache_len(&self) -> usize {
+        self.lock().backend.len()
+    }
+
     /// Release the in-flight dedup slots of every group a **failed**
     /// query posted (see [`CachingBackend::release_in_flight`]):
     /// nobody will drive those rounds to completion, so later
@@ -251,11 +293,37 @@ impl<B: CrowdBackend> SharedMarket<B> {
     }
 }
 
+/// One post buffered during the parallel machine phase, carried to
+/// the scheduler by [`SchedulerEvent::NeedCrowd`] and committed to the
+/// shared market at the barrier.
+#[derive(Debug)]
+pub struct StagedPost {
+    pub specs: Vec<HitSpec>,
+    pub assignments: Option<u32>,
+}
+
+/// Local-group bookkeeping for one [`TenantBackend`]: the backend
+/// hands out its own dense group ids immediately (operators need an
+/// id at post time), and learns the committed shared-market ids from
+/// the scheduler's [`Resume::Round`] after the next yield.
+#[derive(Debug, Default)]
+struct Ledger {
+    /// Committed shared-market group id per local id; `None` while the
+    /// post is still staged.
+    real: Vec<Option<HitGroupId>>,
+    /// Live assignments a staged group will request — reported as its
+    /// outstanding count until the post is committed.
+    requested: Vec<u32>,
+    /// Posts buffered since the last yield, parallel to the trailing
+    /// `None`s of `real`.
+    staged: Vec<StagedPost>,
+}
+
 /// A query's private handle on the [`SharedMarket`]: a full
-/// [`CrowdBackend`] whose `run` yields to the scheduler instead of
-/// driving the clock, and whose usage counters report the *query's
-/// attributed share* of the market (so per-query metering, budgets and
-/// reports work unchanged).
+/// [`CrowdBackend`] whose posts stage locally until `run`, whose `run`
+/// yields to the scheduler instead of driving the clock, and whose
+/// usage counters report the *query's attributed share* of the market
+/// (so per-query metering, budgets and reports work unchanged).
 pub struct TenantBackend<B> {
     shared: Arc<SharedMarket<B>>,
     /// Market-side id (keys the meter; unique across batches).
@@ -264,9 +332,10 @@ pub struct TenantBackend<B> {
     task: usize,
     /// Rendezvous with the scheduler. Mutex-wrapped only to keep the
     /// backend `Sync` (each backend is owned by exactly one query
-    /// thread; the lock is never contended).
+    /// thread; the locks are never contended).
     yield_tx: Mutex<Sender<SchedulerEvent>>,
     resume_rx: Mutex<Receiver<Resume>>,
+    ledger: Mutex<Ledger>,
 }
 
 impl<B: CrowdBackend> TenantBackend<B> {
@@ -285,6 +354,7 @@ impl<B: CrowdBackend> TenantBackend<B> {
             task,
             yield_tx: Mutex::new(yield_tx),
             resume_rx: Mutex::new(resume_rx),
+            ledger: Mutex::new(Ledger::default()),
         }
     }
 
@@ -292,61 +362,121 @@ impl<B: CrowdBackend> TenantBackend<B> {
     pub fn query_id(&self) -> usize {
         self.query
     }
+
+    fn ledger(&self) -> MutexGuard<'_, Ledger> {
+        self.ledger.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Buffer a post under a fresh local group id. Nothing touches the
+    /// shared market (beyond reading its default assignment count):
+    /// during the parallel machine phase many query threads post
+    /// concurrently, and commit order must be the scheduler's choice,
+    /// not the thread scheduler's.
+    fn stage_post(&self, specs: Vec<HitSpec>, assignments: Option<u32>) -> HitGroupId {
+        let per_spec = assignments
+            .unwrap_or_else(|| self.shared.lock().backend.default_assignments())
+            .max(1);
+        let requested = (specs.len() as u32).saturating_mul(per_spec);
+        let mut l = self.ledger();
+        let local = HitGroupId(l.real.len());
+        l.real.push(None);
+        l.requested.push(requested);
+        l.staged.push(StagedPost { specs, assignments });
+        local
+    }
+
+    /// The committed shared-market id behind a local group id, if the
+    /// post has been flushed.
+    fn translate(&self, group: HitGroupId) -> Option<HitGroupId> {
+        self.ledger().real.get(group.0).copied().flatten()
+    }
 }
 
 impl<B: CrowdBackend> CrowdBackend for TenantBackend<B> {
     fn post_group(&mut self, specs: Vec<HitSpec>) -> HitGroupId {
-        self.shared.post(self.query, specs, None)
+        self.stage_post(specs, None)
     }
 
     fn post_group_with_assignments(&mut self, specs: Vec<HitSpec>, assignments: u32) -> HitGroupId {
-        self.shared.post(self.query, specs, Some(assignments))
+        self.stage_post(specs, Some(assignments))
     }
 
-    /// The cooperative yield: park this query until the scheduler has
-    /// run the shared marketplace far enough to resolve its round. A
-    /// closed channel (scheduler gone) reads as a timeout, which the
-    /// operator surfaces as
+    /// The cooperative yield: flush staged posts to the scheduler and
+    /// park this query until the shared marketplace has run far enough
+    /// to resolve its round. The barrier answers with the committed
+    /// group ids ([`Resume::Round`]), which fill the local ledger
+    /// before the operator reads any results. A closed channel
+    /// (scheduler gone) reads as a timeout, which the operator
+    /// surfaces as
     /// [`QurkError::CrowdIncomplete`](crate::error::QurkError::CrowdIncomplete).
     fn run(&mut self, limit_secs: f64) -> RunOutcome {
+        let posts: Vec<StagedPost> = self.ledger().staged.drain(..).collect();
         let sent = {
             let tx = self.yield_tx.lock().unwrap_or_else(PoisonError::into_inner);
             tx.send(SchedulerEvent::NeedCrowd {
                 query: self.task,
                 limit_secs,
+                posts,
             })
         };
         if sent.is_err() {
             return RunOutcome::TimedOut;
         }
-        let rx = self
-            .resume_rx
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        match rx.recv() {
-            Ok(Resume::Round(outcome)) => outcome,
+        let received = {
+            let rx = self
+                .resume_rx
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        match received {
+            Ok(Resume::Round { outcome, groups }) => {
+                let mut l = self.ledger();
+                let mut committed = groups.into_iter();
+                for slot in l.real.iter_mut().filter(|s| s.is_none()) {
+                    let Some(g) = committed.next() else { break };
+                    *slot = Some(g);
+                }
+                outcome
+            }
             // `Start` is consumed by the query thread before this
             // backend exists; seeing it here means the scheduler is
-            // confused — fail the round rather than hang.
+            // confused — fail the round rather than hang. An invalid
+            // deadline also lands here: the scheduler refuses to
+            // commit the round's posts and resumes with `TimedOut`, so
+            // the operator fails fast instead of waiting forever.
             Ok(Resume::Start) | Err(_) => RunOutcome::TimedOut,
         }
     }
 
     fn assignments(&mut self, group: HitGroupId) -> Vec<Assignment> {
-        let mut m = self.shared.lock();
-        m.backend.assignments(group)
+        match self.translate(group) {
+            Some(g) => self.shared.lock().backend.assignments(g),
+            None => Vec::new(),
+        }
     }
 
     fn group_hits(&self, group: HitGroupId) -> Vec<HitId> {
-        self.shared.lock().backend.group_hits(group)
+        match self.translate(group) {
+            Some(g) => self.shared.lock().backend.group_hits(g),
+            None => Vec::new(),
+        }
     }
 
     fn group_latencies(&self, group: HitGroupId) -> Vec<f64> {
-        self.shared.lock().backend.group_latencies(group)
+        match self.translate(group) {
+            Some(g) => self.shared.lock().backend.group_latencies(g),
+            None => Vec::new(),
+        }
     }
 
     fn group_outstanding(&self, group: HitGroupId) -> u32 {
-        self.shared.lock().backend.group_outstanding(group)
+        match self.translate(group) {
+            Some(g) => self.shared.lock().backend.group_outstanding(g),
+            // Staged, uncommitted work is by definition all
+            // outstanding — everything the post would request.
+            None => self.ledger().requested.get(group.0).copied().unwrap_or(0),
+        }
     }
 
     fn hit_question_count(&self, hit: HitId) -> usize {

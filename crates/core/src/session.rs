@@ -383,7 +383,21 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
         budget_dollars: Option<f64>,
     ) -> Result<QueryReport> {
         let parsed = parse_query(sql)?;
-        let logical = plan_query(&parsed, self.catalog)?;
+        self.execute_parsed(sql, &parsed, config, budget_dollars)
+    }
+
+    /// Execute an already-parsed query. The service scheduler parses
+    /// once at admission and carries the AST to the query thread, so
+    /// what executes is exactly what the admission gate analyzed —
+    /// `sql` is only used for diagnostics rendering.
+    pub(crate) fn execute_parsed(
+        &mut self,
+        sql: &str,
+        parsed: &crate::lang::ast::Query,
+        config: &ExecConfig,
+        budget_dollars: Option<f64>,
+    ) -> Result<QueryReport> {
+        let logical = plan_query(parsed, self.catalog)?;
         let compiled = compile(&logical, self.catalog, config, &self.stats)?;
         let plan = PlanReport::from(&compiled);
         let diagnostics = if config.lint.policy == LintPolicy::Allow {
@@ -391,7 +405,7 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
         } else {
             let diagnostics = analyze_query(
                 sql,
-                &parsed,
+                parsed,
                 self.catalog,
                 config,
                 &self.stats,
@@ -405,6 +419,10 @@ impl<'c, B: CrowdBackend> Session<'c, B> {
             diagnostics
         };
         let stats_before = self.store.is_some().then(|| self.stats.clone());
+        // Batch boundary for the cache's eviction bound: entries the
+        // previous query touched become evictable, entries this query
+        // touches are pinned until it finishes.
+        self.backend.inner_mut().begin_batch();
         self.backend.begin_epoch();
         let outcome = self.run_physical(&compiled.root, budget_dollars);
         let usage = self.backend.end_epoch();

@@ -1,0 +1,301 @@
+//! Regression tests for the service's fairness policy, the bounded
+//! shared cache, round-deadline validation, and checkpoint
+//! re-admission on recovery.
+//!
+//! * **Starvation**: a tenant flooding `submit()` cannot delay another
+//!   tenant's single query past the first scheduler barrier under
+//!   round-robin admission (and priority overrides submission order).
+//! * **Eviction**: with `max_entries` set, evicted-then-re-posted
+//!   specs are paid for again and the books still balance — Σ tenant
+//!   spend == market total.
+//! * **Invalid deadlines**: a round posted with a non-finite limit
+//!   fails its query with [`QurkError::InvalidDeadline`] instead of
+//!   poisoning the shared clock, and the service keeps serving.
+//! * **Recovery re-admission**: [`QueryService::recover`] pushes every
+//!   live checkpoint back through the same admission gate as
+//!   `submit()`; checkpoints that no longer pass are retired, not
+//!   executed.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use qurk::service::{PollOrder, QueryService, SchedulePolicy};
+use qurk::store::DurableStore;
+use qurk::{Catalog, ExecConfig, QurkError, Relation, Schema, Value, ValueType};
+use qurk_crowd::truth::{DimensionParams, PredicateTruth};
+use qurk_crowd::{CrowdConfig, EntityId, GroundTruth, Marketplace};
+
+const FILTER_SQL: &str = "SELECT p.id FROM people AS p WHERE isTall(p.img)";
+
+fn world(seed: u64) -> (Catalog, Marketplace) {
+    let mut gt = GroundTruth::new();
+    gt.define_dimension("height", DimensionParams::crisp(0.02));
+    let items = gt.new_items(10);
+    for (i, &it) in items.iter().enumerate() {
+        gt.set_predicate(
+            it,
+            "isTall",
+            PredicateTruth {
+                value: i >= 5,
+                error_rate: 0.03,
+            },
+        );
+        gt.set_score(it, "height", i as f64);
+        gt.set_entity(it, EntityId(i as u64));
+    }
+    let market = Marketplace::new(&CrowdConfig::default().with_seed(seed), gt);
+
+    let mut catalog = Catalog::new();
+    let mut rel = Relation::new(Schema::new(&[
+        ("id", ValueType::Int),
+        ("img", ValueType::Item),
+    ]));
+    for (i, &it) in items.iter().enumerate() {
+        rel.push(vec![Value::Int(i as i64), Value::Item(it)])
+            .unwrap();
+    }
+    catalog.register_table("people", rel);
+    catalog
+        .define_tasks(
+            r#"TASK isTall(field) TYPE Filter:
+                Prompt: "<img src='%s'> Tall?", tuple[field]
+               TASK byHeight(field) TYPE Rank:
+                OrderDimensionName: "height"
+                Html: "<img src='%s'>", tuple[field]
+            "#,
+        )
+        .unwrap();
+    (catalog, market)
+}
+
+/// Six floods from alice, then one query from bob, under
+/// `max_active = 2`. Submission order makes bob wait for a slot;
+/// round-robin admits him at the very first barrier.
+#[test]
+fn round_robin_admission_prevents_starvation() {
+    let run = |order: PollOrder| {
+        let (catalog, market) = world(7);
+        let mut svc = QueryService::new(&catalog, market);
+        svc.set_policy(SchedulePolicy {
+            order,
+            max_active: Some(2),
+            max_per_tenant: None,
+        });
+        svc.register_tenant("alice", None);
+        svc.register_tenant("bob", None);
+        for _ in 0..6 {
+            svc.submit("alice", FILTER_SQL).unwrap();
+        }
+        svc.submit("bob", FILTER_SQL).unwrap();
+        let reports: Vec<_> = svc
+            .run_pending()
+            .into_iter()
+            .map(|r| r.expect("flood workload succeeds"))
+            .collect();
+        assert_eq!(reports.len(), 7);
+        // Everyone still gets the same (cached) answer.
+        for r in &reports[1..] {
+            assert_eq!(r.relation, reports[0].relation);
+        }
+        reports[6].service.as_ref().unwrap().admitted_round
+    };
+
+    let fifo = run(PollOrder::Submission);
+    assert!(
+        fifo > 0,
+        "submission order should queue bob behind the flood (admitted at {fifo})"
+    );
+    let rr = run(PollOrder::RoundRobin);
+    assert_eq!(
+        rr, 0,
+        "round-robin must admit bob's single query at the first barrier"
+    );
+}
+
+/// Priority overrides submission order: bob at priority 1 is admitted
+/// before the whole flood even though he submitted last.
+#[test]
+fn priority_overrides_submission_order() {
+    let (catalog, market) = world(7);
+    let mut svc = QueryService::new(&catalog, market);
+    svc.set_policy(SchedulePolicy {
+        order: PollOrder::Submission,
+        max_active: Some(1),
+        max_per_tenant: None,
+    });
+    svc.register_tenant("alice", None);
+    svc.register_tenant("bob", None);
+    svc.set_tenant_priority("bob", 1).unwrap();
+    for _ in 0..4 {
+        svc.submit("alice", FILTER_SQL).unwrap();
+    }
+    svc.submit("bob", FILTER_SQL).unwrap();
+    let reports: Vec<_> = svc.run_pending().into_iter().map(|r| r.unwrap()).collect();
+    assert_eq!(
+        reports[4].service.as_ref().unwrap().admitted_round,
+        0,
+        "the high-priority tenant takes the single slot first"
+    );
+    assert!(
+        reports[0].service.as_ref().unwrap().admitted_round > 0,
+        "alice's first query waited behind bob"
+    );
+}
+
+/// `max_per_tenant` caps one tenant's concurrency without touching
+/// another's.
+#[test]
+fn per_tenant_cap_limits_only_the_flooding_tenant() {
+    let (catalog, market) = world(7);
+    let mut svc = QueryService::new(&catalog, market);
+    svc.set_policy(SchedulePolicy {
+        order: PollOrder::Submission,
+        max_active: None,
+        max_per_tenant: Some(1),
+    });
+    svc.register_tenant("alice", None);
+    svc.register_tenant("bob", None);
+    svc.submit("alice", FILTER_SQL).unwrap();
+    svc.submit("alice", FILTER_SQL).unwrap();
+    svc.submit("bob", FILTER_SQL).unwrap();
+    let reports: Vec<_> = svc.run_pending().into_iter().map(|r| r.unwrap()).collect();
+    let admitted = |i: usize| reports[i].service.as_ref().unwrap().admitted_round;
+    assert_eq!(admitted(0), 0);
+    assert!(admitted(1) > 0, "alice's second query waits on her cap");
+    assert_eq!(admitted(2), 0, "bob is not throttled by alice's cap");
+}
+
+/// Bound the shared cache, force evictions across batches, and prove
+/// the re-paid work still balances: Σ tenant spend == market total.
+#[test]
+fn eviction_repays_specs_and_the_books_still_balance() {
+    let (catalog, market) = world(7);
+    let mut svc = QueryService::new(&catalog, market);
+    // The filter batches 5 tuples per HIT, so 10 people make two
+    // shared-cache specs; a 1-entry bound forces an eviction.
+    svc.set_cache_max_entries(Some(1));
+    svc.register_tenant("alice", None);
+    svc.register_tenant("bob", None);
+
+    // Batch 1: alice pays for both specs; the bound does not evict
+    // mid-batch (entries recorded this batch are pinned).
+    svc.submit("alice", FILTER_SQL).unwrap();
+    let first = svc.run_pending().pop().unwrap().unwrap();
+    let alice_spent = svc.tenant_spent("alice").unwrap();
+    assert!(alice_spent > 0.0);
+
+    // Batch 2: the boundary trims the cache to 1 entry, so bob's
+    // identical query re-posts the evicted spec and pays for it.
+    svc.submit("bob", FILTER_SQL).unwrap();
+    let second = svc.run_pending().pop().unwrap().unwrap();
+    assert!(
+        svc.market().cache_evictions() > 0,
+        "a 1-entry bound over a two-spec query must evict"
+    );
+    let bob_spent = svc.tenant_spent("bob").unwrap();
+    assert!(
+        bob_spent > 0.0,
+        "evicted specs are paid for again when re-posted"
+    );
+    let svc_stats = second.service.as_ref().unwrap();
+    assert!(
+        svc_stats.shared_cache_hits > 0,
+        "the surviving entries still serve hits"
+    );
+    assert_eq!(first.relation.schema(), second.relation.schema());
+
+    let total = svc.market().total_spend();
+    assert!(
+        (alice_spent + bob_spent - total).abs() < 1e-9,
+        "tenant meters ({alice_spent} + {bob_spent}) must sum to the market total ({total})"
+    );
+}
+
+/// A round posted with an infinite (or NaN) deadline fails that query
+/// with a typed error instead of running the shared clock forever —
+/// and the service keeps working afterwards.
+#[test]
+fn non_finite_round_deadlines_fail_the_query_not_the_service() {
+    for bad in [f64::INFINITY, f64::NAN, -1.0] {
+        let (catalog, market) = world(7);
+        let mut config = ExecConfig::default();
+        config.filter.limit_secs = bad;
+        let mut svc = QueryService::with_config(&catalog, market, config);
+        svc.register_tenant("alice", None);
+        svc.register_tenant("bob", None);
+        svc.submit("alice", FILTER_SQL).unwrap();
+        let reports = svc.run_pending();
+        match &reports[0] {
+            Err(QurkError::InvalidDeadline { limit_secs }) => {
+                assert!(!(limit_secs.is_finite() && *limit_secs >= 0.0));
+            }
+            other => panic!("expected InvalidDeadline for limit {bad}, got {other:?}"),
+        }
+        // Nothing was committed for the refused round — no spend, no
+        // clock poisoning — and the service keeps scheduling: a query
+        // that posts no round (machine-only) under the same broken
+        // config still completes.
+        assert_eq!(svc.tenant_spent("alice").unwrap(), 0.0);
+        assert_eq!(svc.market().total_spend(), 0.0);
+        svc.submit("bob", "SELECT p.id FROM people AS p").unwrap();
+        let ok = svc.run_pending().pop().unwrap();
+        assert!(
+            ok.is_ok(),
+            "service must keep serving after a refused round: {ok:?}"
+        );
+    }
+}
+
+fn store_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "qurk-service-fairness-{}-{tag}.qwal",
+        std::process::id()
+    ))
+}
+
+/// `recover()` re-admits checkpoints through the same gate as
+/// `submit()`: live checkpoints that no longer parse, no longer pass
+/// analysis, or belong to an unknown tenant are retired (marked done)
+/// instead of executed — and stay retired on the next restart.
+#[test]
+fn recover_readmits_through_the_admission_gate() {
+    let path = store_path("readmit");
+    let _ = std::fs::remove_file(&path);
+
+    // A "previous process" left four live checkpoints behind: one
+    // valid, one that does not parse, one that fails analysis
+    // (unknown table), one for a tenant missing from the log.
+    {
+        let store = DurableStore::open(&path).unwrap();
+        store.append_tenant("alice", None, 0.0);
+        store.append_checkpoint("alice", FILTER_SQL, None);
+        store.append_checkpoint("alice", "SELECT FROM WHERE", None);
+        store.append_checkpoint(
+            "alice",
+            "SELECT p.id FROM nosuch AS p WHERE isTall(p.img)",
+            None,
+        );
+        store.append_checkpoint("ghost", FILTER_SQL, None);
+    }
+
+    let (catalog, market) = world(7);
+    let store = Arc::new(DurableStore::open(&path).unwrap());
+    assert_eq!(store.live_checkpoints().len(), 4);
+    let mut svc =
+        QueryService::with_store(&catalog, market, ExecConfig::default(), Arc::clone(&store));
+    let resumed = svc.recover();
+    assert_eq!(resumed, 1, "only the admissible checkpoint is re-queued");
+    assert_eq!(svc.pending_len(), 1);
+
+    let report = svc.run_pending().pop().unwrap().unwrap();
+    assert!(report.service.as_ref().unwrap().resumed);
+    assert!(report.hits_posted > 0, "the resumed query really ran");
+
+    // Every checkpoint is now retired: the executed one by completion,
+    // the inadmissible ones by the gate. A restart resurrects nothing.
+    assert!(store.live_checkpoints().is_empty());
+    drop(svc);
+    let reopened = DurableStore::open(&path).unwrap();
+    assert!(reopened.live_checkpoints().is_empty());
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,100 @@
+//! The point of the parallel machine phase: a batch of machine-heavy
+//! queries finishes in less wall-clock time than running them one at
+//! a time, because between yield points every query thread executes
+//! concurrently. Results stay byte-identical either way.
+
+use std::time::Instant;
+
+use qurk::service::QueryService;
+use qurk::{Catalog, Relation, Schema, Value, ValueType};
+use qurk_crowd::{CrowdConfig, GroundTruth, Marketplace};
+
+/// Machine-only world: a wide table big enough that scanning and
+/// projecting it costs real CPU, and no crowd tasks at all — the
+/// whole query is machine phase.
+fn machine_world(rows: i64) -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut rel = Relation::new(Schema::new(&[
+        ("id", ValueType::Int),
+        ("a", ValueType::Int),
+        ("b", ValueType::Int),
+        ("c", ValueType::Int),
+    ]));
+    for i in 0..rows {
+        rel.push(vec![
+            Value::Int(i),
+            Value::Int(i.wrapping_mul(2654435761)),
+            Value::Int(i ^ 0x5DEECE66D),
+            Value::Int(i.rotate_left(17)),
+        ])
+        .unwrap();
+    }
+    catalog.register_table("big", rel);
+    catalog
+}
+
+fn market() -> Marketplace {
+    Marketplace::new(&CrowdConfig::default().with_seed(1), GroundTruth::new())
+}
+
+const N: usize = 8;
+const SQL: &str = "SELECT b.id, b.a, b.b, b.c FROM big AS b";
+
+#[test]
+fn batch_machine_time_beats_sequential_on_multi_core() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let catalog = machine_world(300_000);
+
+    // Warm up (page in the table, JIT nothing — this is Rust — but
+    // stabilize allocator state) and capture the reference relation.
+    let reference = {
+        let mut svc = QueryService::new(&catalog, market());
+        svc.register_tenant("warm", None);
+        svc.submit("warm", SQL).unwrap();
+        svc.run_pending().pop().unwrap().unwrap().relation
+    };
+
+    // Sequential: N single-query batches, one after another.
+    let seq_start = Instant::now();
+    let mut svc = QueryService::new(&catalog, market());
+    svc.register_tenant("t", None);
+    for _ in 0..N {
+        svc.submit("t", SQL).unwrap();
+        let r = svc.run_pending().pop().unwrap().unwrap();
+        assert_eq!(r.relation.len(), reference.len());
+    }
+    let sequential = seq_start.elapsed();
+
+    // Concurrent: the same N queries in ONE batch — the machine phase
+    // runs them all on their own OS threads between barriers.
+    let batch_start = Instant::now();
+    let mut svc = QueryService::new(&catalog, market());
+    svc.register_tenant("t", None);
+    for _ in 0..N {
+        svc.submit("t", SQL).unwrap();
+    }
+    let reports = svc.run_pending();
+    let batch = batch_start.elapsed();
+    assert_eq!(reports.len(), N);
+    for r in reports {
+        let r = r.unwrap();
+        // Machine-only queries are trivially deterministic under
+        // concurrency; assert it anyway — it is the cheap half of the
+        // replay determinism tests in service_multi_tenant.rs.
+        assert_eq!(
+            format!("{:?}", r.relation),
+            format!("{:?}", reference),
+            "concurrent machine-only query diverged"
+        );
+    }
+
+    if cores < 2 {
+        eprintln!("single core: skipping the overlap assertion");
+        return;
+    }
+    assert!(
+        batch < sequential.mul_f64(0.85),
+        "machine phases should overlap on {cores} cores: \
+         batch {batch:?} vs sequential {sequential:?}"
+    );
+}

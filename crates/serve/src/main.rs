@@ -2,15 +2,25 @@
 //! simulated marketplace.
 //!
 //! Reads length-prefixed request frames (see `qurk::service::protocol`)
-//! from a script file (`--script FILE`) or stdin, and writes one
-//! response frame per request to stdout. Queries queued by several
-//! tenants between `RUN` frames execute **concurrently** on the shared
-//! marketplace clock; identical HIT specs across tenants are posted
-//! (and paid for) once.
+//! from a script file (`--script FILE`), stdin, or — with
+//! `--listen ADDR` — a real TCP socket, and writes one response frame
+//! per request. Queries queued by several tenants between `RUN`
+//! frames execute **concurrently** on the shared marketplace clock
+//! (real OS-thread parallelism for the machine phase); identical HIT
+//! specs across tenants are posted (and paid for) once.
 //!
 //! ```text
 //! qurk-serve [--seed N] [--script FILE] [--store FILE] [--crash POINT[:N]]
+//!            [--listen ADDR] [--max-conns N] [--cache-max N]
 //! ```
+//!
+//! `--listen ADDR` binds a TCP listener (use port 0 to auto-pick; the
+//! resolved address is announced as `LISTENING <addr>` on stdout) and
+//! serves one protocol session per connection, sequentially — see
+//! `listener`. `QUIT` ends a connection; `SHUTDOWN` also stops the
+//! listener. `--max-conns N` stops after N connections. `--cache-max
+//! N` bounds the shared task cache to N recorded specs (LRU eviction
+//! at batch boundaries; evicted specs are re-paid if re-posted).
 //!
 //! With `--store FILE` the service journals every paid round, tenant
 //! ledger, and in-flight query checkpoint to a durable log (see
@@ -26,6 +36,8 @@
 //! `squares` table (6 squares from the paper's §4.2.1 dataset,
 //! `byArea` rank), so scripted sessions can be diffed byte-for-byte
 //! (the CI smoke job does exactly that).
+
+mod listener;
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::process::ExitCode;
@@ -107,11 +119,27 @@ fn world(seed: u64) -> (Catalog, Marketplace) {
     (catalog, market)
 }
 
+/// How a protocol session ended — the listener uses this to decide
+/// whether to keep accepting connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// Input ran out (or frame sync was lost): the session is over.
+    Eof,
+    /// The client sent `QUIT`: close this session only.
+    Quit,
+    /// The client sent `SHUTDOWN`: close this session and stop the
+    /// listener, if any.
+    Shutdown,
+}
+
 struct Args {
     seed: u64,
     script: Option<String>,
     store: Option<String>,
     crash: Option<FaultPlan>,
+    listen: Option<String>,
+    max_conns: Option<usize>,
+    cache_max: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -120,6 +148,9 @@ fn parse_args() -> Result<Args, String> {
         script: None,
         store: None,
         crash: None,
+        listen: None,
+        max_conns: None,
+        cache_max: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -148,9 +179,21 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("unknown crash point {point:?}"))?;
                 args.crash = Some(FaultPlan::at(point).on_occurrence(occurrence));
             }
+            "--listen" => {
+                args.listen = Some(it.next().ok_or("--listen requires an address")?);
+            }
+            "--max-conns" => {
+                let v = it.next().ok_or("--max-conns requires a count")?;
+                args.max_conns = Some(v.parse().map_err(|_| format!("bad count {v:?}"))?);
+            }
+            "--cache-max" => {
+                let v = it.next().ok_or("--cache-max requires a count")?;
+                args.cache_max = Some(v.parse().map_err(|_| format!("bad count {v:?}"))?);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: qurk-serve [--seed N] [--script FILE] [--store FILE] [--crash POINT[:N]]"
+                    "usage: qurk-serve [--seed N] [--script FILE] [--store FILE] [--crash POINT[:N]] \
+                     [--listen ADDR] [--max-conns N] [--cache-max N]"
                         .to_owned(),
                 );
             }
@@ -160,22 +203,31 @@ fn parse_args() -> Result<Args, String> {
     if args.crash.is_some() && args.store.is_none() {
         return Err("--crash requires --store".to_owned());
     }
+    if args.listen.is_some() && args.script.is_some() {
+        return Err("--listen and --script are mutually exclusive".to_owned());
+    }
+    if args.max_conns.is_some() && args.listen.is_none() {
+        return Err("--max-conns requires --listen".to_owned());
+    }
     Ok(args)
 }
 
-fn serve<R: BufRead, W: Write>(
+fn serve<R: BufRead + ?Sized, W: Write + ?Sized>(
     seed: u64,
     store: Option<Arc<DurableStore>>,
+    cache_max: Option<usize>,
     input: &mut R,
     out: &mut W,
-) -> io::Result<()> {
+) -> io::Result<SessionEnd> {
     let (catalog, market) = world(seed);
     let mut svc = match store {
         Some(store) => QueryService::with_store(&catalog, market, ExecConfig::default(), store),
         None => QueryService::new(&catalog, market),
     };
+    svc.set_cache_max_entries(cache_max);
     // Tenant names of queued queries, in submission order.
     let mut queued: Vec<String> = Vec::new();
+    let mut end = SessionEnd::Eof;
 
     loop {
         let body = match read_frame(input)? {
@@ -258,24 +310,35 @@ fn serve<R: BufRead, W: Write>(
                 if svc.store().is_none() {
                     write_frame(out, "ERR RECOVER requires --store")?;
                 } else {
-                    // Recovered queries join the pending queue; remember
-                    // their tenants so RUN's RESULT frames line up.
+                    // Recovered queries join the pending queue. The
+                    // gate may retire checkpoints that no longer pass
+                    // admission, so list the live ones *after*
+                    // recovery — exactly the re-queued set, in
+                    // submission order — so RUN's RESULT frames line
+                    // up.
+                    let n = svc.recover();
                     let resumed_tenants: Vec<String> = svc
                         .store()
                         .map(|s| s.live_checkpoints().into_iter().map(|c| c.tenant).collect())
                         .unwrap_or_default();
-                    let n = svc.recover();
-                    queued.extend(resumed_tenants.into_iter().take(n));
+                    debug_assert_eq!(resumed_tenants.len(), n);
+                    queued.extend(resumed_tenants);
                     write_frame(out, &format!("OK recovered {n}"))?;
                 }
             }
             Request::Quit => {
                 write_frame(out, "BYE")?;
+                end = SessionEnd::Quit;
+                break;
+            }
+            Request::Shutdown => {
+                write_frame(out, "BYE")?;
+                end = SessionEnd::Shutdown;
                 break;
             }
         }
     }
-    Ok(())
+    Ok(end)
 }
 
 fn main() -> ExitCode {
@@ -302,17 +365,42 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    if let Some(addr) = &args.listen {
+        // Each connection gets a fresh world (same seed) and a fresh
+        // service; a shared --store carries the durable cache and
+        // checkpoints across connections.
+        let result = listener::listen(addr, args.max_conns, |input, out| {
+            serve(args.seed, store.clone(), args.cache_max, input, out)
+        });
+        if let Err(e) = result {
+            eprintln!("listener error: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
     let stdout = io::stdout();
     let mut out = stdout.lock();
     let result = match &args.script {
         Some(path) => match std::fs::File::open(path) {
-            Ok(f) => serve(args.seed, store, &mut BufReader::new(f), &mut out),
+            Ok(f) => serve(
+                args.seed,
+                store,
+                args.cache_max,
+                &mut BufReader::new(f),
+                &mut out,
+            ),
             Err(e) => {
                 eprintln!("cannot open {path:?}: {e}");
                 return ExitCode::from(2);
             }
         },
-        None => serve(args.seed, store, &mut io::stdin().lock(), &mut out),
+        None => serve(
+            args.seed,
+            store,
+            args.cache_max,
+            &mut io::stdin().lock(),
+            &mut out,
+        ),
     };
     if let Err(e) = result {
         eprintln!("i/o error: {e}");

@@ -1,0 +1,82 @@
+//! The golden three-tenant transcript, served over a **real TCP
+//! socket** instead of stdin/stdout, must produce byte-identical
+//! responses (the CI `serve-socket` job runs this test). Also covers
+//! the listener lifecycle: sequential connections each get a fresh
+//! deterministic world, and `SHUTDOWN` stops the accept loop.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const SCRIPT: &[u8] = include_bytes!("data/smoke_3tenants.qsh");
+const EXPECTED: &str = include_str!("data/smoke_3tenants.expected");
+
+/// Start `qurk-serve --listen 127.0.0.1:0` and return the child plus
+/// the address it announced on stdout.
+fn spawn_server(extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_qurk-serve"));
+    cmd.args(["--seed", "42", "--listen", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    let mut child = cmd.spawn().expect("qurk-serve starts");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout is piped"))
+        .read_line(&mut line)
+        .expect("server announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+        .to_owned();
+    (child, addr)
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let conn = TcpStream::connect(addr).expect("connect to qurk-serve");
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout set");
+    conn
+}
+
+/// Drive one full protocol session and return every response byte.
+fn drive(addr: &str, request_bytes: &[u8]) -> String {
+    let mut conn = connect(addr);
+    conn.write_all(request_bytes).expect("send script");
+    let mut got = String::new();
+    conn.read_to_string(&mut got)
+        .expect("server closes the connection after QUIT/SHUTDOWN");
+    got
+}
+
+#[test]
+fn golden_transcript_over_a_real_socket() {
+    let (mut child, addr) = spawn_server(&[]);
+
+    // Two sequential connections: each gets a fresh world with the
+    // same seed, so both transcripts are byte-identical to the
+    // stdin-mode golden file.
+    for round in 0..2 {
+        let got = drive(&addr, SCRIPT);
+        assert_eq!(
+            got, EXPECTED,
+            "socket transcript (connection {round}) diverged from the golden file"
+        );
+    }
+
+    // SHUTDOWN ends its session and the listener.
+    let bye = drive(&addr, b"8\nSHUTDOWN");
+    assert_eq!(bye, "3\nBYE");
+    let status = child.wait().expect("server exits after SHUTDOWN");
+    assert!(status.success(), "server exit: {status:?}");
+}
+
+#[test]
+fn max_conns_bounds_the_accept_loop() {
+    let (mut child, addr) = spawn_server(&["--max-conns", "1"]);
+    let bye = drive(&addr, b"4\nQUIT");
+    assert_eq!(bye, "3\nBYE");
+    let status = child.wait().expect("server exits at the connection cap");
+    assert!(status.success(), "server exit: {status:?}");
+}

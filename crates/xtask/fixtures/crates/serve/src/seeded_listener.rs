@@ -1,0 +1,37 @@
+//! Seeded fixture for the `service-blocking` rule's listener arm:
+//! exactly TWO violations must fire in this file — the sleep-based
+//! accept poll and the unbounded `read_to_end` — while the comment
+//! mentions and the cfg(test) block are allowed.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::time::Duration;
+
+pub fn polls_instead_of_blocking() {
+    // VIOLATION: a listener blocks in accept()/frame reads; sleeping
+    // in a poll loop adds latency for every client.
+    std::thread::sleep(Duration::from_millis(50));
+}
+
+pub fn slurps_the_whole_stream(conn: &mut TcpStream) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // VIOLATION: unbounded read off the wire; read_frame bounds every
+    // body by MAX_FRAME_BYTES.
+    let _ = conn.read_to_end(&mut buf);
+    buf
+}
+
+// .read_to_end( in a comment is fine, as is thread::sleep here.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_slurp_their_own_streams() {
+        let mut data: &[u8] = b"3\nRUN";
+        let mut buf = String::new();
+        let _ = data.read_to_string(&mut buf);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

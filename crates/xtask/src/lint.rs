@@ -15,13 +15,19 @@
 //!   keeping every backend `Send + Sync`-eligible (the compile-time
 //!   probe test in `crates/core/tests/send_sync.rs` asserts the
 //!   bounds themselves).
-//! * **service-blocking** — inside `crates/core/src/service/`, no
-//!   `thread::sleep` (the scheduler owns time; sleeping stalls every
-//!   tenant's rendezvous), and no `.lock().unwrap()` /
-//!   `.read().unwrap()` / `.write().unwrap()` without a
-//!   `// lint:allow(lock-poison): <why>` marker — a poisoned lock
-//!   would otherwise cascade one query's panic into the whole
-//!   service (prefer `unwrap_or_else(PoisonError::into_inner)`).
+//! * **service-blocking** — inside `crates/core/src/service/` and
+//!   `crates/serve/src/` (the listener binary), no `thread::sleep`
+//!   (the scheduler owns time; sleeping stalls every tenant's
+//!   barrier, and a listener must block in `accept()`/frame reads,
+//!   never poll), and no `.lock().unwrap()` / `.read().unwrap()` /
+//!   `.write().unwrap()` without a `// lint:allow(lock-poison): <why>`
+//!   marker — a poisoned lock would otherwise cascade one query's
+//!   panic into the whole service (prefer
+//!   `unwrap_or_else(PoisonError::into_inner)`). In `crates/serve/src/`
+//!   additionally no unbounded reads (`.read_to_end(` /
+//!   `.read_to_string(`): every byte off the wire must go through
+//!   `read_frame`, whose bodies are bounded by `MAX_FRAME_BYTES` — a
+//!   hostile client must cost at most one frame of memory.
 //! * **durable-fs** — no direct filesystem *writes* (`fs::write`,
 //!   `fs::rename`, `File::create`, `OpenOptions::new`, …) in
 //!   production code outside `crates/core/src/store/`. Durability has
@@ -342,7 +348,9 @@ fn check_service_blocking(
     lines: &[(usize, String)],
     out: &mut Vec<Violation>,
 ) {
-    if !rel.starts_with("crates/core/src/service/") {
+    let service_core = rel.starts_with("crates/core/src/service/");
+    let serve_bin = rel.starts_with("crates/serve/src/");
+    if !service_core && !serve_bin {
         return;
     }
     let raw_lines: Vec<&str> = raw_text.lines().collect();
@@ -353,6 +361,7 @@ fn check_service_blocking(
                 .is_some_and(|l| l.contains(LOCK_MARKER))
     };
     const POISONING_LOCKS: &[&str] = &[".lock().unwrap()", ".read().unwrap()", ".write().unwrap()"];
+    const UNBOUNDED_READS: &[&str] = &[".read_to_end(", ".read_to_string("];
     for (n, line) in lines {
         if line.contains("thread::sleep") {
             out.push(Violation {
@@ -360,8 +369,8 @@ fn check_service_blocking(
                 file: file.to_path_buf(),
                 line: *n,
                 message: "`thread::sleep` in service code: the scheduler owns virtual \
-                          time, and a sleeping query thread stalls every tenant's \
-                          rendezvous"
+                          time (and a listener blocks in accept()/frame reads, never \
+                          polls); a sleeping thread stalls every tenant's barrier"
                     .to_owned(),
             });
         }
@@ -380,6 +389,21 @@ fn check_service_blocking(
                      `unwrap_or_else(PoisonError::into_inner)`"
                 ),
             });
+        }
+        if serve_bin {
+            if let Some(pat) = UNBOUNDED_READS.iter().find(|p| line.contains(*p)) {
+                out.push(Violation {
+                    rule: "service-blocking",
+                    file: file.to_path_buf(),
+                    line: *n,
+                    message: format!(
+                        "`{pat}` in the listener binary: wire input must go \
+                         through read_frame, whose bodies are bounded by \
+                         MAX_FRAME_BYTES — an unbounded read lets one client \
+                         exhaust memory"
+                    ),
+                });
+            }
         }
     }
 }
@@ -523,19 +547,22 @@ mod tests {
     #[test]
     fn fixture_allowances_are_respected() {
         let violations = lint_workspace(&fixture_root());
-        // Each rule fires exactly once: the marked unwraps, the
-        // cfg(test) Marketplace use, and the commented-out mentions
-        // must all be skipped.
-        for rule in [
-            "ops-unwrap",
-            "marketplace-isolation",
-            "interior-mutability",
-            "service-blocking",
-            "durable-fs",
-            "hot-clone",
+        // Each rule fires a known number of times: the marked
+        // unwraps, the cfg(test) Marketplace use, and the
+        // commented-out mentions must all be skipped.
+        // service-blocking fires three times: the service fixture's
+        // sleep plus the listener fixture's sleep-poll and
+        // read_to_end.
+        for (rule, expected) in [
+            ("ops-unwrap", 1),
+            ("marketplace-isolation", 1),
+            ("interior-mutability", 1),
+            ("service-blocking", 3),
+            ("durable-fs", 1),
+            ("hot-clone", 1),
         ] {
             let count = violations.iter().filter(|v| v.rule == rule).count();
-            assert_eq!(count, 1, "rule {rule}: {violations:?}");
+            assert_eq!(count, expected, "rule {rule}: {violations:?}");
         }
     }
 
